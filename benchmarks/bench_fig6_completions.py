@@ -1,0 +1,28 @@
+"""Fig. 6 (right) — Pass@(scenario*n) across completions per prompt.
+
+Regenerates the n in {1, 10, 25} panel.  Checks the paper's observations:
+n=10 is a good setting for all difficulty levels (rates at n=10 are within
+noise of n=25), and J1-Large has no n=25 column (its API rejects it).
+"""
+
+from repro.eval import fig6_completions, render_series
+
+
+def test_fig6_completions(benchmark, n_sweep):
+    series = benchmark(fig6_completions, n_sweep)
+    print("\n" + render_series(
+        "Fig. 6 (right) — pass rate vs completions/prompt (best-t)", series
+    ))
+
+    # J1 variants have no n=25 data (paper Sec. IV-B)
+    for model, curve in series.items():
+        if model.startswith("j1-large"):
+            assert 25 not in curve, model
+        else:
+            assert set(curve) == {1, 10, 25}, model
+
+    # n=10 is "good": within noise of n=25 for the strong models
+    for model in ("codegen-16b-ft", "codegen-6b-ft", "code-davinci-002-pt"):
+        curve = series[model]
+        assert abs(curve[10] - curve[25]) < 0.1, model
+        assert curve[10] > 0.1, model

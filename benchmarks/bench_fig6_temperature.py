@@ -1,0 +1,33 @@
+"""Fig. 6 (left) — Pass@(scenario*n) across sampling temperature.
+
+Regenerates the temperature curves for every model variant and checks the
+paper's finding: "Pass@(scenario*10) has the highest value for t = 0.1
+and degrades exponentially with temperature".
+"""
+
+from repro.eval import fig6_temperature, render_series
+
+
+def test_fig6_temperature(benchmark, full_sweep):
+    series = benchmark(fig6_temperature, full_sweep)
+    print("\n" + render_series(
+        "Fig. 6 (left) — pass rate vs temperature (n=10)", series
+    ))
+
+    for model, curve in series.items():
+        if max(curve.values()) < 0.02:
+            continue  # flat-zero models carry no shape information
+        # best at the lowest temperature
+        assert curve[0.1] == max(curve.values()), model
+        # monotone-ish decay: t=1.0 well below t=0.1
+        assert curve[1.0] <= curve[0.1] * 0.55, model
+
+    # decay looks exponential for the strongest model: each recorded step
+    # down in temperature loses a roughly constant factor
+    strong = series["codegen-16b-ft"]
+    ratios = [
+        strong[b] / strong[a]
+        for a, b in ((0.1, 0.3), (0.3, 0.5), (0.5, 0.7))
+        if strong[a] > 0.02
+    ]
+    assert all(r < 0.9 for r in ratios)

@@ -1,0 +1,31 @@
+"""Fig. 7 (right) — Pass@(scenario*10) across problem difficulty.
+
+Regenerates the basic/intermediate/advanced panel and checks the paper's
+finding: "the Pass@(scenario*10) decreases with increasing prompt
+difficulty" — simple problems like the AND gate translate easily, LFSRs
+do not.
+"""
+
+from repro.eval import fig7_difficulty, render_series
+from repro.problems import Difficulty
+
+
+def test_fig7_difficulty(benchmark, full_sweep):
+    series = benchmark(fig7_difficulty, full_sweep)
+    print("\n" + render_series(
+        "Fig. 7 (right) — pass rate vs difficulty (best-t, n=10)", series
+    ))
+
+    for model, curve in series.items():
+        if max(curve.values()) < 0.05:
+            continue
+        # basic is the easiest for every model with signal
+        assert curve[Difficulty.BASIC] == max(curve.values()), model
+        assert curve[Difficulty.BASIC] > curve[Difficulty.INTERMEDIATE], model
+
+    # larger models beat smaller ones at every difficulty (RQ3)
+    for difficulty in Difficulty:
+        assert (
+            series["codegen-16b-ft"][difficulty]
+            >= series["megatron-355m-ft"][difficulty]
+        )

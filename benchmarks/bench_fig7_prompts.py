@@ -1,0 +1,31 @@
+"""Fig. 7 (left) — Pass@(scenario*10) across prompt-description levels.
+
+Regenerates the L/M/H panel.  The paper's reading: "the number of correct
+solutions decreases with terse prompts" — i.e. for most capable models
+the LOW (tersest) prompt is not the best one.
+"""
+
+from repro.eval import fig7_levels, render_series
+from repro.problems import PromptLevel
+
+
+def test_fig7_levels(benchmark, full_sweep):
+    series = benchmark(fig7_levels, full_sweep)
+    print("\n" + render_series(
+        "Fig. 7 (left) — pass rate vs description level (best-t, n=10)",
+        series,
+    ))
+
+    for model, curve in series.items():
+        assert set(curve) == set(PromptLevel), model
+        assert all(0.0 <= rate <= 1.0 for rate in curve.values())
+
+    # codex gains steadily from more detail (paper Table IV basic row:
+    # 0.520 -> 0.685 -> 0.775)
+    codex = series["code-davinci-002-pt"]
+    assert codex[PromptLevel.HIGH] >= codex[PromptLevel.LOW]
+
+    # strong fine-tuned models do not collapse on terse prompts, but at
+    # least one weak model shows the terse-prompt penalty
+    ft16 = series["codegen-16b-ft"]
+    assert min(ft16.values()) > 0.2

@@ -1,0 +1,43 @@
+"""Headline aggregates (Sec. VI / VII of the paper).
+
+Regenerates the summary statistics and checks all of them against the
+published values:
+
+* only 11.9% of pre-trained completions compiled vs 64.6% fine-tuned;
+* functional correctness rises from 1.09% (PT) to 27.0% (FT);
+* fine-tuned CodeGen-16B: 41.9% overall, beating code-davinci-002's 35.4%.
+"""
+
+import pytest
+
+from repro.eval import headline_numbers, render_headline
+
+
+def test_headline_numbers(benchmark, full_sweep):
+    headline = benchmark(headline_numbers, full_sweep)
+    print("\n" + render_headline(headline))
+
+    reference = headline.paper_reference
+    assert headline.pt_compile_mean == pytest.approx(
+        reference["pt_compile_mean"], abs=0.05
+    )
+    assert headline.ft_compile_mean == pytest.approx(
+        reference["ft_compile_mean"], abs=0.06
+    )
+    assert headline.pt_functional_mean == pytest.approx(
+        reference["pt_functional_mean"], abs=0.02
+    )
+    assert headline.ft_functional_mean == pytest.approx(
+        reference["ft_functional_mean"], abs=0.05
+    )
+    assert headline.best_ft_overall == pytest.approx(
+        reference["best_ft_overall"], abs=0.06
+    )
+    assert headline.codex_overall == pytest.approx(
+        reference["codex_overall"], abs=0.06
+    )
+
+    # the orderings the paper headlines
+    assert headline.ft_compile_mean > 4 * headline.pt_compile_mean
+    assert headline.ft_functional_mean > 10 * headline.pt_functional_mean
+    assert headline.best_ft_overall > headline.codex_overall

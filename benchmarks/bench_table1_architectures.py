@@ -1,0 +1,37 @@
+"""Table I — baseline LLM architectures used in the study.
+
+Regenerates the architecture table (layers/heads/embedding/context) and
+checks it against the paper's published values.
+"""
+
+from repro.models import MODEL_TABLE
+
+
+def render_table1() -> str:
+    lines = [
+        "Table I — Baseline LLM architectures",
+        f"{'Model':<18} {'Params':>7} {'Layers':>7} {'Heads':>6} "
+        f"{'Embed':>6} {'Context':>8}  Pre-training",
+    ]
+    for spec in MODEL_TABLE:
+        lines.append(
+            f"{spec.name:<18} {spec.parameters:>7} "
+            f"{spec.layers if spec.layers is not None else 'NA':>7} "
+            f"{spec.heads if spec.heads is not None else 'NA':>6} "
+            f"{spec.embed if spec.embed is not None else 'NA':>6} "
+            f"{spec.context_length:>8}  {spec.pretraining}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1(benchmark):
+    table = benchmark(render_table1)
+    print("\n" + table)
+    # paper Table I rows, verbatim
+    by_name = {spec.name: spec for spec in MODEL_TABLE}
+    assert (by_name["megatron-355m"].layers, by_name["megatron-355m"].embed) == (24, 64)
+    assert (by_name["codegen-2b"].layers, by_name["codegen-2b"].heads) == (32, 32)
+    assert (by_name["codegen-6b"].layers, by_name["codegen-6b"].embed) == (33, 256)
+    assert (by_name["codegen-16b"].layers, by_name["codegen-16b"].heads) == (34, 24)
+    assert by_name["j1-large-7b"].context_length == 4096
+    assert by_name["code-davinci-002"].context_length == 8000

@@ -1,0 +1,62 @@
+"""Table IV — Pass@(scenario*10) for test-bench-passing completions.
+
+Regenerates the functional table (difficulty x description level, plus
+per-query inference times) and checks the paper's orderings: the
+fine-tuned CodeGen-16B is the best fine-tuned model overall, fine-tuning
+speeds up inference (shorter outputs), and each measured cell agrees with
+the paper within sampling tolerance.
+"""
+
+import pytest
+
+from repro.eval import render_table4, table4
+from repro.models import FUNCTIONAL_RATES, INFERENCE_SECONDS
+from repro.problems import Difficulty, PromptLevel
+
+# Each cell is estimated from 40 samples (4-8 problems x n=10) with
+# best-of-5-temperatures selection, so individual cells can sit ~2 sigma
+# from the paper's value; 0.2 covers that while still pinning the shape.
+TOLERANCE = 0.20
+
+
+def _overall(row) -> float:
+    cells = [
+        row[difficulty][level]
+        for difficulty in Difficulty
+        for level in PromptLevel
+    ]
+    return sum(cells) / len(cells)
+
+
+def test_table4(benchmark, full_sweep):
+    table = benchmark(table4, full_sweep)
+    print("\n" + render_table4(table))
+
+    # the fine-tuned CodeGen-16B beats every other fine-tuned model
+    best = _overall(table[("codegen-16b", True)])
+    for (base, fine_tuned), row in table.items():
+        if fine_tuned and base != "codegen-16b":
+            assert best >= _overall(row), base
+
+    # ...and beats the commercial codex model (paper Sec. VII)
+    assert best > _overall(table[("code-davinci-002", False)])
+
+    # inference time: fine-tuned variants answer faster (paper Table IV)
+    for base in ("megatron-355m", "codegen-2b", "codegen-6b",
+                 "j1-large-7b", "codegen-16b"):
+        assert table[(base, True)]["time"] < table[(base, False)]["time"]
+
+    # measured inference times match the published column
+    for (base, fine_tuned), row in table.items():
+        paper_time = INFERENCE_SECONDS.get((base, fine_tuned))
+        if paper_time is not None:
+            assert row["time"] == pytest.approx(paper_time, rel=0.1)
+
+    # cell-level agreement with the paper within sampling tolerance
+    for key, paper_row in FUNCTIONAL_RATES.items():
+        for difficulty, by_level in paper_row.items():
+            for level, paper_rate in by_level.items():
+                measured = table[key][difficulty][level]
+                assert measured == pytest.approx(
+                    paper_rate, abs=TOLERANCE
+                ), (key, difficulty, level, measured, paper_rate)

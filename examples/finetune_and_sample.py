@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fine-tune the real trainable substrates on the Verilog corpus.
+
+This is the paper's Sec. III pipeline executed for real at CPU scale:
+build the training corpus (GitHub gather -> MinHash dedup -> filters),
+train the BPE tokenizer, then fine-tune both trainable models — the
+n-gram LM and the tiny numpy transformer — and sample Verilog from each.
+
+Run:  python examples/finetune_and_sample.py
+"""
+
+from repro.corpus import CorpusConfig, build_github_corpus
+from repro.models import (
+    GenerationConfig,
+    finetune_ngram,
+    finetune_transformer,
+    train_tokenizer,
+)
+from repro.verilog import check_syntax
+
+HOLDOUT = (
+    "module counter(input clk, input rst, output reg [3:0] q);\n"
+    "  always @(posedge clk) begin\n"
+    "    if (rst) q <= 4'd0;\n"
+)
+
+
+def main() -> None:
+    print("building the GitHub training corpus (paper Sec. III-A)...")
+    corpus = build_github_corpus(CorpusConfig(repos=60))
+    for stage, count in corpus.stage_log:
+        print(f"  {stage:<16} {count} files")
+    stats = corpus.corpus.stats()
+    print(f"  final corpus: {stats['files']} files, {stats['bytes']} bytes")
+    print(f"  dropped: {stats['dropped']}")
+
+    print("\ntraining the BPE tokenizer...")
+    tokenizer = train_tokenizer(corpus, vocab_size=640)
+    sample = "always @(posedge clk) q <= q + 1;"
+    ratio = len(sample) / max(1, len(tokenizer.encode(sample)))
+    print(f"  vocab {tokenizer.vocab_size}, {ratio:.1f} chars/token on RTL")
+
+    print("\nfine-tuning the n-gram LM (paper Sec. III-C at CPU scale)...")
+    ngram, report = finetune_ngram(corpus, tokenizer=tokenizer, holdout=HOLDOUT)
+    print(
+        f"  {report.wall_seconds:.1f}s, held-out perplexity "
+        f"{report.perplexity_before:.1f} -> {report.perplexity_after:.1f}"
+    )
+
+    print("\nfine-tuning the tiny transformer (Adam, real backprop)...")
+    transformer, t_report = finetune_transformer(
+        corpus, tokenizer=tokenizer, steps=60, lr=2e-3
+    )
+    print(
+        f"  {t_report.wall_seconds:.1f}s, loss "
+        f"{t_report.losses[0]:.2f} -> {t_report.losses[-1]:.2f} "
+        f"({transformer.parameter_count} parameters)"
+    )
+
+    print("\nsampling 3 completions from each model at t=0.5:")
+    prompt = "module "
+    config = GenerationConfig(temperature=0.5, n=3, max_tokens=40)
+    for model in (ngram, transformer):
+        print(f"\n--- {model.name} ---")
+        for completion in model.generate(prompt, config):
+            text = completion.text.replace("\n", "\\n")[:72]
+            syntactic = check_syntax(prompt + completion.text + "\nendmodule").ok
+            print(f"  [{'ok ' if syntactic else 'bad'}] {text}")
+    print(
+        "\n(As the paper finds for small pre-trained models, tiny LMs "
+        "rarely emit compilable Verilog — scale and pre-training matter.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

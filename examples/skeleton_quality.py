@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Grading LLM 'skeletons' beyond pass/fail: lint + waveforms.
+
+The paper's discussion proposes that "a designer may use these LLMs ...
+to generate a syntactically-correct 'skeleton' of a design, before then
+tweaking it to meet functional requirements."  This example does the
+designer's triage on real completions:
+
+1. generate n completions for a problem;
+2. bucket them with the evaluation pipeline (pass / test-fail / no-compile);
+3. run the static linter over the compiling-but-wrong skeletons to show
+   what a designer would need to fix;
+4. dump a VCD waveform of a failing candidate next to the reference.
+
+Run:  python examples/skeleton_quality.py
+"""
+
+from repro.eval import Evaluator
+from repro.eval.truncate import truncate_completion
+from repro.models import GenerationConfig, make_model
+from repro.problems import PromptLevel, get_problem
+from repro.verilog import lint_source_unit, parse, run_simulation
+
+
+def main() -> None:
+    problem = get_problem(15)  # the '101' FSM
+    model = make_model("codegen-16b", fine_tuned=True)
+    evaluator = Evaluator()
+    completions = model.generate(
+        problem.prompt(PromptLevel.HIGH),
+        GenerationConfig(temperature=0.3, n=12),
+    )
+
+    print(f"problem: {problem}")
+    buckets = {"pass": [], "test-fail": [], "compile-error": []}
+    for completion in completions:
+        verdict = evaluator.evaluate(problem, completion.text).verdict
+        buckets[verdict].append(completion.text)
+    for verdict, items in buckets.items():
+        print(f"  {verdict:<14} {len(items)}")
+
+    print("\nlint findings on compiling-but-wrong skeletons:")
+    seen = set()
+    for text in buckets["test-fail"]:
+        source = problem.full_source(truncate_completion(text))
+        if source in seen:
+            continue
+        seen.add(source)
+        warnings = lint_source_unit(parse(source))
+        label = "clean" if not warnings else f"{len(warnings)} finding(s)"
+        print(f"  skeleton #{len(seen)}: {label}")
+        for warning in warnings[:4]:
+            print(f"    {warning}")
+
+    print("\nwaveform of a failing candidate (first 25 VCD lines):")
+    failing = buckets["test-fail"] or buckets["pass"]
+    source = problem.bench_source(truncate_completion(failing[0]))
+    # inject $dumpvars at the start of the bench's initial block
+    source = source.replace("errors = 0;", "$dumpvars;\n    errors = 0;", 1)
+    report, result = run_simulation(source, top="tb")
+    assert report.ok and result is not None
+    if result.vcd is not None:
+        for line in result.vcd.text("tb").splitlines()[:25]:
+            print(f"  {line}")
+        print(f"  ... ({result.vcd.change_count} value changes recorded)")
+
+
+if __name__ == "__main__":
+    main()

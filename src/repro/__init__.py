@@ -1,0 +1,30 @@
+"""repro — reproduction of "Benchmarking Large Language Models for
+Automated Verilog RTL Code Generation" (Thakur et al., DATE 2023).
+
+Subpackages:
+
+* :mod:`repro.verilog` — Verilog-2001-subset compiler + event-driven
+  simulator (the Icarus Verilog stand-in);
+* :mod:`repro.corpus` — training-corpus pipeline (GitHub gather, MinHash
+  dedup, filters, textbook cleaning);
+* :mod:`repro.tokenizer` — byte-pair encoding from scratch;
+* :mod:`repro.models` — trainable LMs (n-gram, tiny transformer) and the
+  calibrated simulated zoo of the paper's six LLMs;
+* :mod:`repro.problems` — the 17-problem benchmark set with L/M/H prompts
+  and self-checking test benches;
+* :mod:`repro.eval` — truncation, compile/functional gates, metrics,
+  sweep harness, table/figure reporting;
+* :mod:`repro.core` — the end-to-end pipeline facade.
+"""
+
+from .core import VGenConfig, VGenPipeline, VGenResult, quick_evaluate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VGenConfig",
+    "VGenPipeline",
+    "VGenResult",
+    "__version__",
+    "quick_evaluate",
+]

@@ -1,0 +1,206 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands:
+
+* ``problems`` — list the 17-problem benchmark set (Table II);
+* ``prompt N [--level L|M|H]`` — print one problem's prompt;
+* ``compile FILE`` — compile a Verilog file with the built-in frontend;
+* ``simulate FILE [--top NAME]`` — compile and simulate, print output;
+* ``lint FILE`` — run the static lint checks;
+* ``evaluate [--model NAME] [--ft] [--n N] [--temperature T]`` — query a
+  zoo model on the whole problem set and print per-problem verdicts;
+* ``tables`` — run the full sweep and print Tables III/IV + headlines;
+* ``corpus [--repos N] [--books]`` — build the training corpus, print stats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_problems(_args) -> int:
+    from .problems import ALL_PROBLEMS
+
+    for problem in ALL_PROBLEMS:
+        print(f"{problem.number:>2}  [{problem.difficulty}]  {problem.title}")
+    return 0
+
+
+def _cmd_prompt(args) -> int:
+    from .problems import PromptLevel, get_problem
+
+    level = {"L": PromptLevel.LOW, "M": PromptLevel.MEDIUM,
+             "H": PromptLevel.HIGH}[args.level]
+    print(get_problem(args.number).prompt(level), end="")
+    return 0
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_compile(args) -> int:
+    from .verilog import compile_design
+
+    report = compile_design(_read(args.file), top=args.top)
+    if report.ok:
+        print("compile: OK")
+        return 0
+    print("compile: FAILED")
+    print(report.error_text)
+    return 1
+
+
+def _cmd_simulate(args) -> int:
+    from .verilog import run_simulation
+
+    report, result = run_simulation(
+        _read(args.file), top=args.top, max_time=args.max_time
+    )
+    if not report.ok:
+        print("compile: FAILED")
+        print(report.error_text)
+        return 1
+    if result is None:
+        print("simulation: RUNTIME ERROR")
+        print(report.error_text)
+        return 1
+    print(result.text)
+    print(f"-- finished={result.finished} at t={result.time}")
+    if result.vcd is not None and result.vcd_file:
+        result.vcd.write(result.vcd_file, top=args.top or "top")
+        print(f"-- wrote {result.vcd_file}")
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from .verilog import lint_source_unit, parse
+
+    warnings = lint_source_unit(parse(_read(args.file)))
+    for warning in warnings:
+        print(warning)
+    print(f"-- {len(warnings)} finding(s)")
+    return 0 if not warnings else 2
+
+
+def _cmd_evaluate(args) -> int:
+    from .eval import Evaluator
+    from .models import GenerationConfig, make_model
+    from .problems import ALL_PROBLEMS, PromptLevel
+
+    model = make_model(args.model, fine_tuned=args.ft)
+    evaluator = Evaluator()
+    config = GenerationConfig(temperature=args.temperature, n=args.n)
+    total_pass = total = 0
+    for problem in ALL_PROBLEMS:
+        completions = model.generate(problem.prompt(PromptLevel.MEDIUM), config)
+        passes = sum(
+            evaluator.evaluate(problem, c.text).passed for c in completions
+        )
+        total_pass += passes
+        total += len(completions)
+        print(f"P{problem.number:>2} {problem.title:<40} {passes}/{len(completions)}")
+    print(f"-- overall {total_pass}/{total} = {total_pass / total:.3f}")
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    from .eval import (
+        Evaluator,
+        SweepConfig,
+        headline_numbers,
+        render_headline,
+        render_table3,
+        render_table4,
+        run_sweep,
+        table3,
+        table4,
+    )
+    from .models import paper_model_variants
+
+    sweep = run_sweep(paper_model_variants(), SweepConfig(), Evaluator())
+    print(render_table3(table3(sweep)))
+    print()
+    print(render_table4(table4(sweep)))
+    print()
+    print(render_headline(headline_numbers(sweep)))
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    from .corpus import CorpusConfig, build_corpus
+
+    corpus = build_corpus(
+        CorpusConfig(repos=args.repos, include_textbooks=args.books)
+    )
+    for stage, count in corpus.stage_log:
+        print(f"{stage:<18} {count}")
+    stats = corpus.corpus.stats()
+    print(f"files              {stats['files']}")
+    print(f"bytes              {stats['bytes']}")
+    print(f"dropped            {stats['dropped']}")
+    print(f"by origin          {stats['by_origin']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the DATE 2023 Verilog-LLM benchmark",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("problems", help="list the benchmark problems")
+
+    p = sub.add_parser("prompt", help="print a problem prompt")
+    p.add_argument("number", type=int)
+    p.add_argument("--level", choices=("L", "M", "H"), default="M")
+
+    p = sub.add_parser("compile", help="compile a Verilog file")
+    p.add_argument("file")
+    p.add_argument("--top", default=None)
+
+    p = sub.add_parser("simulate", help="compile and simulate a file")
+    p.add_argument("file")
+    p.add_argument("--top", default=None)
+    p.add_argument("--max-time", type=int, default=1_000_000)
+
+    p = sub.add_parser("lint", help="run static lint checks on a file")
+    p.add_argument("file")
+
+    p = sub.add_parser("evaluate", help="evaluate a zoo model on the set")
+    p.add_argument("--model", default="codegen-16b")
+    p.add_argument("--ft", action="store_true")
+    p.add_argument("--n", type=int, default=10)
+    p.add_argument("--temperature", type=float, default=0.1)
+
+    sub.add_parser("tables", help="run the full sweep; print Tables III/IV")
+
+    p = sub.add_parser("corpus", help="build the training corpus")
+    p.add_argument("--repos", type=int, default=60)
+    p.add_argument("--books", action="store_true")
+
+    return parser
+
+
+_COMMANDS = {
+    "problems": _cmd_problems,
+    "prompt": _cmd_prompt,
+    "compile": _cmd_compile,
+    "simulate": _cmd_simulate,
+    "lint": _cmd_lint,
+    "evaluate": _cmd_evaluate,
+    "tables": _cmd_tables,
+    "corpus": _cmd_corpus,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

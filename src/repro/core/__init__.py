@@ -1,0 +1,5 @@
+"""Primary public API: the end-to-end VGen pipeline."""
+
+from .pipeline import VGenConfig, VGenPipeline, VGenResult, quick_evaluate
+
+__all__ = ["VGenConfig", "VGenPipeline", "VGenResult", "quick_evaluate"]

@@ -1,0 +1,151 @@
+"""The VGen pipeline facade (paper Fig. 1, end to end).
+
+One object that walks the paper's eight numbered steps: gather the
+training corpus (1-2), pick the pre-trained models (3), fine-tune (4-5),
+prompt (6), generate completions (7), and evaluate them against the test
+benches (8) — producing the tables and figures of Sec. V.
+
+This is the primary public API; everything it composes is importable from
+the subpackages for finer-grained use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..corpus import CorpusConfig, TrainingCorpus, build_corpus
+from ..eval import (
+    Evaluator,
+    Headline,
+    Sweep,
+    SweepConfig,
+    headline_numbers,
+    run_sweep,
+    table3,
+    table4,
+)
+from ..models import (
+    FineTuneReport,
+    LanguageModel,
+    finetune_zoo_model,
+    make_model,
+    paper_model_variants,
+)
+
+
+@dataclass
+class VGenConfig:
+    """Configuration for a full pipeline run."""
+
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    sweep: SweepConfig = field(default_factory=SweepConfig)
+    seed: int = 0
+
+
+@dataclass
+class VGenResult:
+    """Everything a pipeline run produced."""
+
+    corpus: TrainingCorpus
+    finetune_reports: list[FineTuneReport]
+    sweep: Sweep
+    table3: dict
+    table4: dict
+    headline: Headline
+
+
+class VGenPipeline:
+    """Run the paper's experimental platform end to end.
+
+    Example::
+
+        from repro.core import VGenPipeline
+
+        result = VGenPipeline().run()
+        print(result.headline)
+    """
+
+    def __init__(self, config: VGenConfig | None = None):
+        self.config = config or VGenConfig()
+        self.evaluator = Evaluator()
+
+    # ------------------------------------------------------------------
+    def build_corpus(self) -> TrainingCorpus:
+        """Steps 1-2: gather and clean the training corpus."""
+        return build_corpus(self.config.corpus)
+
+    def models(self, fine_tune: bool = True) -> list[LanguageModel]:
+        """Steps 3-5: the Table-I models, fine-tuned where applicable.
+
+        With ``fine_tune=False`` only the pre-trained variants are
+        returned (the RQ1 baseline).
+        """
+        if not fine_tune:
+            return [
+                m for m in paper_model_variants(self.config.seed)
+                if not m.fine_tuned
+            ]
+        return paper_model_variants(self.config.seed)
+
+    def finetune(self, names: list[str] | None = None) -> tuple[
+        list[LanguageModel], list[FineTuneReport]
+    ]:
+        """Step 4 explicitly: fine-tune named models on the built corpus."""
+        names = names or [
+            "megatron-355m", "codegen-2b", "codegen-6b",
+            "j1-large-7b", "codegen-16b",
+        ]
+        models: list[LanguageModel] = []
+        reports: list[FineTuneReport] = []
+        for name in names:
+            model, report = finetune_zoo_model(
+                name, self.config.corpus, seed=self.config.seed
+            )
+            models.append(model)
+            reports.append(report)
+        return models, reports
+
+    def evaluate(self, models: list[LanguageModel]) -> Sweep:
+        """Steps 6-8: prompt, generate, compile, run test benches."""
+        return run_sweep(models, self.config.sweep, self.evaluator)
+
+    # ------------------------------------------------------------------
+    def run(self) -> VGenResult:
+        """The whole pipeline; returns tables, figures data and headlines."""
+        corpus = self.build_corpus()
+        ft_models, reports = self.finetune()
+        pt_models = self.models(fine_tune=False)
+        sweep = self.evaluate(pt_models + ft_models)
+        return VGenResult(
+            corpus=corpus,
+            finetune_reports=reports,
+            sweep=sweep,
+            table3=table3(sweep),
+            table4=table4(sweep),
+            headline=headline_numbers(sweep),
+        )
+
+
+def quick_evaluate(
+    model: LanguageModel,
+    problem_numbers: tuple[int, ...] | None = None,
+    temperature: float = 0.1,
+    n: int = 10,
+) -> Sweep:
+    """Evaluate one model at one temperature (convenience for examples)."""
+    config = SweepConfig(
+        temperatures=(temperature,),
+        completions_per_prompt=(n,),
+        problem_numbers=problem_numbers
+        or SweepConfig().problem_numbers,
+    )
+    return run_sweep([model], config)
+
+
+__all__ = [
+    "VGenConfig",
+    "VGenPipeline",
+    "VGenResult",
+    "make_model",
+    "quick_evaluate",
+]

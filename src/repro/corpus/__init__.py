@@ -1,0 +1,56 @@
+"""Training-corpus pipeline: gathering, de-duplication, filtering.
+
+Reproduces paper Sec. III-A: a GitHub leg (BigQuery-style query, MinHash/
+Jaccard de-duplication, module-pair and size filters) and a textbook leg
+(cleaning, snippet validation, sliding-window examples).
+"""
+
+from .documents import Corpus, SourceFile
+from .filters import MAX_FILE_CHARS, apply_filters, has_module_pair, strip_comments
+from .github import Repository, SyntheticGitHub, bigquery_verilog_query
+from .minhash import MinHasher, deduplicate, estimate_jaccard, exact_jaccard, shingles
+from .pipeline import (
+    CorpusConfig,
+    TrainingCorpus,
+    build_combined_corpus,
+    build_corpus,
+    build_github_corpus,
+)
+from .textbook import (
+    Textbook,
+    clean_textbook,
+    extract_snippets,
+    generate_library,
+    generate_textbook,
+    sliding_windows,
+    textbook_examples,
+)
+
+__all__ = [
+    "Corpus",
+    "CorpusConfig",
+    "MAX_FILE_CHARS",
+    "MinHasher",
+    "Repository",
+    "SourceFile",
+    "SyntheticGitHub",
+    "Textbook",
+    "TrainingCorpus",
+    "apply_filters",
+    "bigquery_verilog_query",
+    "build_combined_corpus",
+    "build_corpus",
+    "build_github_corpus",
+    "clean_textbook",
+    "deduplicate",
+    "estimate_jaccard",
+    "exact_jaccard",
+    "extract_snippets",
+    "generate_library",
+    "generate_textbook",
+    "has_module_pair",
+    "shingles",
+    "sliding_windows",
+    "strip_comments",
+    "textbook_examples",
+]

@@ -1,0 +1,66 @@
+"""Containers for corpus source files and assembled training corpora."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One file gathered from a corpus source.
+
+    Attributes:
+        path: repository-relative path (e.g. ``"riscy/alu.v"``).
+        text: file contents.
+        origin: provenance tag (``"github"`` or ``"textbook"``).
+    """
+
+    path: str
+    text: str
+    origin: str = "github"
+
+    @property
+    def size(self) -> int:
+        return len(self.text)
+
+    @property
+    def extension(self) -> str:
+        dot = self.path.rfind(".")
+        return self.path[dot:] if dot >= 0 else ""
+
+
+@dataclass
+class Corpus:
+    """A collection of source files plus bookkeeping of filter decisions."""
+
+    files: list[SourceFile] = field(default_factory=list)
+    dropped: dict[str, int] = field(default_factory=dict)
+
+    def add(self, source: SourceFile) -> None:
+        self.files.append(source)
+
+    def drop(self, reason: str, count: int = 1) -> None:
+        self.dropped[reason] = self.dropped.get(reason, 0) + count
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self.files)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def training_text(self, separator: str = "\n\n") -> str:
+        """Concatenate all files into one training stream."""
+        return separator.join(f.text for f in self.files)
+
+    def stats(self) -> dict:
+        """Summary statistics in the shape the paper reports (Sec. III-A)."""
+        return {
+            "files": len(self.files),
+            "bytes": self.total_bytes,
+            "dropped": dict(self.dropped),
+            "by_origin": {
+                origin: sum(1 for f in self.files if f.origin == origin)
+                for origin in sorted({f.origin for f in self.files})
+            },
+        }

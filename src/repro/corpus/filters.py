@@ -1,0 +1,59 @@
+"""File-level filters of the gathering pipeline (paper Sec. III-A).
+
+The paper keeps ``.v`` files "that contain at least one pair of module and
+endmodule statements" and drops "large files (number of characters >=
+20K)".  These predicates are implemented here, token-aware enough not to
+be fooled by comments.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .documents import Corpus, SourceFile
+
+MAX_FILE_CHARS = 20_000
+
+_MODULE_RE = re.compile(r"\bmodule\b")
+_ENDMODULE_RE = re.compile(r"\bendmodule\b")
+_LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+def strip_comments(text: str) -> str:
+    """Remove line and block comments (so keyword checks see only code)."""
+    return _LINE_COMMENT_RE.sub("", _BLOCK_COMMENT_RE.sub("", text))
+
+
+def has_module_pair(text: str) -> bool:
+    """True when the code contains at least one module/endmodule pair."""
+    code = strip_comments(text)
+    return bool(_MODULE_RE.search(code)) and bool(_ENDMODULE_RE.search(code))
+
+
+def is_verilog_path(path: str) -> bool:
+    return path.endswith(".v")
+
+
+def within_size_limit(text: str, limit: int = MAX_FILE_CHARS) -> bool:
+    return len(text) < limit
+
+
+def apply_filters(
+    files: list[SourceFile],
+    size_limit: int = MAX_FILE_CHARS,
+) -> Corpus:
+    """Run the paper's filter cascade, recording why files were dropped."""
+    corpus = Corpus()
+    for source in files:
+        if not is_verilog_path(source.path):
+            corpus.drop("extension")
+            continue
+        if not has_module_pair(source.text):
+            corpus.drop("no_module_pair")
+            continue
+        if not within_size_limit(source.text, size_limit):
+            corpus.drop("too_large")
+            continue
+        corpus.add(source)
+    return corpus

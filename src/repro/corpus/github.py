@@ -1,0 +1,191 @@
+"""Synthetic GitHub snapshot and the BigQuery-style gathering step.
+
+The paper (Sec. III-A) gathers Verilog with a Google BigQuery query over a
+2.8M-repository snapshot, "looking for keywords such as 'Verilog' and
+files with '.v' extension".  Offline, :class:`SyntheticGitHub` builds a
+deterministic snapshot with the same pathologies the real pipeline must
+survive:
+
+* forked/duplicated files (exact and near duplicates) — caught by MinHash;
+* non-Verilog files matching the keyword query (``.vhd``, READMEs);
+* ``.v`` files with no ``module``/``endmodule`` pair (header-only files);
+* oversized generated netlists (>= 20K characters).
+
+:func:`bigquery_verilog_query` mimics the query semantics so the rest of
+the pipeline is identical to the paper's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .documents import SourceFile
+from .generators import random_module, random_verilog_file
+
+_REPO_WORDS = (
+    "risc", "uart", "fifo", "dsp", "soc", "cache", "axi", "spi", "i2c",
+    "fpga", "cpu", "gpu", "crypto", "net", "dma", "pcie", "ddr", "hdmi",
+)
+
+
+@dataclass
+class Repository:
+    """One synthetic repository: a name plus files."""
+
+    name: str
+    description: str
+    files: list[SourceFile] = field(default_factory=list)
+
+
+class SyntheticGitHub:
+    """Deterministic stand-in for the GitHub snapshot queried via BigQuery."""
+
+    def __init__(
+        self,
+        repos: int = 120,
+        seed: int = 2023,
+        fork_fraction: float = 0.15,
+        near_dup_fraction: float = 0.10,
+        noise_fraction: float = 0.20,
+    ):
+        self.repos = repos
+        self.seed = seed
+        self.fork_fraction = fork_fraction
+        self.near_dup_fraction = near_dup_fraction
+        self.noise_fraction = noise_fraction
+        self._snapshot: list[Repository] | None = None
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[Repository]:
+        """Build (once) and return the full repository snapshot."""
+        if self._snapshot is None:
+            self._snapshot = self._build()
+        return self._snapshot
+
+    def _build(self) -> list[Repository]:
+        rng = random.Random(self.seed)
+        repositories: list[Repository] = []
+        for index in range(self.repos):
+            word = rng.choice(_REPO_WORDS)
+            name = f"{word}-{index:04d}"
+            verilog_related = rng.random() < 0.8
+            description = (
+                f"A Verilog implementation of a {word} block"
+                if verilog_related
+                else f"Tools for {word} development"
+            )
+            repo = Repository(name=name, description=description)
+            file_count = rng.randrange(2, 9)
+            for file_index in range(file_count):
+                repo.files.append(self._make_file(rng, name, file_index))
+            repositories.append(repo)
+
+        self._add_forks(rng, repositories)
+        return repositories
+
+    def _make_file(
+        self, rng: random.Random, repo_name: str, index: int
+    ) -> SourceFile:
+        roll = rng.random()
+        if roll < self.noise_fraction:
+            return self._noise_file(rng, repo_name, index)
+        if roll < self.noise_fraction + 0.05:
+            # oversized generated netlist (must be dropped by the size filter)
+            body = random_module(rng) * 80
+            filler = "// synthesized netlist line\n" * 600
+            return SourceFile(
+                path=f"{repo_name}/gen/netlist_{index}.v",
+                text=body + filler,
+                origin="github",
+            )
+        text = random_verilog_file(rng)
+        return SourceFile(
+            path=f"{repo_name}/rtl/block_{index}.v", text=text, origin="github"
+        )
+
+    def _noise_file(
+        self, rng: random.Random, repo_name: str, index: int
+    ) -> SourceFile:
+        kind = rng.randrange(3)
+        if kind == 0:
+            return SourceFile(
+                path=f"{repo_name}/README.md",
+                text=f"# {repo_name}\nA Verilog project.\n",
+                origin="github",
+            )
+        if kind == 1:
+            # VHDL file that the keyword query may surface
+            return SourceFile(
+                path=f"{repo_name}/rtl/block_{index}.vhd",
+                text="entity blk is end entity;\narchitecture rtl of blk is begin end;\n",
+                origin="github",
+            )
+        # a .v file without a module/endmodule pair (macros/includes only)
+        return SourceFile(
+            path=f"{repo_name}/include/defines_{index}.v",
+            text="`define DATA_W 32\n`define ADDR_W 16\n// common macros\n",
+            origin="github",
+        )
+
+    def _add_forks(
+        self, rng: random.Random, repositories: list[Repository]
+    ) -> None:
+        """Copy files across repos: exact forks and near duplicates."""
+        verilog_files = [
+            source
+            for repo in repositories
+            for source in repo.files
+            if source.path.endswith(".v") and "module" in source.text
+        ]
+        if not verilog_files:
+            return
+        fork_count = int(len(verilog_files) * self.fork_fraction)
+        near_count = int(len(verilog_files) * self.near_dup_fraction)
+        for index in range(fork_count):
+            victim = rng.choice(verilog_files)
+            target = rng.choice(repositories)
+            target.files.append(
+                SourceFile(
+                    path=f"{target.name}/fork/copy_{index}.v",
+                    text=victim.text,
+                    origin="github",
+                )
+            )
+        for index in range(near_count):
+            victim = rng.choice(verilog_files)
+            mutated = victim.text.replace("clk", "clock").replace(
+                "rst", "reset_n"
+            )
+            mutated = "// forked and renamed\n" + mutated
+            target = rng.choice(repositories)
+            target.files.append(
+                SourceFile(
+                    path=f"{target.name}/fork/near_{index}.v",
+                    text=mutated,
+                    origin="github",
+                )
+            )
+
+
+def bigquery_verilog_query(
+    snapshot: list[Repository],
+    keywords: tuple[str, ...] = ("verilog",),
+    extension: str = ".v",
+) -> list[SourceFile]:
+    """The paper's gathering query: keyword match OR target extension.
+
+    Matches the described BigQuery semantics: select files from
+    repositories whose description mentions a keyword, plus any file with
+    the ``.v`` extension.  Intentionally over-approximates (keyword repos
+    contribute their READMEs etc.) — downstream filters clean this up,
+    exactly as in the paper.
+    """
+    lowered = tuple(k.lower() for k in keywords)
+    selected: list[SourceFile] = []
+    for repo in snapshot:
+        repo_matches = any(k in repo.description.lower() for k in lowered)
+        for source in repo.files:
+            if source.path.endswith(extension) or repo_matches:
+                selected.append(source)
+    return selected

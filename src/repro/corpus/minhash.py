@@ -1,0 +1,146 @@
+"""MinHash signatures and Jaccard-similarity de-duplication.
+
+Implements the paper's de-duplication step (Sec. III-A: "de-duplicated
+files (using MinHash and Jaccard similarity metrics)") from scratch:
+
+* character-shingle sets;
+* MinHash signatures via ``num_perm`` independent universal hash
+  functions ``h_i(x) = (a_i * x + b_i) mod p``;
+* LSH banding to find candidate pairs without O(n^2) comparisons;
+* greedy duplicate clustering at a Jaccard threshold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def shingles(text: str, k: int = 8) -> set[int]:
+    """Set of hashed k-character shingles of ``text``."""
+    if len(text) < k:
+        return {hash_bytes(text.encode("utf-8"))}
+    return {
+        hash_bytes(text[i : i + k].encode("utf-8"))
+        for i in range(len(text) - k + 1)
+    }
+
+
+def hash_bytes(data: bytes) -> int:
+    """Deterministic 32-bit FNV-1a hash (stable across Python runs)."""
+    value = 0x811C9DC5
+    for byte in data:
+        value ^= byte
+        value = (value * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+@dataclass(frozen=True)
+class MinHasher:
+    """A family of ``num_perm`` universal hash functions."""
+
+    num_perm: int = 64
+    seed: int = 1
+
+    def _coefficients(self) -> tuple[list[int], list[int]]:
+        rng = random.Random(self.seed)
+        a = [rng.randrange(1, _MERSENNE_PRIME) for _ in range(self.num_perm)]
+        b = [rng.randrange(0, _MERSENNE_PRIME) for _ in range(self.num_perm)]
+        return a, b
+
+    def signature(self, shingle_set: set[int]) -> tuple[int, ...]:
+        """MinHash signature of a shingle set."""
+        if not shingle_set:
+            return tuple([_MAX_HASH] * self.num_perm)
+        a, b = self._coefficients()
+        items = list(shingle_set)
+        sig = []
+        for ai, bi in zip(a, b):
+            best = _MAX_HASH + 1
+            for x in items:
+                h = ((ai * x + bi) % _MERSENNE_PRIME) & _MAX_HASH
+                if h < best:
+                    best = h
+            sig.append(best)
+        return tuple(sig)
+
+
+def estimate_jaccard(sig_a: tuple[int, ...], sig_b: tuple[int, ...]) -> float:
+    """Estimated Jaccard similarity from two signatures."""
+    if len(sig_a) != len(sig_b) or not sig_a:
+        raise ValueError("signatures must be equal-length and non-empty")
+    agree = sum(1 for x, y in zip(sig_a, sig_b) if x == y)
+    return agree / len(sig_a)
+
+
+def exact_jaccard(set_a: set[int], set_b: set[int]) -> float:
+    """Exact Jaccard similarity of two shingle sets."""
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    return len(set_a & set_b) / union if union else 0.0
+
+
+def _lsh_candidates(
+    signatures: list[tuple[int, ...]], bands: int
+) -> set[tuple[int, int]]:
+    """Candidate pairs from LSH banding over the signatures."""
+    if not signatures:
+        return set()
+    num_perm = len(signatures[0])
+    rows = max(1, num_perm // bands)
+    candidates: set[tuple[int, int]] = set()
+    for band in range(bands):
+        buckets: dict[tuple[int, ...], list[int]] = {}
+        lo = band * rows
+        hi = min(lo + rows, num_perm)
+        if lo >= hi:
+            break
+        for index, sig in enumerate(signatures):
+            key = sig[lo:hi]
+            buckets.setdefault(key, []).append(index)
+        for members in buckets.values():
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    candidates.add((members[i], members[j]))
+    return candidates
+
+
+def deduplicate(
+    texts: list[str],
+    threshold: float = 0.8,
+    num_perm: int = 64,
+    shingle_k: int = 8,
+    bands: int = 16,
+    seed: int = 1,
+) -> list[int]:
+    """Indices of texts to *keep* after near-duplicate removal.
+
+    Signatures are banded into LSH buckets; candidate pairs above the
+    estimated-Jaccard threshold are clustered and only the first member
+    (lowest index) of every cluster survives — mirroring "keep one copy
+    of each near-duplicate group".
+    """
+    hasher = MinHasher(num_perm=num_perm, seed=seed)
+    signatures = [hasher.signature(shingles(t, shingle_k)) for t in texts]
+    parent = list(range(len(texts)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: int, y: int) -> None:
+        rx, ry = find(x), find(y)
+        if rx != ry:
+            parent[max(rx, ry)] = min(rx, ry)
+
+    for i, j in _lsh_candidates(signatures, bands):
+        if estimate_jaccard(signatures[i], signatures[j]) >= threshold:
+            union(i, j)
+
+    return [index for index in range(len(texts)) if find(index) == index]

@@ -1,0 +1,97 @@
+"""End-to-end training-corpus construction (paper Fig. 1, steps 1-2).
+
+Builds the two corpora the paper compares in its ablation study:
+
+* ``github`` — BigQuery-style gather, MinHash dedup, module/size filters;
+* ``github+books`` — the above plus cleaned, windowed textbook text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .documents import Corpus, SourceFile
+from .filters import MAX_FILE_CHARS, apply_filters
+from .github import SyntheticGitHub, bigquery_verilog_query
+from .minhash import deduplicate
+from .textbook import generate_library, textbook_examples
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs of the gathering pipeline."""
+
+    repos: int = 120
+    seed: int = 2023
+    dedup_threshold: float = 0.8
+    minhash_permutations: int = 64
+    shingle_k: int = 8
+    size_limit: int = MAX_FILE_CHARS
+    textbook_count: int = 12
+    window: int = 1_024
+    stride: int = 512
+    include_textbooks: bool = False
+
+
+@dataclass
+class TrainingCorpus:
+    """The assembled corpus plus a log of each pipeline stage."""
+
+    corpus: Corpus
+    stage_log: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return self.corpus.training_text()
+
+    def summary(self) -> dict:
+        return {"stages": list(self.stage_log), **self.corpus.stats()}
+
+
+def build_github_corpus(config: CorpusConfig | None = None) -> TrainingCorpus:
+    """GitHub leg: query -> dedup -> filters."""
+    config = config or CorpusConfig()
+    hub = SyntheticGitHub(repos=config.repos, seed=config.seed)
+    gathered = bigquery_verilog_query(hub.snapshot())
+    log = [("queried", len(gathered))]
+
+    keep = deduplicate(
+        [f.text for f in gathered],
+        threshold=config.dedup_threshold,
+        num_perm=config.minhash_permutations,
+        shingle_k=config.shingle_k,
+        seed=config.seed,
+    )
+    deduped = [gathered[i] for i in keep]
+    log.append(("after_dedup", len(deduped)))
+
+    corpus = apply_filters(deduped, size_limit=config.size_limit)
+    corpus.drop("near_duplicate", len(gathered) - len(deduped))
+    log.append(("after_filters", len(corpus)))
+    return TrainingCorpus(corpus=corpus, stage_log=log)
+
+
+def build_combined_corpus(config: CorpusConfig | None = None) -> TrainingCorpus:
+    """GitHub + textbook leg (the paper's ablation option (b))."""
+    config = config or CorpusConfig()
+    training = build_github_corpus(config)
+    books = generate_library(count=config.textbook_count, seed=config.seed)
+    examples = textbook_examples(books, config.window, config.stride)
+    for index, example in enumerate(examples):
+        training.corpus.add(
+            SourceFile(
+                path=f"books/example_{index:05d}.txt",
+                text=example,
+                origin="textbook",
+            )
+        )
+    training.stage_log.append(("textbook_examples", len(examples)))
+    return training
+
+
+def build_corpus(config: CorpusConfig | None = None) -> TrainingCorpus:
+    """Dispatch on ``config.include_textbooks``."""
+    config = config or CorpusConfig()
+    if config.include_textbooks:
+        return build_combined_corpus(config)
+    return build_github_corpus(config)

@@ -1,0 +1,80 @@
+"""Evaluation framework: truncation, compile/functional gates, metrics,
+sweep harness and paper-table reporting (paper Sec. IV-V)."""
+
+from .analysis import (
+    BootstrapInterval,
+    bootstrap_interval,
+    model_comparison,
+    pass_at_k_curve,
+    scenario_pass_at_k,
+)
+from .export import load_sweep_json, save_sweep, sweep_to_csv, sweep_to_json
+from .harness import CompletionRecord, Sweep, SweepConfig, run_sweep
+from .prompting import (
+    HINT_MARKER,
+    PROBLEM_HINTS,
+    engineered_prompt,
+    has_hint,
+    hint_coverage,
+    hint_for,
+)
+from .metrics import mean, pass_at_k, pass_fraction
+from .pipeline import CompletionEvaluation, Evaluator
+from .report import (
+    Headline,
+    fig6_completions,
+    fig6_temperature,
+    fig7_difficulty,
+    fig7_levels,
+    headline_numbers,
+    per_problem_pass_counts,
+    render_headline,
+    render_series,
+    render_table3,
+    render_table4,
+    table3,
+    table4,
+)
+from .truncate import has_endmodule, truncate_completion
+
+__all__ = [
+    "BootstrapInterval",
+    "CompletionEvaluation",
+    "CompletionRecord",
+    "Evaluator",
+    "Headline",
+    "Sweep",
+    "SweepConfig",
+    "fig6_completions",
+    "fig6_temperature",
+    "fig7_difficulty",
+    "fig7_levels",
+    "has_endmodule",
+    "headline_numbers",
+    "mean",
+    "pass_at_k",
+    "pass_fraction",
+    "per_problem_pass_counts",
+    "render_headline",
+    "render_series",
+    "render_table3",
+    "render_table4",
+    "run_sweep",
+    "table3",
+    "table4",
+    "truncate_completion",
+    "HINT_MARKER",
+    "PROBLEM_HINTS",
+    "bootstrap_interval",
+    "engineered_prompt",
+    "has_hint",
+    "hint_coverage",
+    "hint_for",
+    "load_sweep_json",
+    "model_comparison",
+    "pass_at_k_curve",
+    "save_sweep",
+    "scenario_pass_at_k",
+    "sweep_to_csv",
+    "sweep_to_json",
+]

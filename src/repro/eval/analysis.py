@@ -1,0 +1,146 @@
+"""Statistical analysis on sweep results beyond the paper's tables.
+
+The paper reports point estimates only; follow-on benchmarks (VerilogEval
+and successors) standardized on the unbiased pass@k estimator and on
+uncertainty reporting.  This module adds both over our sweep records:
+
+* :func:`pass_at_k_curve` — pass@k for k = 1..n per (model, problem);
+* :func:`scenario_pass_at_k` — averaged over a scenario, the way Codex
+  and VerilogEval report it;
+* :func:`bootstrap_interval` — percentile bootstrap CI on any pass rate;
+* :func:`model_comparison` — paired bootstrap test that one model's pass
+  rate exceeds another's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..problems import Difficulty, PromptLevel
+from .harness import CompletionRecord, Sweep
+from .metrics import mean, pass_at_k
+
+
+def _per_problem_counts(
+    records: list[CompletionRecord],
+) -> dict[tuple[int, PromptLevel, float], tuple[int, int]]:
+    """{(problem, level, t): (correct, total)} over a record slice."""
+    counts: dict[tuple[int, PromptLevel, float], tuple[int, int]] = {}
+    for record in records:
+        key = (record.problem, record.level, record.temperature)
+        correct, total = counts.get(key, (0, 0))
+        counts[key] = (correct + record.passed, total + 1)
+    return counts
+
+
+def pass_at_k_curve(
+    sweep: Sweep,
+    model: str,
+    problem: int,
+    level: PromptLevel,
+    temperature: float,
+    max_k: int | None = None,
+) -> dict[int, float]:
+    """pass@k for k = 1..n on one (model, problem, level, t) cell."""
+    records = [
+        r
+        for r in sweep.filter(
+            model=model, problem=problem, level=level, temperature=temperature
+        )
+    ]
+    n = len(records)
+    if n == 0:
+        return {}
+    c = sum(r.passed for r in records)
+    top = min(max_k or n, n)
+    return {k: pass_at_k(n, c, k) for k in range(1, top + 1)}
+
+
+def scenario_pass_at_k(
+    sweep: Sweep,
+    model: str,
+    k: int,
+    difficulty: Difficulty | None = None,
+    level: PromptLevel | None = None,
+    temperature: float = 0.1,
+) -> float:
+    """Mean unbiased pass@k over the problems of a scenario."""
+    records = sweep.filter(
+        model=model, difficulty=difficulty, level=level,
+        temperature=temperature,
+    )
+    values: list[float] = []
+    counts = _per_problem_counts(records)
+    for (_problem, _lvl, _t), (c, n) in sorted(
+        counts.items(), key=lambda kv: (kv[0][0], str(kv[0][1]), kv[0][2])
+    ):
+        if n >= k:
+            values.append(pass_at_k(n, c, k))
+    return mean(values)
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """Percentile bootstrap confidence interval for a pass rate."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_interval(
+    outcomes: list[bool],
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    seed: int = 0,
+) -> BootstrapInterval:
+    """Percentile bootstrap CI on the mean of Bernoulli outcomes."""
+    if not outcomes:
+        return BootstrapInterval(0.0, 0.0, 0.0, confidence)
+    rng = random.Random(seed)
+    n = len(outcomes)
+    point = sum(outcomes) / n
+    stats = sorted(
+        sum(rng.choice(outcomes) for _ in range(n)) / n
+        for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low = stats[int(alpha * resamples)]
+    high = stats[min(resamples - 1, int((1.0 - alpha) * resamples))]
+    return BootstrapInterval(point, low, high, confidence)
+
+
+def model_comparison(
+    sweep: Sweep,
+    model_a: str,
+    model_b: str,
+    metric: str = "passed",
+    resamples: int = 2_000,
+    seed: int = 0,
+) -> float:
+    """P(model_a's rate > model_b's) under a paired bootstrap.
+
+    Returns the fraction of resamples in which model_a wins; ~1.0 means a
+    decisive win, ~0.5 means indistinguishable.
+    """
+    outcomes_a = [
+        getattr(r, metric) for r in sweep.filter(model=model_a)
+    ]
+    outcomes_b = [
+        getattr(r, metric) for r in sweep.filter(model=model_b)
+    ]
+    if not outcomes_a or not outcomes_b:
+        raise ValueError("both models need records in the sweep")
+    rng = random.Random(seed)
+    wins = 0
+    n_a, n_b = len(outcomes_a), len(outcomes_b)
+    for _ in range(resamples):
+        rate_a = sum(rng.choice(outcomes_a) for _ in range(n_a)) / n_a
+        rate_b = sum(rng.choice(outcomes_b) for _ in range(n_b)) / n_b
+        wins += rate_a > rate_b
+    return wins / resamples

@@ -1,0 +1,91 @@
+"""Sweep result export: CSV and JSON for external analysis.
+
+Downstream users (plotting notebooks, the VerilogEval-style leaderboards)
+want raw records, not our rendered ASCII tables.  Exports are stable:
+column order is fixed and enum fields serialize to their string values.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from .harness import CompletionRecord, Sweep
+
+CSV_COLUMNS = (
+    "model", "base_model", "fine_tuned", "problem", "difficulty", "level",
+    "temperature", "n", "sample_index", "compiled", "passed",
+    "inference_seconds",
+)
+
+
+def _row(record: CompletionRecord) -> dict:
+    return {
+        "model": record.model,
+        "base_model": record.base_model,
+        "fine_tuned": record.fine_tuned,
+        "problem": record.problem,
+        "difficulty": str(record.difficulty),
+        "level": str(record.level),
+        "temperature": record.temperature,
+        "n": record.n,
+        "sample_index": record.sample_index,
+        "compiled": record.compiled,
+        "passed": record.passed,
+        "inference_seconds": round(record.inference_seconds, 6),
+    }
+
+
+def sweep_to_csv(sweep: Sweep) -> str:
+    """Render a sweep as CSV text (header + one row per completion)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    for record in sweep.records:
+        writer.writerow(_row(record))
+    return buffer.getvalue()
+
+
+def sweep_to_json(sweep: Sweep, indent: int | None = None) -> str:
+    """Render a sweep as a JSON array of record objects."""
+    return json.dumps([_row(r) for r in sweep.records], indent=indent)
+
+
+def save_sweep(sweep: Sweep, path: str) -> None:
+    """Write a sweep to ``path`` (.csv or .json decides the format)."""
+    if path.endswith(".csv"):
+        payload = sweep_to_csv(sweep)
+    elif path.endswith(".json"):
+        payload = sweep_to_json(sweep)
+    else:
+        raise ValueError(f"unsupported export extension: {path!r}")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def load_sweep_json(payload: str) -> Sweep:
+    """Rebuild a Sweep from :func:`sweep_to_json` output."""
+    from ..problems import Difficulty, PromptLevel
+
+    level_by_value = {str(level): level for level in PromptLevel}
+    difficulty_by_value = {str(d): d for d in Difficulty}
+    records = []
+    for row in json.loads(payload):
+        records.append(
+            CompletionRecord(
+                model=row["model"],
+                base_model=row["base_model"],
+                fine_tuned=bool(row["fine_tuned"]),
+                problem=int(row["problem"]),
+                difficulty=difficulty_by_value[row["difficulty"]],
+                level=level_by_value[row["level"]],
+                temperature=float(row["temperature"]),
+                n=int(row["n"]),
+                sample_index=int(row["sample_index"]),
+                compiled=bool(row["compiled"]),
+                passed=bool(row["passed"]),
+                inference_seconds=float(row["inference_seconds"]),
+            )
+        )
+    return Sweep(records=records)

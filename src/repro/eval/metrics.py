@@ -1,0 +1,42 @@
+"""Pass@(scenario*n) and pass@k metrics (paper Sec. V-B).
+
+The paper characterizes performance "with the Pass@k metric, where k is
+the number of problems in a scenario times n" — i.e. the *fraction* of
+generated completions that pass the gate (compilation for Table III,
+functional tests for Table IV).  The unbiased Codex pass@k estimator is
+also provided for downstream use.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def pass_fraction(outcomes: list[bool]) -> float:
+    """Pass@(scenario*n): fraction of completions passing the gate."""
+    if not outcomes:
+        return 0.0
+    return sum(outcomes) / len(outcomes)
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Unbiased pass@k estimator from the Codex paper (Chen et al. 2021).
+
+    Probability that at least one of k samples drawn (without
+    replacement) from n generated completions, c of which are correct,
+    passes.
+    """
+    if not 0 <= c <= n:
+        raise ValueError("need 0 <= c <= n")
+    if k < 1 or k > n:
+        raise ValueError("need 1 <= k <= n")
+    if c == 0:
+        return 0.0
+    if n - c < k:
+        return 1.0
+    return 1.0 - comb(n - c, k) / comb(n, k)
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,105 @@
+"""Per-completion evaluation: compile gate + functional test bench.
+
+Mirrors the paper's analysis pipeline (Fig. 1, step 8): truncate the
+completion, compile it with the Verilog frontend (Icarus stand-in), and —
+when it compiles — simulate the problem's test bench and grep the output
+for the pass marker.
+
+Evaluations are cached by (problem, truncated completion text): the paper
+notes LLMs "tend to provide similar responses when several completions
+per prompt are requested", so the cache collapses most of the sweep's
+work, exactly like memoizing ``iverilog`` runs on identical files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.base import stable_hash
+from ..problems import PASS_MARKER, Problem, PromptLevel
+from ..verilog import compile_design, run_simulation
+from .truncate import truncate_completion
+
+
+@dataclass(frozen=True)
+class CompletionEvaluation:
+    """Verdict for one completion."""
+
+    compiled: bool
+    passed: bool
+    compile_errors: tuple[str, ...] = ()
+    sim_finished: bool = False
+
+    @property
+    def verdict(self) -> str:
+        if not self.compiled:
+            return "compile-error"
+        return "pass" if self.passed else "test-fail"
+
+
+class Evaluator:
+    """Caching compile+simulate evaluator."""
+
+    def __init__(self, max_time: int = 1_000_000, max_steps: int = 2_000_000):
+        self.max_time = max_time
+        self.max_steps = max_steps
+        self._cache: dict[tuple[int, int], CompletionEvaluation] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def evaluate(
+        self,
+        problem: Problem,
+        completion: str,
+        level: PromptLevel = PromptLevel.LOW,
+    ) -> CompletionEvaluation:
+        """Evaluate one completion against ``problem``.
+
+        ``level`` selects the prompt the completion is appended to; the
+        cache key ignores it because the three prompts differ only in
+        comments and cannot change the verdict.
+        """
+        truncated = truncate_completion(completion)
+        key = (problem.number, stable_hash(truncated))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        result = self._evaluate_uncached(problem, truncated, level)
+        self._cache[key] = result
+        return result
+
+    def _evaluate_uncached(
+        self, problem: Problem, truncated: str, level: PromptLevel
+    ) -> CompletionEvaluation:
+        source = problem.full_source(truncated, level)
+        report = compile_design(source, top=problem.module_name)
+        if not report.ok:
+            return CompletionEvaluation(
+                compiled=False, passed=False,
+                compile_errors=tuple(report.errors),
+            )
+        bench = problem.bench_source(truncated, level)
+        bench_report, sim = run_simulation(
+            bench, top="tb", max_time=self.max_time, max_steps=self.max_steps
+        )
+        if not bench_report.ok or sim is None:
+            # compiles standalone but dies inside the bench (e.g. runaway
+            # loop): counts as compiled, not passed
+            return CompletionEvaluation(
+                compiled=True, passed=False,
+                compile_errors=tuple(bench_report.errors),
+            )
+        passed = sim.finished and PASS_MARKER in sim.text
+        return CompletionEvaluation(
+            compiled=True, passed=passed, sim_finished=sim.finished
+        )
+
+    @property
+    def cache_info(self) -> dict:
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._cache),
+        }

@@ -1,0 +1,68 @@
+"""Prompt engineering (the paper's stated future work, Sec. VI).
+
+For problems 7, 9 and 12 the paper diagnoses *why* completions fail —
+e.g. for the LFSR "the LLMs had trouble concatenating the most
+significant bits with the feedback value ... a better prompt might yield
+a correct result. This indicates the importance of creating the best
+prompt, pointing to prompt engineering as future work."
+
+This module implements that future work: targeted hint lines appended to
+a prompt, phrased as the fix for the diagnosed failure mode.  Hinted
+prompts are recognisable by the ``// hint:`` marker; the calibrated zoo
+responds by lifting the per-problem hardness floor (a hinted model still
+isn't perfect, but the failure is no longer certain), so the hinted-vs-
+plain contrast can be measured with the regular pipeline.
+"""
+
+from __future__ import annotations
+
+from ..problems import Problem, PromptLevel
+
+HINT_MARKER = "// hint:"
+
+# Problem-specific hints, written as the paper's failure analysis implies.
+PROBLEM_HINTS: dict[int, str] = {
+    7: (
+        "// hint: shift out the MSB and concatenate the remaining bits with\n"
+        "// hint: the feedback bit, i.e. q <= {q[3:0], feedback}.\n"
+    ),
+    9: (
+        "// hint: cover every value of the shift amount, including zero;\n"
+        "// hint: the rotated-out bits re-enter at the other end.\n"
+    ),
+    12: (
+        "// hint: f is true exactly on rows 2, 3, 5 and 7; as a sum of\n"
+        "// hint: products this is (~x3 & x2) | (x3 & x1).\n"
+    ),
+}
+
+# Generic nudge used when no targeted hint exists.
+GENERIC_HINT = "// hint: think step by step about each case before writing.\n"
+
+
+def has_hint(prompt: str) -> bool:
+    """Whether a prompt carries an engineering hint."""
+    return HINT_MARKER in prompt
+
+
+def hint_for(problem: Problem) -> str:
+    """The hint text for one problem (targeted if available)."""
+    return PROBLEM_HINTS.get(problem.number, GENERIC_HINT)
+
+
+def engineered_prompt(problem: Problem, level: PromptLevel) -> str:
+    """The level prompt with the problem's hint appended.
+
+    The hint goes *after* the original prompt text so the zoo's
+    level-detection (longest prefix match) still works — mirroring how a
+    user would append clarification to a fixed benchmark prompt.
+    """
+    base = problem.prompt(level).rstrip("\n")
+    return f"{base}\n{hint_for(problem)}"
+
+
+def hint_coverage() -> dict[int, bool]:
+    """{problem number: has targeted hint} for the whole problem set."""
+    from ..problems import ALL_PROBLEMS
+
+    return {p.number: p.number in PROBLEM_HINTS for p in ALL_PROBLEMS}

@@ -1,0 +1,319 @@
+"""Assemble the paper's tables and figures from a sweep (Sec. V).
+
+Every public function returns plain data structures (dicts keyed the way
+the paper's tables are laid out) plus an ASCII rendering helper, so the
+benchmark harness can print the same rows/series the paper reports and
+EXPERIMENTS.md can record paper-vs-measured numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..models.calibration import COMPILE_RATES, FUNCTIONAL_RATES
+from ..problems import Difficulty, PromptLevel
+from .harness import Sweep
+from .metrics import mean
+
+_MODEL_ORDER = (
+    "megatron-355m",
+    "codegen-2b",
+    "codegen-6b",
+    "j1-large-7b",
+    "codegen-16b",
+    "code-davinci-002",
+)
+
+_DIFFICULTIES = (Difficulty.BASIC, Difficulty.INTERMEDIATE, Difficulty.ADVANCED)
+_LEVELS = (PromptLevel.LOW, PromptLevel.MEDIUM, PromptLevel.HIGH)
+
+
+def _variants_in(sweep: Sweep) -> list[tuple[str, bool, str]]:
+    """(base_model, fine_tuned, variant_name) present, in Table order."""
+    seen: dict[tuple[str, bool], str] = {}
+    for record in sweep.records:
+        seen.setdefault((record.base_model, record.fine_tuned), record.model)
+    ordered = []
+    for base in _MODEL_ORDER:
+        for fine_tuned in (False, True):
+            if (base, fine_tuned) in seen:
+                ordered.append((base, fine_tuned, seen[(base, fine_tuned)]))
+    # any models outside Table I (e.g. the trainable substrates) go last
+    for (base, fine_tuned), name in seen.items():
+        if base not in _MODEL_ORDER:
+            ordered.append((base, fine_tuned, name))
+    return ordered
+
+
+# ----------------------------------------------------------------------
+# Table III — compile Pass@(scenario*10)
+# ----------------------------------------------------------------------
+def table3(sweep: Sweep, n: int = 10) -> dict:
+    """{(base, fine_tuned): {difficulty: measured compile rate}}."""
+    table: dict[tuple[str, bool], dict[Difficulty, float]] = {}
+    for base, fine_tuned, name in _variants_in(sweep):
+        row: dict[Difficulty, float] = {}
+        for difficulty in _DIFFICULTIES:
+            per_level = []
+            for level in _LEVELS:
+                _, rate = sweep.best_temperature(
+                    name, difficulty, level, n, metric="compiled"
+                )
+                per_level.append(rate)
+            row[difficulty] = mean(per_level)
+        table[(base, fine_tuned)] = row
+    return table
+
+
+def render_table3(table: dict, reference: bool = True) -> str:
+    """ASCII rendering, with the paper's values alongside when known."""
+    lines = [
+        "Table III — Pass@(scenario*10), compiled completions",
+        f"{'Model':<18} {'Type':<4} {'Basic':>14} {'Intermed':>14} {'Advanced':>14}",
+    ]
+    for (base, fine_tuned), row in table.items():
+        cells = []
+        for difficulty in _DIFFICULTIES:
+            measured = row[difficulty]
+            ref = COMPILE_RATES.get((base, fine_tuned), {}).get(difficulty)
+            if reference and ref is not None:
+                cells.append(f"{measured:.3f} ({ref:.3f})")
+            else:
+                cells.append(f"{measured:.3f}")
+        kind = "FT" if fine_tuned else "PT"
+        lines.append(
+            f"{base:<18} {kind:<4} {cells[0]:>14} {cells[1]:>14} {cells[2]:>14}"
+        )
+    lines.append("(measured (paper))" if reference else "")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table IV — functional Pass@(scenario*10) + inference time
+# ----------------------------------------------------------------------
+def table4(sweep: Sweep, n: int = 10) -> dict:
+    """{(base, ft): {"time": s, difficulty: {level: rate}}}."""
+    table: dict = {}
+    for base, fine_tuned, name in _variants_in(sweep):
+        row: dict = {"time": sweep.mean_inference_seconds(name)}
+        for difficulty in _DIFFICULTIES:
+            row[difficulty] = {}
+            for level in _LEVELS:
+                _, rate = sweep.best_temperature(
+                    name, difficulty, level, n, metric="passed"
+                )
+                row[difficulty][level] = rate
+        table[(base, fine_tuned)] = row
+    return table
+
+
+def render_table4(table: dict, reference: bool = True) -> str:
+    header = (
+        f"{'Model':<18} {'Type':<4} {'Time(s)':>8} "
+        + " ".join(
+            f"{d.value[:5]}-{lv.value:>1}" + "      "
+            for d in _DIFFICULTIES
+            for lv in _LEVELS
+        )
+    )
+    lines = [
+        "Table IV — Pass@(scenario*10), test-bench passing completions",
+        header,
+    ]
+    for (base, fine_tuned), row in table.items():
+        cells = []
+        for difficulty in _DIFFICULTIES:
+            for level in _LEVELS:
+                measured = row[difficulty][level]
+                ref = (
+                    FUNCTIONAL_RATES.get((base, fine_tuned), {})
+                    .get(difficulty, {})
+                    .get(level)
+                )
+                if reference and ref is not None:
+                    cells.append(f"{measured:.3f}({ref:.3f})")
+                else:
+                    cells.append(f"{measured:.3f}")
+        kind = "FT" if fine_tuned else "PT"
+        lines.append(
+            f"{base:<18} {kind:<4} {row['time']:>8.3f} " + " ".join(cells)
+        )
+    lines.append("(measured(paper))" if reference else "")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — pass rate vs temperature and vs n
+# ----------------------------------------------------------------------
+def fig6_temperature(sweep: Sweep, n: int = 10) -> dict[str, dict[float, float]]:
+    """{model: {temperature: overall pass rate}} (left panel)."""
+    series: dict[str, dict[float, float]] = {}
+    for model in sweep.model_names():
+        series[model] = {}
+        for t in sweep.temperatures():
+            slice_ = sweep.filter(model=model, temperature=t, n=n)
+            if slice_:
+                series[model][t] = Sweep.rate(slice_, "passed")
+    return series
+
+
+def fig6_completions(sweep: Sweep) -> dict[str, dict[int, float]]:
+    """{model: {n: best-t overall pass rate}} (right panel)."""
+    series: dict[str, dict[int, float]] = {}
+    ns = sorted({r.n for r in sweep.records})
+    for model in sweep.model_names():
+        series[model] = {}
+        for n in ns:
+            rates = []
+            for difficulty in _DIFFICULTIES:
+                for level in _LEVELS:
+                    _, rate = sweep.best_temperature(
+                        model, difficulty, level, n, metric="passed"
+                    )
+                    rates.append(rate)
+            if any(sweep.filter(model=model, n=n)):
+                series[model][n] = mean(rates)
+    return series
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — pass rate vs difficulty and vs description level
+# ----------------------------------------------------------------------
+def fig7_difficulty(sweep: Sweep, n: int = 10) -> dict[str, dict[Difficulty, float]]:
+    """{model: {difficulty: best-t pass rate}} (right panel)."""
+    series: dict[str, dict[Difficulty, float]] = {}
+    for model in sweep.model_names():
+        series[model] = {}
+        for difficulty in _DIFFICULTIES:
+            rates = [
+                sweep.best_temperature(model, difficulty, level, n)[1]
+                for level in _LEVELS
+            ]
+            series[model][difficulty] = mean(rates)
+    return series
+
+
+def fig7_levels(sweep: Sweep, n: int = 10) -> dict[str, dict[PromptLevel, float]]:
+    """{model: {level: best-t pass rate}} (left panel)."""
+    series: dict[str, dict[PromptLevel, float]] = {}
+    for model in sweep.model_names():
+        series[model] = {}
+        for level in _LEVELS:
+            rates = [
+                sweep.best_temperature(model, difficulty, level, n)[1]
+                for difficulty in _DIFFICULTIES
+            ]
+            series[model][level] = mean(rates)
+    return series
+
+
+def render_series(title: str, series: dict, x_format=str) -> str:
+    """ASCII rendering of a {model: {x: rate}} family of curves."""
+    lines = [title]
+    for model, curve in sorted(series.items()):
+        points = "  ".join(
+            f"{x_format(x)}:{rate:.3f}" for x, rate in sorted(curve.items(), key=lambda kv: str(kv[0]))
+        )
+        lines.append(f"  {model:<24} {points}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Headline numbers (Sec. VI / VII)
+# ----------------------------------------------------------------------
+@dataclass
+class Headline:
+    """The paper's summary statistics, measured on a sweep."""
+
+    pt_compile_mean: float  # paper: 0.119
+    ft_compile_mean: float  # paper: 0.646
+    pt_functional_mean: float  # paper: 0.0109
+    ft_functional_mean: float  # paper: 0.270
+    best_ft_overall: float  # codegen-16b FT, paper: 0.419
+    codex_overall: float  # code-davinci-002, paper: 0.354
+    paper_reference: dict = field(
+        default_factory=lambda: {
+            "pt_compile_mean": 0.119,
+            "ft_compile_mean": 0.646,
+            "pt_functional_mean": 0.0109,
+            "ft_functional_mean": 0.270,
+            "best_ft_overall": 0.419,
+            "codex_overall": 0.354,
+        }
+    )
+
+
+def headline_numbers(sweep: Sweep, n: int = 10) -> Headline:
+    """Compute the Sec. VI/VII aggregates (codex excluded from PT/FT means,
+    matching how the paper's 11.9%/64.6%/1.09%/27.0% figures are formed)."""
+    compile_table = table3(sweep, n)
+    functional_table = table4(sweep, n)
+
+    def cells3(fine_tuned: bool) -> list[float]:
+        return [
+            rate
+            for (base, ft), row in compile_table.items()
+            if ft == fine_tuned and base != "code-davinci-002"
+            and base in _MODEL_ORDER
+            for rate in row.values()
+        ]
+
+    def cells4(fine_tuned: bool) -> list[float]:
+        return [
+            rate
+            for (base, ft), row in functional_table.items()
+            if ft == fine_tuned and base != "code-davinci-002"
+            and base in _MODEL_ORDER
+            for difficulty in _DIFFICULTIES
+            for rate in row[difficulty].values()
+        ]
+
+    def overall(base: str, fine_tuned: bool) -> float:
+        row = functional_table.get((base, fine_tuned))
+        if row is None:
+            return 0.0
+        return mean(
+            [
+                row[difficulty][level]
+                for difficulty in _DIFFICULTIES
+                for level in _LEVELS
+            ]
+        )
+
+    return Headline(
+        pt_compile_mean=mean(cells3(False)),
+        ft_compile_mean=mean(cells3(True)),
+        pt_functional_mean=mean(cells4(False)),
+        ft_functional_mean=mean(cells4(True)),
+        best_ft_overall=overall("codegen-16b", True),
+        codex_overall=overall("code-davinci-002", False),
+    )
+
+
+def render_headline(headline: Headline) -> str:
+    ref = headline.paper_reference
+    rows = [
+        ("PT compile mean", headline.pt_compile_mean, ref["pt_compile_mean"]),
+        ("FT compile mean", headline.ft_compile_mean, ref["ft_compile_mean"]),
+        ("PT functional mean", headline.pt_functional_mean, ref["pt_functional_mean"]),
+        ("FT functional mean", headline.ft_functional_mean, ref["ft_functional_mean"]),
+        ("CodeGen-16B FT overall", headline.best_ft_overall, ref["best_ft_overall"]),
+        ("code-davinci-002 overall", headline.codex_overall, ref["codex_overall"]),
+    ]
+    lines = ["Headline numbers (Sec. VI/VII)",
+             f"{'metric':<26} {'measured':>9} {'paper':>9}"]
+    for label, measured, paper in rows:
+        lines.append(f"{label:<26} {measured:>9.3f} {paper:>9.3f}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Per-problem failure analysis (Sec. VI)
+# ----------------------------------------------------------------------
+def per_problem_pass_counts(sweep: Sweep, model: str) -> dict[int, tuple[int, int]]:
+    """{problem number: (passes, completions)} for one model variant."""
+    out: dict[int, tuple[int, int]] = {}
+    for record in sweep.filter(model=model):
+        passes, total = out.get(record.problem, (0, 0))
+        out[record.problem] = (passes + record.passed, total + 1)
+    return dict(sorted(out.items()))

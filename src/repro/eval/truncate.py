@@ -1,0 +1,29 @@
+"""Completion truncation (paper Sec. IV, step 7 of Fig. 1).
+
+"The LLM-produced code completions on the problem are then truncated at
+keywords ``end`` and ``endmodule``" — i.e. everything after the module's
+closing keyword (explanatory prose, further modules, repeated prompts) is
+discarded before compilation.
+"""
+
+from __future__ import annotations
+
+import re
+
+_ENDMODULE_RE = re.compile(r"\bendmodule\b")
+
+
+def truncate_completion(text: str) -> str:
+    """Keep the completion up to and including the first ``endmodule``.
+
+    A completion with no ``endmodule`` is returned unchanged (it will fail
+    the compile gate on its own).
+    """
+    match = _ENDMODULE_RE.search(text)
+    if match is None:
+        return text
+    return text[: match.end()]
+
+
+def has_endmodule(text: str) -> bool:
+    return _ENDMODULE_RE.search(text) is not None

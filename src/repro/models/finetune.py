@@ -1,0 +1,125 @@
+"""Fine-tuning harness (paper Sec. III-C).
+
+Two paths, matching the substitution documented in DESIGN.md:
+
+* *real* fine-tuning — train the CPU-scale substrates (n-gram LM, tiny
+  transformer) on a built Verilog corpus; returns the trained model plus
+  a :class:`FineTuneReport` with losses/perplexities;
+* *zoo* fine-tuning — flip a Table-I model from its PT calibration to its
+  FT calibration, optionally with the GitHub+books corpus (the paper's
+  ablation), standing in for the multi-GPU DeepSpeed runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..corpus import CorpusConfig, TrainingCorpus, build_corpus
+from ..tokenizer import BPETokenizer
+from .base import MODEL_SPECS
+from .ngram import NGramModel
+from .transformer import TransformerConfig, TransformerLM
+from .zoo import SimulatedLLM, make_model
+
+
+@dataclass
+class FineTuneReport:
+    """What a fine-tuning run produced."""
+
+    model_name: str
+    corpus_files: int
+    corpus_bytes: int
+    wall_seconds: float
+    losses: list[float] = field(default_factory=list)
+    perplexity_before: float | None = None
+    perplexity_after: float | None = None
+
+
+def train_tokenizer(
+    corpus: TrainingCorpus, vocab_size: int = 768
+) -> BPETokenizer:
+    """Train the shared BPE tokenizer on a corpus."""
+    return BPETokenizer.train(corpus.text, vocab_size=vocab_size)
+
+
+def finetune_ngram(
+    corpus: TrainingCorpus,
+    tokenizer: BPETokenizer | None = None,
+    order: int = 4,
+    holdout: str | None = None,
+) -> tuple[NGramModel, FineTuneReport]:
+    """Train the n-gram substrate on a corpus."""
+    start = time.perf_counter()
+    tokenizer = tokenizer or train_tokenizer(corpus)
+    model = NGramModel(tokenizer=tokenizer, order=order, name="ngram-verilog")
+    before = model.perplexity(holdout) if holdout else None
+    model.fit(corpus.text)
+    after = model.perplexity(holdout) if holdout else None
+    report = FineTuneReport(
+        model_name=model.name,
+        corpus_files=len(corpus.corpus),
+        corpus_bytes=corpus.corpus.total_bytes,
+        wall_seconds=time.perf_counter() - start,
+        perplexity_before=before,
+        perplexity_after=after,
+    )
+    return model, report
+
+
+def finetune_transformer(
+    corpus: TrainingCorpus,
+    tokenizer: BPETokenizer | None = None,
+    steps: int = 100,
+    lr: float = 1e-3,
+    config: TransformerConfig | None = None,
+    seed: int = 0,
+) -> tuple[TransformerLM, FineTuneReport]:
+    """Gradient-train the tiny transformer substrate on a corpus."""
+    start = time.perf_counter()
+    tokenizer = tokenizer or train_tokenizer(corpus)
+    config = config or TransformerConfig(
+        vocab_size=tokenizer.vocab_size, d_model=64, n_heads=4, n_layers=2
+    )
+    model = TransformerLM(
+        tokenizer, config, seed=seed, name="transformer-verilog"
+    )
+    losses = model.fit(corpus.text, steps=steps, lr=lr)
+    report = FineTuneReport(
+        model_name=model.name,
+        corpus_files=len(corpus.corpus),
+        corpus_bytes=corpus.corpus.total_bytes,
+        wall_seconds=time.perf_counter() - start,
+        losses=losses,
+    )
+    return model, report
+
+
+def finetune_zoo_model(
+    name: str,
+    corpus_config: CorpusConfig | None = None,
+    seed: int = 0,
+) -> tuple[SimulatedLLM, FineTuneReport]:
+    """"Fine-tune" a Table-I model: build the corpus, flip PT -> FT.
+
+    The returned model carries the corpus flavour (GitHub only vs
+    GitHub+books) so the ablation benchmark can compare both.
+    """
+    if name not in MODEL_SPECS:
+        raise KeyError(f"unknown model {name!r}")
+    start = time.perf_counter()
+    corpus_config = corpus_config or CorpusConfig()
+    corpus = build_corpus(corpus_config)
+    model = make_model(
+        name,
+        fine_tuned=True,
+        textbook_corpus=corpus_config.include_textbooks,
+        seed=seed,
+    )
+    report = FineTuneReport(
+        model_name=model.name,
+        corpus_files=len(corpus.corpus),
+        corpus_bytes=corpus.corpus.total_bytes,
+        wall_seconds=time.perf_counter() - start,
+    )
+    return model, report

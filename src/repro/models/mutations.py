@@ -1,0 +1,145 @@
+"""Defect injectors for simulated completions.
+
+Two families, mirroring the paper's observed failure classes:
+
+* *syntax mutators* — turn a well-formed completion body into one our
+  compiler rejects (missing semicolons, unbalanced begin/end, misspelled
+  keywords, truncation before ``endmodule``, undeclared identifiers);
+* *cosmetic variants* — semantics-preserving rewrites (comments,
+  whitespace) giving the "similar responses when several completions per
+  prompt are requested" texture the paper describes, while keeping the
+  number of distinct texts small enough to cache evaluations.
+
+Every syntax mutator is verified in tests to fail ``compile_design`` for
+every problem body it is applied to.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+
+def drop_semicolon(body: str, rng: random.Random) -> str:
+    """Remove one semicolon."""
+    positions = [i for i, ch in enumerate(body) if ch == ";"]
+    if not positions:
+        return body + "\nwire"  # force an error anyway
+    cut = rng.choice(positions)
+    return body[:cut] + body[cut + 1:]
+
+
+def drop_end(body: str, rng: random.Random) -> str:
+    """Remove one ``end`` keyword (keeps ``endmodule``)."""
+    matches = [m for m in re.finditer(r"\bend\b", body)]
+    if not matches:
+        return misspell_keyword(body, rng)
+    chosen = rng.choice(matches)
+    return body[: chosen.start()] + body[chosen.end():]
+
+
+def misspell_keyword(body: str, rng: random.Random) -> str:
+    """Misspell a structural keyword."""
+    swaps = [
+        (r"\bendmodule\b", "endmodul"),
+        (r"\balways\b", "alway s"),
+        (r"\bassign\b", "assing ="),
+        (r"\bbegin\b", "begn ("),
+    ]
+    rng.shuffle(swaps)
+    for pattern, replacement in swaps:
+        if re.search(pattern, body):
+            return re.sub(pattern, replacement, body, count=1)
+    return body + "\nendmodul"
+
+
+def unclosed_paren(body: str, rng: random.Random) -> str:
+    """Remove one closing parenthesis."""
+    positions = [i for i, ch in enumerate(body) if ch == ")"]
+    if not positions:
+        return drop_semicolon(body, rng)
+    cut = rng.choice(positions)
+    return body[:cut] + body[cut + 1:]
+
+
+def truncate_mid_statement(body: str, rng: random.Random) -> str:
+    """Cut the body off before ``endmodule`` (token-budget exhaustion)."""
+    end = body.find("endmodule")
+    if end <= 4:
+        return body[: max(1, len(body) // 3)]
+    cut = rng.randrange(max(1, end // 2), end - 2)
+    return body[:cut]
+
+
+def undeclared_identifier(body: str, rng: random.Random) -> str:
+    """Reference a signal that was never declared (elaboration error)."""
+    insert_at = body.find("endmodule")
+    stmt = "  assign phantom_net_q = undeclared_signal_xyz;\n"
+    if insert_at < 0:
+        return stmt + body
+    return body[:insert_at] + stmt + body[insert_at:]
+
+
+def keyword_as_identifier(body: str, rng: random.Random) -> str:
+    """Declare a net whose name is a reserved word (parse error)."""
+    insert_at = body.find("endmodule")
+    stmt = "  wire module;\n"
+    if insert_at < 0:
+        return stmt + body
+    return body[:insert_at] + stmt + body[insert_at:]
+
+
+SYNTAX_MUTATORS = (
+    drop_semicolon,
+    drop_end,
+    misspell_keyword,
+    unclosed_paren,
+    truncate_mid_statement,
+    undeclared_identifier,
+    keyword_as_identifier,
+)
+
+
+def break_syntax(body: str, rng: random.Random) -> str:
+    """Apply one randomly-chosen syntax mutator."""
+    mutator = rng.choice(SYNTAX_MUTATORS)
+    return mutator(body, rng)
+
+
+# ----------------------------------------------------------------------
+# Cosmetic (semantics-preserving) variation
+# ----------------------------------------------------------------------
+_COMMENT_BANK = (
+    "",
+    "  // synthesizable implementation\n",
+    "  // generated completion\n",
+    "  // behavioural model\n",
+)
+
+_TRAILERS = (
+    "",
+    "\n// end of module\n",
+    "\n\nmodule scratch(); endmodule\n",  # trailing junk the harness truncates
+    "\n// The module above implements the requested behaviour.\n",
+)
+
+
+def cosmetic_variant(body: str, rng: random.Random) -> str:
+    """One of a small, finite set of equivalent presentations of ``body``.
+
+    The set is deliberately tiny (|comments| x |trailers| = 16) so the
+    evaluation cache collapses repeated completions, just as the paper
+    notes that "LLMs tend to provide similar responses".
+    """
+    comment = rng.choice(_COMMENT_BANK)
+    trailer = rng.choice(_TRAILERS)
+    return comment + body.rstrip("\n") + trailer
+
+
+def broken_completion(body: str, rng: random.Random) -> str:
+    """A syntax-broken completion: comment prefix + mutated raw body.
+
+    Trailers are deliberately *not* added: truncation at the first
+    ``endmodule`` must never be able to discard the injected defect.
+    """
+    return rng.choice(_COMMENT_BANK) + break_syntax(body, rng)

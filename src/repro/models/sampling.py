@@ -1,0 +1,52 @@
+"""Temperature and nucleus (top-p) sampling over next-token distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def apply_temperature(logits: np.ndarray, temperature: float) -> np.ndarray:
+    """Scale logits by 1/temperature (temperature > 0)."""
+    if temperature <= 0:
+        raise ValueError("temperature must be > 0")
+    return logits / temperature
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits)
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def nucleus_filter(probs: np.ndarray, top_p: float) -> np.ndarray:
+    """Zero out tokens outside the smallest set with mass >= top_p."""
+    if not 0 < top_p <= 1:
+        raise ValueError("top_p must be in (0, 1]")
+    if top_p == 1.0:
+        return probs
+    order = np.argsort(probs)[::-1]
+    sorted_probs = probs[order]
+    cumulative = np.cumsum(sorted_probs)
+    cutoff = int(np.searchsorted(cumulative, top_p) + 1)
+    keep = order[:cutoff]
+    filtered = np.zeros_like(probs)
+    filtered[keep] = probs[keep]
+    total = filtered.sum()
+    if total <= 0:
+        # degenerate distribution: fall back to argmax
+        filtered[order[0]] = 1.0
+        return filtered
+    return filtered / total
+
+
+def sample_token(
+    logits: np.ndarray,
+    temperature: float,
+    top_p: float,
+    rng: np.random.Generator,
+) -> int:
+    """Draw one token id from logits with temperature + nucleus sampling."""
+    probs = softmax(apply_temperature(np.asarray(logits, dtype=np.float64), temperature))
+    probs = nucleus_filter(probs, top_p)
+    return int(rng.choice(len(probs), p=probs))

@@ -1,0 +1,370 @@
+"""A miniature GPT-style transformer LM in pure numpy (forward + backprop).
+
+This is the second real trainable substrate (beside the n-gram LM): a
+causal decoder with learned position embeddings, pre-norm blocks,
+multi-head attention, GELU MLPs and tied input/output embeddings, trained
+with Adam.  It is intentionally tiny — the point is to exercise genuine
+gradient-based fine-tuning on the Verilog corpus inside the same
+:class:`~repro.models.base.LanguageModel` interface the paper's 16B
+models implement, not to compete with them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tokenizer import BPETokenizer
+from .base import Completion, GenerationConfig, LanguageModel, stable_hash
+from .sampling import nucleus_filter
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyperparameters."""
+
+    vocab_size: int
+    d_model: int = 64
+    n_heads: int = 4
+    n_layers: int = 2
+    context: int = 128
+    mlp_ratio: int = 4
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must be divisible by n_heads")
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x**3)))
+
+
+def _gelu_grad(x: np.ndarray) -> np.ndarray:
+    tanh_arg = 0.7978845608 * (x + 0.044715 * x**3)
+    tanh_val = np.tanh(tanh_arg)
+    sech2 = 1.0 - tanh_val**2
+    return 0.5 * (1.0 + tanh_val) + 0.5 * x * sech2 * 0.7978845608 * (
+        1.0 + 3 * 0.044715 * x**2
+    )
+
+
+class _LayerNorm:
+    """Layer norm with cached stats for backprop."""
+
+    @staticmethod
+    def forward(x, gamma, beta, eps=1e-5):
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        norm = (x - mean) / np.sqrt(var + eps)
+        return norm * gamma + beta, (norm, var, eps)
+
+    @staticmethod
+    def backward(dout, cache, gamma):
+        norm, var, eps = cache
+        d = norm.shape[-1]
+        dnorm = dout * gamma
+        dgamma = (dout * norm).sum(axis=0)
+        dbeta = dout.sum(axis=0)
+        inv_std = 1.0 / np.sqrt(var + eps)
+        dx = (
+            dnorm
+            - dnorm.mean(axis=-1, keepdims=True)
+            - norm * (dnorm * norm).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        return dx, dgamma, dbeta
+
+
+class TransformerLM(LanguageModel):
+    """Trainable numpy transformer (single-sequence steps, Adam)."""
+
+    def __init__(
+        self,
+        tokenizer: BPETokenizer,
+        config: TransformerConfig | None = None,
+        seed: int = 0,
+        name: str = "tiny-transformer",
+    ):
+        self.tokenizer = tokenizer
+        self.config = config or TransformerConfig(vocab_size=tokenizer.vocab_size)
+        if self.config.vocab_size < tokenizer.vocab_size:
+            raise ValueError("config vocab smaller than tokenizer vocab")
+        self.name = name
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.params = self._init_params()
+        self._adam_m = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._adam_v = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._adam_t = 0
+
+    # ------------------------------------------------------------------
+    def _init_params(self) -> dict[str, np.ndarray]:
+        cfg = self.config
+        scale = 0.02
+        params: dict[str, np.ndarray] = {
+            "wte": self._rng.normal(0, scale, (cfg.vocab_size, cfg.d_model)),
+            "wpe": self._rng.normal(0, scale, (cfg.context, cfg.d_model)),
+            "lnf_g": np.ones(cfg.d_model),
+            "lnf_b": np.zeros(cfg.d_model),
+        }
+        hidden = cfg.d_model * cfg.mlp_ratio
+        for layer in range(cfg.n_layers):
+            prefix = f"h{layer}."
+            params[prefix + "ln1_g"] = np.ones(cfg.d_model)
+            params[prefix + "ln1_b"] = np.zeros(cfg.d_model)
+            params[prefix + "qkv_w"] = self._rng.normal(
+                0, scale, (cfg.d_model, 3 * cfg.d_model)
+            )
+            params[prefix + "qkv_b"] = np.zeros(3 * cfg.d_model)
+            params[prefix + "proj_w"] = self._rng.normal(
+                0, scale, (cfg.d_model, cfg.d_model)
+            )
+            params[prefix + "proj_b"] = np.zeros(cfg.d_model)
+            params[prefix + "ln2_g"] = np.ones(cfg.d_model)
+            params[prefix + "ln2_b"] = np.zeros(cfg.d_model)
+            params[prefix + "mlp1_w"] = self._rng.normal(
+                0, scale, (cfg.d_model, hidden)
+            )
+            params[prefix + "mlp1_b"] = np.zeros(hidden)
+            params[prefix + "mlp2_w"] = self._rng.normal(
+                0, scale, (hidden, cfg.d_model)
+            )
+            params[prefix + "mlp2_b"] = np.zeros(cfg.d_model)
+        return params
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(v.size for v in self.params.values())
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def _forward(self, tokens: np.ndarray, want_cache: bool):
+        cfg = self.config
+        p = self.params
+        seq_len = len(tokens)
+        x = p["wte"][tokens] + p["wpe"][:seq_len]
+        caches = []
+        head_dim = cfg.d_model // cfg.n_heads
+        mask = np.tril(np.ones((seq_len, seq_len), dtype=bool))
+        for layer in range(cfg.n_layers):
+            prefix = f"h{layer}."
+            ln1, ln1_cache = _LayerNorm.forward(
+                x, p[prefix + "ln1_g"], p[prefix + "ln1_b"]
+            )
+            qkv = ln1 @ p[prefix + "qkv_w"] + p[prefix + "qkv_b"]
+            q, k, v = np.split(qkv, 3, axis=-1)
+            q = q.reshape(seq_len, cfg.n_heads, head_dim).transpose(1, 0, 2)
+            k = k.reshape(seq_len, cfg.n_heads, head_dim).transpose(1, 0, 2)
+            v = v.reshape(seq_len, cfg.n_heads, head_dim).transpose(1, 0, 2)
+            scores = q @ k.transpose(0, 2, 1) / np.sqrt(head_dim)
+            scores = np.where(mask[None, :, :], scores, -1e9)
+            scores -= scores.max(axis=-1, keepdims=True)
+            att = np.exp(scores)
+            att /= att.sum(axis=-1, keepdims=True)
+            context = att @ v
+            merged = context.transpose(1, 0, 2).reshape(seq_len, cfg.d_model)
+            attn_out = merged @ p[prefix + "proj_w"] + p[prefix + "proj_b"]
+            x1 = x + attn_out
+            ln2, ln2_cache = _LayerNorm.forward(
+                x1, p[prefix + "ln2_g"], p[prefix + "ln2_b"]
+            )
+            pre_act = ln2 @ p[prefix + "mlp1_w"] + p[prefix + "mlp1_b"]
+            act = _gelu(pre_act)
+            mlp_out = act @ p[prefix + "mlp2_w"] + p[prefix + "mlp2_b"]
+            x2 = x1 + mlp_out
+            if want_cache:
+                caches.append(
+                    dict(
+                        x=x, ln1=ln1, ln1_cache=ln1_cache, q=q, k=k, v=v,
+                        att=att, merged=merged, x1=x1, ln2=ln2,
+                        ln2_cache=ln2_cache, pre_act=pre_act, act=act,
+                    )
+                )
+            x = x2
+        final, lnf_cache = _LayerNorm.forward(x, p["lnf_g"], p["lnf_b"])
+        logits = final @ p["wte"].T
+        if want_cache:
+            return logits, dict(
+                tokens=tokens, final=final, lnf_cache=lnf_cache,
+                last_x=x, layers=caches, mask=mask,
+            )
+        return logits, None
+
+    def logits(self, tokens: list[int]) -> np.ndarray:
+        """Next-token logits at every position."""
+        clipped = np.asarray(tokens[-self.config.context:], dtype=np.int64)
+        out, _ = self._forward(clipped, want_cache=False)
+        return out
+
+    # ------------------------------------------------------------------
+    # Loss and backprop
+    # ------------------------------------------------------------------
+    def loss_and_grads(self, tokens: list[int]):
+        """Cross-entropy of next-token prediction plus parameter grads."""
+        cfg = self.config
+        p = self.params
+        seq = np.asarray(tokens[: cfg.context], dtype=np.int64)
+        if len(seq) < 2:
+            raise ValueError("need at least 2 tokens")
+        inputs, targets = seq[:-1], seq[1:]
+        logits, cache = self._forward(inputs, want_cache=True)
+        seq_len = len(inputs)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=-1, keepdims=True)
+        loss = -np.log(
+            np.maximum(probs[np.arange(seq_len), targets], 1e-12)
+        ).mean()
+
+        grads = {k: np.zeros_like(v) for k, v in p.items()}
+        dlogits = probs.copy()
+        dlogits[np.arange(seq_len), targets] -= 1.0
+        dlogits /= seq_len
+
+        grads["wte"] += dlogits.T @ cache["final"]
+        dfinal = dlogits @ p["wte"]
+        dx, dg, db = _LayerNorm.backward(dfinal, cache["lnf_cache"], p["lnf_g"])
+        grads["lnf_g"] += dg
+        grads["lnf_b"] += db
+
+        head_dim = cfg.d_model // cfg.n_heads
+        for layer in reversed(range(cfg.n_layers)):
+            prefix = f"h{layer}."
+            c = cache["layers"][layer]
+            # x2 = x1 + mlp_out
+            dmlp_out = dx
+            grads[prefix + "mlp2_w"] += c["act"].T @ dmlp_out
+            grads[prefix + "mlp2_b"] += dmlp_out.sum(axis=0)
+            dact = dmlp_out @ p[prefix + "mlp2_w"].T
+            dpre = dact * _gelu_grad(c["pre_act"])
+            grads[prefix + "mlp1_w"] += c["ln2"].T @ dpre
+            grads[prefix + "mlp1_b"] += dpre.sum(axis=0)
+            dln2 = dpre @ p[prefix + "mlp1_w"].T
+            dx1_from_ln, dg2, db2 = _LayerNorm.backward(
+                dln2, c["ln2_cache"], p[prefix + "ln2_g"]
+            )
+            grads[prefix + "ln2_g"] += dg2
+            grads[prefix + "ln2_b"] += db2
+            dx1 = dx + dx1_from_ln
+            # x1 = x + attn_out
+            dattn_out = dx1
+            grads[prefix + "proj_w"] += c["merged"].T @ dattn_out
+            grads[prefix + "proj_b"] += dattn_out.sum(axis=0)
+            dmerged = dattn_out @ p[prefix + "proj_w"].T
+            dcontext = dmerged.reshape(seq_len, cfg.n_heads, head_dim).transpose(
+                1, 0, 2
+            )
+            datt = dcontext @ c["v"].transpose(0, 2, 1)
+            dv = c["att"].transpose(0, 2, 1) @ dcontext
+            # softmax backward (rows)
+            att = c["att"]
+            dscores = att * (datt - (datt * att).sum(axis=-1, keepdims=True))
+            dscores /= np.sqrt(head_dim)
+            dq = dscores @ c["k"]
+            dk = dscores.transpose(0, 2, 1) @ c["q"]
+            dqkv = np.concatenate(
+                [
+                    dq.transpose(1, 0, 2).reshape(seq_len, cfg.d_model),
+                    dk.transpose(1, 0, 2).reshape(seq_len, cfg.d_model),
+                    dv.transpose(1, 0, 2).reshape(seq_len, cfg.d_model),
+                ],
+                axis=-1,
+            )
+            grads[prefix + "qkv_w"] += c["ln1"].T @ dqkv
+            grads[prefix + "qkv_b"] += dqkv.sum(axis=0)
+            dln1 = dqkv @ p[prefix + "qkv_w"].T
+            dx_from_ln, dg1, db1 = _LayerNorm.backward(
+                dln1, c["ln1_cache"], p[prefix + "ln1_g"]
+            )
+            grads[prefix + "ln1_g"] += dg1
+            grads[prefix + "ln1_b"] += db1
+            dx = dx1 + dx_from_ln
+
+        grads["wte"][cache["tokens"]] += dx
+        grads["wpe"][: len(cache["tokens"])] += dx
+        return float(loss), grads
+
+    def adam_step(self, grads, lr=1e-3, beta1=0.9, beta2=0.999, eps=1e-8):
+        """One Adam update over all parameters."""
+        self._adam_t += 1
+        t = self._adam_t
+        for key, grad in grads.items():
+            m = self._adam_m[key]
+            v = self._adam_v[key]
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad * grad
+            m_hat = m / (1 - beta1**t)
+            v_hat = v / (1 - beta2**t)
+            self.params[key] -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    def fit(
+        self,
+        text: str,
+        steps: int = 50,
+        lr: float = 1e-3,
+        window: int | None = None,
+    ) -> list[float]:
+        """Train on sliding windows of ``text``; returns per-step losses."""
+        tokens = self.tokenizer.encode(text)
+        window = window or self.config.context
+        if len(tokens) < 8:
+            raise ValueError("training text too short")
+        losses = []
+        for step in range(steps):
+            if len(tokens) <= window:
+                start = 0
+            else:
+                start = int(self._rng.integers(0, len(tokens) - window))
+            chunk = tokens[start : start + window]
+            if len(chunk) < 2:
+                continue
+            loss, grads = self.loss_and_grads(chunk)
+            self.adam_step(grads, lr=lr)
+            losses.append(loss)
+        return losses
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, prompt: str, config: GenerationConfig) -> list[Completion]:
+        rng = np.random.default_rng(
+            [self.seed, stable_hash(prompt) & 0xFFFFFFFF, int(config.temperature * 1000)]
+        )
+        completions = []
+        prompt_tokens = self.tokenizer.encode(prompt)
+        for _ in range(config.n):
+            start = time.perf_counter()
+            generated: list[int] = []
+            for _ in range(config.max_tokens):
+                logits = self.logits(prompt_tokens + generated)[-1]
+                scaled = logits / config.temperature
+                shifted = np.exp(scaled - scaled.max())
+                probs = nucleus_filter(shifted / shifted.sum(), config.top_p)
+                generated.append(int(rng.choice(len(probs), p=probs)))
+            completions.append(
+                Completion(
+                    text=self.tokenizer.decode(generated),
+                    inference_seconds=time.perf_counter() - start,
+                    tokens=len(generated),
+                )
+            )
+        return completions
+
+
+@dataclass
+class TrainingReport:
+    """Losses from a fit run, for examples/benchmarks."""
+
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def initial(self) -> float:
+        return self.losses[0] if self.losses else float("nan")
+
+    @property
+    def final(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")

@@ -1,0 +1,25 @@
+"""The 17-problem Verilog benchmark set of the paper (Table II).
+
+Exports :data:`ALL_PROBLEMS` plus lookup helpers, and the dataclasses
+describing problems, difficulties and prompt levels.
+"""
+
+from .set17 import (
+    ALL_PROBLEMS,
+    DIFFICULTY_COUNTS,
+    get_problem,
+    problems_by_difficulty,
+)
+from .spec import PASS_MARKER, Difficulty, Problem, PromptLevel, WrongVariant
+
+__all__ = [
+    "ALL_PROBLEMS",
+    "DIFFICULTY_COUNTS",
+    "Difficulty",
+    "PASS_MARKER",
+    "Problem",
+    "PromptLevel",
+    "WrongVariant",
+    "get_problem",
+    "problems_by_difficulty",
+]

@@ -1,0 +1,77 @@
+"""Problem 1 (Basic): a simple wire."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a simple wire. It connects the input to the output.
+module simple_wire(input in, output out);
+"""
+
+_MEDIUM = _LOW + """\
+// The output out is driven by the input in.
+"""
+
+_HIGH = _MEDIUM + """\
+// Use a continuous assignment.
+// assign the value of in to out.
+"""
+
+CANONICAL = """\
+  assign out = in;
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg in;
+  wire out;
+  integer errors;
+  simple_wire dut(.in(in), .out(out));
+  initial begin
+    errors = 0;
+    in = 0; #1;
+    if (out !== 1'b0) begin $display("FAIL in=0 out=%b", out); errors = errors + 1; end
+    in = 1; #1;
+    if (out !== 1'b1) begin $display("FAIL in=1 out=%b", out); errors = errors + 1; end
+    in = 0; #1;
+    if (out !== 1'b0) begin $display("FAIL in=0 out=%b", out); errors = errors + 1; end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="inverted",
+        body="""\
+  assign out = ~in;
+endmodule
+""",
+        description="drives the complement instead of the value",
+    ),
+    WrongVariant(
+        name="constant_zero",
+        body="""\
+  assign out = 1'b0;
+endmodule
+""",
+        description="ties the output low",
+    ),
+)
+
+PROBLEM = Problem(
+    number=1,
+    slug="simple_wire",
+    title="A simple wire",
+    difficulty=Difficulty.BASIC,
+    module_name="simple_wire",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

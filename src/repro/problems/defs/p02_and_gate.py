@@ -1,0 +1,87 @@
+"""Problem 2 (Basic): a 2-input and gate."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a 2-input and gate.
+module and_gate(input a, input b, output out);
+"""
+
+_MEDIUM = _LOW + """\
+// The output out is the logical AND of inputs a and b.
+"""
+
+_HIGH = _MEDIUM + """\
+// Use a continuous assignment.
+// out is 1 only when both a and b are 1, otherwise out is 0.
+"""
+
+CANONICAL = """\
+  assign out = a & b;
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg a, b;
+  wire out;
+  integer errors;
+  integer i;
+  and_gate dut(.a(a), .b(b), .out(out));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 4; i = i + 1) begin
+      a = i[1]; b = i[0]; #1;
+      if (out !== (a & b)) begin
+        $display("FAIL a=%b b=%b out=%b", a, b, out);
+        errors = errors + 1;
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="or_gate",
+        body="""\
+  assign out = a | b;
+endmodule
+""",
+        description="implements OR instead of AND",
+    ),
+    WrongVariant(
+        name="nand_gate",
+        body="""\
+  assign out = ~(a & b);
+endmodule
+""",
+        description="implements NAND instead of AND",
+    ),
+    WrongVariant(
+        name="passthrough_a",
+        body="""\
+  assign out = a;
+endmodule
+""",
+        description="ignores the second input",
+    ),
+)
+
+PROBLEM = Problem(
+    number=2,
+    slug="and_gate",
+    title="A 2-input and gate",
+    difficulty=Difficulty.BASIC,
+    module_name="and_gate",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

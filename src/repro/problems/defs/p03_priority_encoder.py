@@ -1,0 +1,114 @@
+"""Problem 3 (Basic): a 3-bit priority encoder (paper Fig. 2)."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a 3-bit priority encoder. It outputs the position of the first high bit.
+module priority_encoder(input [2:0] in, output reg [1:0] pos);
+"""
+
+_MEDIUM = _LOW + """\
+// If none of the input bits are high (i.e., input is zero), output zero.
+// assign the position of the highest-priority (lowest-index) high bit of in to pos.
+"""
+
+_HIGH = _MEDIUM + """\
+// If in[0] is high, pos is 0.
+// Else if in[1] is high, pos is 1.
+// Else if in[2] is high, pos is 2.
+// Else pos is 0.
+"""
+
+CANONICAL = """\
+  always @(in)
+    if (in == 0) pos = 2'h0;
+    else if (in[0]) pos = 2'h0;
+    else if (in[1]) pos = 2'h1;
+    else pos = 2'h2;
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg [2:0] in;
+  wire [1:0] pos;
+  reg [1:0] expected;
+  integer errors;
+  integer i;
+  priority_encoder dut(.in(in), .pos(pos));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 8; i = i + 1) begin
+      in = i[2:0]; #1;
+      if (in[0]) expected = 2'd0;
+      else if (in[1]) expected = 2'd1;
+      else if (in[2]) expected = 2'd2;
+      else expected = 2'd0;
+      if (pos !== expected) begin
+        $display("FAIL in=%b pos=%d expected=%d", in, pos, expected);
+        errors = errors + 1;
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    # The paper's Fig. 2c: a case table whose positions are offset by one.
+    WrongVariant(
+        name="offset_by_one",
+        body="""\
+  always @(in) begin
+    case (in)
+      3'b000: pos = 2'b00;
+      3'b001: pos = 2'b01;
+      3'b010: pos = 2'b10;
+      3'b011: pos = 2'b11;
+      default: pos = 2'b00;
+    endcase
+  end
+endmodule
+""",
+        description="paper Fig. 2c: positions offset by 1",
+    ),
+    WrongVariant(
+        name="highest_bit_priority",
+        body="""\
+  always @(in)
+    if (in[2]) pos = 2'h2;
+    else if (in[1]) pos = 2'h1;
+    else pos = 2'h0;
+endmodule
+""",
+        description="gives priority to the highest bit instead of the lowest",
+    ),
+    WrongVariant(
+        name="missing_zero_case",
+        body="""\
+  always @(in)
+    if (in[0]) pos = 2'h0;
+    else if (in[1]) pos = 2'h1;
+    else pos = 2'h2;
+endmodule
+""",
+        description="reports position 2 when the input is all zero",
+    ),
+)
+
+PROBLEM = Problem(
+    number=3,
+    slug="priority_encoder",
+    title="A 3-bit priority encoder",
+    difficulty=Difficulty.BASIC,
+    module_name="priority_encoder",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

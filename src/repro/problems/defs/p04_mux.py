@@ -1,0 +1,81 @@
+"""Problem 4 (Basic): a 2-input multiplexer."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a 2-input multiplexer.
+module mux2(input a, input b, input sel, output out);
+"""
+
+_MEDIUM = _LOW + """\
+// When sel is 0 the output out is a; when sel is 1 the output out is b.
+"""
+
+_HIGH = _MEDIUM + """\
+// Use a continuous assignment with the conditional operator:
+// out = sel ? b : a
+"""
+
+CANONICAL = """\
+  assign out = sel ? b : a;
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg a, b, sel;
+  wire out;
+  reg expected;
+  integer errors;
+  integer i;
+  mux2 dut(.a(a), .b(b), .sel(sel), .out(out));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 8; i = i + 1) begin
+      a = i[0]; b = i[1]; sel = i[2]; #1;
+      expected = sel ? b : a;
+      if (out !== expected) begin
+        $display("FAIL a=%b b=%b sel=%b out=%b expected=%b", a, b, sel, out, expected);
+        errors = errors + 1;
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="swapped_select",
+        body="""\
+  assign out = sel ? a : b;
+endmodule
+""",
+        description="selects a on sel=1 instead of b",
+    ),
+    WrongVariant(
+        name="and_or_typo",
+        body="""\
+  assign out = (sel & a) | (~sel & b);
+endmodule
+""",
+        description="gate-level mux with the select polarity swapped",
+    ),
+)
+
+PROBLEM = Problem(
+    number=4,
+    slug="mux2",
+    title="A 2-input multiplexer",
+    difficulty=Difficulty.BASIC,
+    module_name="mux2",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

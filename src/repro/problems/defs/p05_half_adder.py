@@ -1,0 +1,82 @@
+"""Problem 5 (Intermediate): a half adder."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a half adder.
+module half_adder(input a, input b, output sum, output cout);
+"""
+
+_MEDIUM = _LOW + """\
+// sum is the single-bit sum of a and b; cout is the carry out.
+"""
+
+_HIGH = _MEDIUM + """\
+// sum is the exclusive-or of a and b.
+// cout is the logical and of a and b.
+"""
+
+CANONICAL = """\
+  assign sum = a ^ b;
+  assign cout = a & b;
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg a, b;
+  wire sum, cout;
+  integer errors;
+  integer i;
+  half_adder dut(.a(a), .b(b), .sum(sum), .cout(cout));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 4; i = i + 1) begin
+      a = i[0]; b = i[1]; #1;
+      if ({cout, sum} !== a + b) begin
+        $display("FAIL a=%b b=%b sum=%b cout=%b", a, b, sum, cout);
+        errors = errors + 1;
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="swapped_outputs",
+        body="""\
+  assign sum = a & b;
+  assign cout = a ^ b;
+endmodule
+""",
+        description="sum and carry expressions swapped",
+    ),
+    WrongVariant(
+        name="or_carry",
+        body="""\
+  assign sum = a ^ b;
+  assign cout = a | b;
+endmodule
+""",
+        description="carry uses OR instead of AND",
+    ),
+)
+
+PROBLEM = Problem(
+    number=5,
+    slug="half_adder",
+    title="A half adder",
+    difficulty=Difficulty.INTERMEDIATE,
+    module_name="half_adder",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

@@ -1,0 +1,126 @@
+"""Problem 6 (Intermediate): a counter that counts from 1 to 12 (Fig. 3)."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a counter that counts from 1 to 12.
+module counter(input clk, input reset, output reg [3:0] q);
+"""
+
+_MEDIUM = _LOW + """\
+// On the positive edge of clk, if reset is high, q is set to 1.
+// Otherwise q counts up from 1 to 12 and wraps back to 1.
+"""
+
+_HIGH = _MEDIUM + """\
+// On every positive edge of clk:
+//   if reset is high, q <= 1
+//   else if q is 12, q <= 1
+//   else q <= q + 1
+"""
+
+CANONICAL = """\
+  always @(posedge clk) begin
+    if (reset) q <= 4'd1;
+    else begin
+      if (q == 4'd12) q <= 4'd1;
+      else q <= q + 4'd1;
+    end
+  end
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg clk, reset;
+  wire [3:0] q;
+  reg [3:0] expected;
+  integer errors;
+  integer i;
+  counter dut(.clk(clk), .reset(reset), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    errors = 0;
+    clk = 0; reset = 1;
+    @(posedge clk); #1;
+    if (q !== 4'd1) begin $display("FAIL reset q=%d", q); errors = errors + 1; end
+    reset = 0;
+    expected = 4'd1;
+    for (i = 0; i < 26; i = i + 1) begin
+      @(posedge clk); #1;
+      if (expected == 4'd12) expected = 4'd1;
+      else expected = expected + 4'd1;
+      if (q !== expected) begin
+        $display("FAIL step=%0d q=%d expected=%d", i, q, expected);
+        errors = errors + 1;
+      end
+    end
+    reset = 1;
+    @(posedge clk); #1;
+    if (q !== 4'd1) begin $display("FAIL re-reset q=%d", q); errors = errors + 1; end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    # The paper's Fig. 3c: the counter never wraps back to 1 at 12.
+    WrongVariant(
+        name="no_wrap",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) q <= 4'd1;
+    else begin
+      q <= q + 4'd1;
+    end
+  end
+endmodule
+""",
+        description="paper Fig. 3c: counter does not stop at 12",
+    ),
+    WrongVariant(
+        name="counts_from_zero",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) q <= 4'd0;
+    else begin
+      if (q == 4'd12) q <= 4'd0;
+      else q <= q + 4'd1;
+    end
+  end
+endmodule
+""",
+        description="counts 0..12 instead of 1..12",
+    ),
+    WrongVariant(
+        name="wraps_at_eleven",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) q <= 4'd1;
+    else begin
+      if (q == 4'd11) q <= 4'd1;
+      else q <= q + 4'd1;
+    end
+  end
+endmodule
+""",
+        description="off-by-one wrap point",
+    ),
+)
+
+PROBLEM = Problem(
+    number=6,
+    slug="counter_1_to_12",
+    title="A 1-to-12 counter",
+    difficulty=Difficulty.INTERMEDIATE,
+    module_name="counter",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

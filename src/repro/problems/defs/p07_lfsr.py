@@ -1,0 +1,115 @@
+"""Problem 7 (Intermediate): LFSR with taps at 3 and 5.
+
+The paper notes (Sec. VI) that for this problem LLMs "had trouble
+concatenating the most significant bits with the feedback value" — our
+wrong variants reproduce exactly that failure mode.
+"""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a 5-bit linear feedback shift register (LFSR) with taps at positions 3 and 5.
+module lfsr(input clk, input reset, output reg [4:0] q);
+"""
+
+_MEDIUM = _LOW + """\
+// On reset, q is set to 5'h1.
+// On each clock, the register shifts left by one and the new least
+// significant bit is the exclusive-or of the tap bits q[4] and q[2].
+"""
+
+_HIGH = _MEDIUM + """\
+// On every positive edge of clk:
+//   if reset is high, q <= 5'h1
+//   else q <= {q[3:0], q[4] ^ q[2]}
+"""
+
+CANONICAL = """\
+  always @(posedge clk) begin
+    if (reset) q <= 5'h1;
+    else q <= {q[3:0], q[4] ^ q[2]};
+  end
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg clk, reset;
+  wire [4:0] q;
+  reg [4:0] expected;
+  integer errors;
+  integer i;
+  lfsr dut(.clk(clk), .reset(reset), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    errors = 0;
+    clk = 0; reset = 1;
+    @(posedge clk); #1;
+    if (q !== 5'h1) begin $display("FAIL reset q=%b", q); errors = errors + 1; end
+    reset = 0;
+    expected = 5'h1;
+    for (i = 0; i < 40; i = i + 1) begin
+      @(posedge clk); #1;
+      expected = {expected[3:0], expected[4] ^ expected[2]};
+      if (q !== expected) begin
+        $display("FAIL step=%0d q=%b expected=%b", i, q, expected);
+        errors = errors + 1;
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="bad_concat",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) q <= 5'h1;
+    else q <= {q[4:1], q[4] ^ q[2]};
+  end
+endmodule
+""",
+        description="keeps the MSB instead of shifting it out (paper Sec. VI)",
+    ),
+    WrongVariant(
+        name="wrong_taps",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) q <= 5'h1;
+    else q <= {q[3:0], q[4] ^ q[3]};
+  end
+endmodule
+""",
+        description="taps at 4 and 5 instead of 3 and 5",
+    ),
+    WrongVariant(
+        name="shift_right",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) q <= 5'h1;
+    else q <= {q[4] ^ q[2], q[4:1]};
+  end
+endmodule
+""",
+        description="shifts right instead of left",
+    ),
+)
+
+PROBLEM = Problem(
+    number=7,
+    slug="lfsr",
+    title="LFSR with taps at 3 and 5",
+    difficulty=Difficulty.INTERMEDIATE,
+    module_name="lfsr",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

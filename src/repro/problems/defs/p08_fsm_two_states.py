@@ -1,0 +1,128 @@
+"""Problem 8 (Intermediate): FSM with two states."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a finite state machine with two states.
+module fsm_two(input clk, input reset, input in, output reg out);
+  reg state;
+  parameter A = 0, B = 1;
+"""
+
+_MEDIUM = _LOW + """\
+// The FSM starts in state A after reset (active high).
+// When in is 1 the FSM toggles between states A and B, otherwise it stays.
+// The output out is 1 exactly when the FSM is in state B.
+"""
+
+_HIGH = _MEDIUM + """\
+// On every positive edge of clk:
+//   if reset is high, state <= A
+//   else if in is 1 and state is A, state <= B
+//   else if in is 1 and state is B, state <= A
+//   else state keeps its value
+// assign out = 1 when state == B else 0 (combinational).
+"""
+
+CANONICAL = """\
+  always @(posedge clk) begin
+    if (reset) state <= A;
+    else if (in) state <= (state == A) ? B : A;
+  end
+  always @(state)
+    out = (state == B);
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg clk, reset, in;
+  wire out;
+  reg expected_state;
+  integer errors;
+  integer i;
+  reg [7:0] stimulus;
+  fsm_two dut(.clk(clk), .reset(reset), .in(in), .out(out));
+  always #5 clk = ~clk;
+  initial begin
+    errors = 0;
+    clk = 0; reset = 1; in = 0;
+    @(posedge clk); #1;
+    if (out !== 1'b0) begin $display("FAIL reset out=%b", out); errors = errors + 1; end
+    reset = 0;
+    expected_state = 1'b0;
+    stimulus = 8'b1101_0110;
+    for (i = 0; i < 8; i = i + 1) begin
+      in = stimulus[i];
+      @(posedge clk); #1;
+      if (in) expected_state = ~expected_state;
+      if (out !== expected_state) begin
+        $display("FAIL step=%0d in=%b out=%b expected=%b", i, in, out, expected_state);
+        errors = errors + 1;
+      end
+    end
+    reset = 1;
+    @(posedge clk); #1;
+    if (out !== 1'b0) begin $display("FAIL re-reset out=%b", out); errors = errors + 1; end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="stuck_toggle",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) state <= A;
+    else state <= (state == A) ? B : A;
+  end
+  always @(state)
+    out = (state == B);
+endmodule
+""",
+        description="toggles every cycle regardless of the input",
+    ),
+    WrongVariant(
+        name="inverted_output",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) state <= A;
+    else if (in) state <= (state == A) ? B : A;
+  end
+  always @(state)
+    out = (state == A);
+endmodule
+""",
+        description="asserts the output in state A instead of B",
+    ),
+    WrongVariant(
+        name="no_reset",
+        body="""\
+  always @(posedge clk) begin
+    if (in) state <= (state == A) ? B : A;
+  end
+  always @(state)
+    out = (state == B);
+endmodule
+""",
+        description="ignores reset so the state starts unknown",
+    ),
+)
+
+PROBLEM = Problem(
+    number=8,
+    slug="fsm_two_states",
+    title="FSM with two states",
+    difficulty=Difficulty.INTERMEDIATE,
+    module_name="fsm_two",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

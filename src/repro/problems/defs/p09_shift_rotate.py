@@ -1,0 +1,129 @@
+"""Problem 9 (Intermediate): shift left and rotate.
+
+The paper (Sec. VI) reports completions "either do not cover all values of
+the shift or assign incorrect bit positions" — mirrored in the variants.
+"""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This module shifts left or rotates left an 8-bit input.
+module shift_rotate(input [7:0] in, input [2:0] amount, input mode, output reg [7:0] out);
+"""
+
+_MEDIUM = _LOW + """\
+// When mode is 0, out is in shifted left by amount bits (zero fill).
+// When mode is 1, out is in rotated left by amount bits.
+"""
+
+_HIGH = _MEDIUM + """\
+// Combinational logic (always @(*)):
+//   if mode == 0: out = in << amount
+//   else: out = (in << amount) | (in >> (8 - amount))
+// Note the rotate by 0 must leave the input unchanged.
+"""
+
+CANONICAL = """\
+  always @(*) begin
+    if (mode == 1'b0) out = in << amount;
+    else begin
+      if (amount == 3'd0) out = in;
+      else out = (in << amount) | (in >> (4'd8 - {1'b0, amount}));
+    end
+  end
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg [7:0] in;
+  reg [2:0] amount;
+  reg mode;
+  wire [7:0] out;
+  reg [7:0] expected;
+  reg [15:0] doubled;
+  integer errors;
+  integer a;
+  integer v;
+  shift_rotate dut(.in(in), .amount(amount), .mode(mode), .out(out));
+  initial begin
+    errors = 0;
+    for (v = 0; v < 4; v = v + 1) begin
+      in = (v == 0) ? 8'hA5 : (v == 1) ? 8'h01 : (v == 2) ? 8'hFF : 8'h3C;
+      for (a = 0; a < 8; a = a + 1) begin
+        amount = a[2:0];
+        mode = 0; #1;
+        expected = in << amount;
+        if (out !== expected) begin
+          $display("FAIL shl in=%h amount=%0d out=%h expected=%h", in, amount, out, expected);
+          errors = errors + 1;
+        end
+        mode = 1; #1;
+        doubled = {in, in} << amount;
+        expected = doubled[15:8];
+        if (out !== expected) begin
+          $display("FAIL rot in=%h amount=%0d out=%h expected=%h", in, amount, out, expected);
+          errors = errors + 1;
+        end
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="off_by_one_positions",
+        body="""\
+  always @(*) begin
+    if (mode == 1'b0) out = in << amount;
+    else out = (in << amount) | (in >> (4'd7 - {1'b0, amount}));
+  end
+endmodule
+""",
+        description="assigns incorrect bit positions in the wrap-around term",
+    ),
+    WrongVariant(
+        name="rotate_right",
+        body="""\
+  always @(*) begin
+    if (mode == 1'b0) out = in << amount;
+    else begin
+      if (amount == 3'd0) out = in;
+      else out = (in >> amount) | (in << (4'd8 - {1'b0, amount}));
+    end
+  end
+endmodule
+""",
+        description="rotates right instead of left",
+    ),
+    WrongVariant(
+        name="shift_is_rotate",
+        body="""\
+  always @(*) begin
+    if (amount == 3'd0) out = in;
+    else out = (in << amount) | (in >> (4'd8 - {1'b0, amount}));
+  end
+endmodule
+""",
+        description="always rotates, ignoring the mode input",
+    ),
+)
+
+PROBLEM = Problem(
+    number=9,
+    slug="shift_rotate",
+    title="Shift left and rotate",
+    difficulty=Difficulty.INTERMEDIATE,
+    module_name="shift_rotate",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

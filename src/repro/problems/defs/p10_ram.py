@@ -1,0 +1,138 @@
+"""Problem 10 (Intermediate): Random Access Memory.
+
+Paper Sec. IV-C: "for the RAM module, the data width is 8 and the address
+width is 6 in the prompt" and the test bench is unit-test style rather
+than exhaustive (2^14 inputs would be too slow) — ours follows suit.
+"""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a random access memory with 64 entries of 8 bits.
+module ram(input clk, input we, input [5:0] addr, input [7:0] data_in, output reg [7:0] data_out);
+  reg [7:0] mem [0:63];
+"""
+
+_MEDIUM = _LOW + """\
+// On the positive edge of clk, when we is high, data_in is written to mem at addr.
+// On the positive edge of clk, data_out is updated with the contents of mem at addr.
+"""
+
+_HIGH = _MEDIUM + """\
+// On every positive edge of clk:
+//   if we is high: mem[addr] <= data_in
+//   data_out <= mem[addr]
+// The read returns the OLD contents when a write to the same address
+// happens in the same cycle (read-before-write).
+"""
+
+CANONICAL = """\
+  always @(posedge clk) begin
+    data_out <= mem[addr];
+    if (we) mem[addr] <= data_in;
+  end
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg clk, we;
+  reg [5:0] addr;
+  reg [7:0] data_in;
+  wire [7:0] data_out;
+  integer errors;
+  integer i;
+  ram dut(.clk(clk), .we(we), .addr(addr), .data_in(data_in), .data_out(data_out));
+  always #5 clk = ~clk;
+  initial begin
+    errors = 0;
+    clk = 0; we = 0; addr = 0; data_in = 0;
+    // write a pattern to 8 locations
+    we = 1;
+    for (i = 0; i < 8; i = i + 1) begin
+      addr = i[5:0] * 7;
+      data_in = i[7:0] + 8'h10;
+      @(posedge clk); #1;
+    end
+    we = 0;
+    // read the pattern back
+    for (i = 0; i < 8; i = i + 1) begin
+      addr = i[5:0] * 7;
+      @(posedge clk); #1;
+      if (data_out !== i[7:0] + 8'h10) begin
+        $display("FAIL read addr=%d data_out=%h expected=%h", addr, data_out, i[7:0] + 8'h10);
+        errors = errors + 1;
+      end
+    end
+    // overwrite one location and check
+    we = 1; addr = 6'd14; data_in = 8'hAB;
+    @(posedge clk); #1;
+    we = 0;
+    @(posedge clk); #1;
+    if (data_out !== 8'hAB) begin
+      $display("FAIL overwrite data_out=%h expected=ab", data_out);
+      errors = errors + 1;
+    end
+    // check another location is untouched
+    addr = 6'd21;
+    @(posedge clk); #1;
+    if (data_out !== 8'h13) begin
+      $display("FAIL untouched data_out=%h expected=13", data_out);
+      errors = errors + 1;
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="write_only",
+        body="""\
+  always @(posedge clk) begin
+    if (we) mem[addr] <= data_in;
+  end
+endmodule
+""",
+        description="never drives the read port",
+    ),
+    WrongVariant(
+        name="reads_data_in",
+        body="""\
+  always @(posedge clk) begin
+    data_out <= data_in;
+    if (we) mem[addr] <= data_in;
+  end
+endmodule
+""",
+        description="forwards the write data instead of reading memory",
+    ),
+    WrongVariant(
+        name="writes_when_not_enabled",
+        body="""\
+  always @(posedge clk) begin
+    data_out <= mem[addr];
+    mem[addr] <= data_in;
+  end
+endmodule
+""",
+        description="ignores the write enable",
+    ),
+)
+
+PROBLEM = Problem(
+    number=10,
+    slug="ram",
+    title="Random Access Memory",
+    difficulty=Difficulty.INTERMEDIATE,
+    module_name="ram",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

@@ -1,0 +1,98 @@
+"""Problem 11 (Intermediate): permutation of input bits."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This module applies a fixed permutation to its 8-bit input.
+module permutation(input [7:0] in, output [7:0] out);
+"""
+
+_MEDIUM = _LOW + """\
+// The output bits are a rearrangement of the input bits:
+// out[7]=in[1], out[6]=in[6], out[5]=in[2], out[4]=in[0],
+// out[3]=in[4], out[2]=in[7], out[1]=in[5], out[0]=in[3].
+"""
+
+_HIGH = _MEDIUM + """\
+// Use a single continuous assignment with a concatenation:
+// assign out = {in[1], in[6], in[2], in[0], in[4], in[7], in[5], in[3]};
+"""
+
+CANONICAL = """\
+  assign out = {in[1], in[6], in[2], in[0], in[4], in[7], in[5], in[3]};
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg [7:0] in;
+  wire [7:0] out;
+  reg [7:0] expected;
+  integer errors;
+  integer i;
+  permutation dut(.in(in), .out(out));
+  initial begin
+    errors = 0;
+    for (i = 0; i < 256; i = i + 16) begin
+      in = i[7:0] ^ 8'h5A;
+      #1;
+      expected = {in[1], in[6], in[2], in[0], in[4], in[7], in[5], in[3]};
+      if (out !== expected) begin
+        $display("FAIL in=%b out=%b expected=%b", in, out, expected);
+        errors = errors + 1;
+      end
+    end
+    in = 8'b10110010; #1;
+    expected = {in[1], in[6], in[2], in[0], in[4], in[7], in[5], in[3]};
+    if (out !== expected) begin
+      $display("FAIL in=%b out=%b expected=%b", in, out, expected);
+      errors = errors + 1;
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="reversed",
+        body="""\
+  assign out = {in[0], in[1], in[2], in[3], in[4], in[5], in[6], in[7]};
+endmodule
+""",
+        description="simple bit reversal instead of the required permutation",
+    ),
+    WrongVariant(
+        name="two_swapped",
+        body="""\
+  assign out = {in[1], in[6], in[2], in[0], in[4], in[7], in[3], in[5]};
+endmodule
+""",
+        description="last two lanes swapped",
+    ),
+    WrongVariant(
+        name="identity",
+        body="""\
+  assign out = in;
+endmodule
+""",
+        description="passes the input through unpermuted",
+    ),
+)
+
+PROBLEM = Problem(
+    number=11,
+    slug="permutation",
+    title="Permutation",
+    difficulty=Difficulty.INTERMEDIATE,
+    module_name="permutation",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

@@ -1,0 +1,106 @@
+"""Problem 12 (Intermediate): implement a function given by a truth table.
+
+Paper Sec. VI: completions were "close to the actual solution by using all
+input values in assign statements but fail to form correct expressions
+between input bits" — the variants reproduce that.
+"""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This module implements the 3-input boolean function f described by a truth table.
+module truth_table(input x3, input x2, input x1, output f);
+"""
+
+_MEDIUM = _LOW + """\
+// The truth table (inputs ordered x3 x2 x1) is:
+//  x3 x2 x1 | f
+//   0  0  0 | 0
+//   0  0  1 | 0
+//   0  1  0 | 1
+//   0  1  1 | 1
+//   1  0  0 | 0
+//   1  0  1 | 1
+//   1  1  0 | 0
+//   1  1  1 | 1
+"""
+
+_HIGH = _MEDIUM + """\
+// f is 1 for input rows 2, 3, 5 and 7.
+// In sum-of-products form: f = (~x3 & x2) | (x3 & x1).
+"""
+
+CANONICAL = """\
+  assign f = (~x3 & x2) | (x3 & x1);
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg x3, x2, x1;
+  wire f;
+  reg expected;
+  reg [7:0] table_rows;
+  integer errors;
+  integer i;
+  truth_table dut(.x3(x3), .x2(x2), .x1(x1), .f(f));
+  initial begin
+    errors = 0;
+    table_rows = 8'b10101100;  // row i (x3x2x1 = i) -> table_rows[i]
+    for (i = 0; i < 8; i = i + 1) begin
+      x3 = i[2]; x2 = i[1]; x1 = i[0];
+      #1;
+      expected = table_rows[i];
+      if (f !== expected) begin
+        $display("FAIL x3=%b x2=%b x1=%b f=%b expected=%b", x3, x2, x1, f, expected);
+        errors = errors + 1;
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="wrong_expression",
+        body="""\
+  assign f = (x3 & x2) | (~x3 & x1);
+endmodule
+""",
+        description="uses all inputs but the product terms are wrong",
+    ),
+    WrongVariant(
+        name="missing_minterm",
+        body="""\
+  assign f = (~x3 & x2 & ~x1) | (x3 & x1);
+endmodule
+""",
+        description="drops row 3 from the sum of products",
+    ),
+    WrongVariant(
+        name="xor_guess",
+        body="""\
+  assign f = x3 ^ x2 ^ x1;
+endmodule
+""",
+        description="guesses parity instead of the table",
+    ),
+)
+
+PROBLEM = Problem(
+    number=12,
+    slug="truth_table",
+    title="Truth table",
+    difficulty=Difficulty.INTERMEDIATE,
+    module_name="truth_table",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

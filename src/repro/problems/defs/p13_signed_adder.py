@@ -1,0 +1,112 @@
+"""Problem 13 (Advanced): signed 8-bit adder with overflow."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a signed 8-bit adder with overflow detection.
+module signed_adder(input [7:0] a, input [7:0] b, output [7:0] s, output overflow);
+"""
+
+_MEDIUM = _LOW + """\
+// s is the sum of the two's-complement inputs a and b.
+// overflow is 1 when the signed addition overflows the 8-bit result.
+"""
+
+_HIGH = _MEDIUM + """\
+// Signed overflow happens when both operands have the same sign and the
+// sum has a different sign:
+//   s = a + b
+//   overflow = (a[7] == b[7]) && (s[7] != a[7])
+"""
+
+CANONICAL = """\
+  assign s = a + b;
+  assign overflow = (a[7] == b[7]) && (s[7] != a[7]);
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg [7:0] a, b;
+  wire [7:0] s;
+  wire overflow;
+  reg [7:0] expected_sum;
+  reg expected_ovf;
+  integer errors;
+  integer i;
+  reg [7:0] av [0:7];
+  reg [7:0] bv [0:7];
+  signed_adder dut(.a(a), .b(b), .s(s), .overflow(overflow));
+  initial begin
+    errors = 0;
+    av[0] = 8'd3;    bv[0] = 8'd4;      // 7, no overflow
+    av[1] = 8'd100;  bv[1] = 8'd100;    // 200 > 127, overflow
+    av[2] = 8'h80;   bv[2] = 8'h80;     // -128 + -128, overflow
+    av[3] = 8'hFF;   bv[3] = 8'h01;     // -1 + 1 = 0, no overflow
+    av[4] = 8'h7F;   bv[4] = 8'h01;     // 127 + 1, overflow
+    av[5] = 8'h80;   bv[5] = 8'h7F;     // -128 + 127 = -1, no overflow
+    av[6] = 8'hC0;   bv[6] = 8'hC0;     // -64 + -64 = -128, no overflow
+    av[7] = 8'hC0;   bv[7] = 8'hBF;     // -64 + -65 = -129, overflow
+    for (i = 0; i < 8; i = i + 1) begin
+      a = av[i]; b = bv[i]; #1;
+      expected_sum = a + b;
+      expected_ovf = (a[7] == b[7]) && (expected_sum[7] != a[7]);
+      if (s !== expected_sum || overflow !== expected_ovf) begin
+        $display("FAIL a=%h b=%h s=%h ovf=%b expected s=%h ovf=%b",
+                 a, b, s, overflow, expected_sum, expected_ovf);
+        errors = errors + 1;
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="carry_as_overflow",
+        body="""\
+  wire [8:0] wide;
+  assign wide = a + b;
+  assign s = wide[7:0];
+  assign overflow = wide[8];
+endmodule
+""",
+        description="reports the unsigned carry-out as signed overflow",
+    ),
+    WrongVariant(
+        name="no_overflow",
+        body="""\
+  assign s = a + b;
+  assign overflow = 1'b0;
+endmodule
+""",
+        description="never flags overflow",
+    ),
+    WrongVariant(
+        name="inverted_condition",
+        body="""\
+  assign s = a + b;
+  assign overflow = (a[7] != b[7]) && (s[7] == a[7]);
+endmodule
+""",
+        description="overflow condition inverted",
+    ),
+)
+
+PROBLEM = Problem(
+    number=13,
+    slug="signed_adder",
+    title="Signed 8-bit adder with overflow",
+    difficulty=Difficulty.ADVANCED,
+    module_name="signed_adder",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

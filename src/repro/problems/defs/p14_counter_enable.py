@@ -1,0 +1,128 @@
+"""Problem 14 (Advanced): counter with enable signal."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a 4-bit counter with an enable signal.
+module counter_enable(input clk, input reset, input ena, output reg [3:0] q);
+"""
+
+_MEDIUM = _LOW + """\
+// On the positive edge of clk, if reset is high q is cleared to 0.
+// Otherwise, when ena is high q increments by 1 (wrapping from 15 to 0).
+// When ena is low q holds its value.
+"""
+
+_HIGH = _MEDIUM + """\
+// On every positive edge of clk:
+//   if reset is high, q <= 0
+//   else if ena is high, q <= q + 1
+//   else q <= q
+"""
+
+CANONICAL = """\
+  always @(posedge clk) begin
+    if (reset) q <= 4'd0;
+    else if (ena) q <= q + 4'd1;
+  end
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg clk, reset, ena;
+  wire [3:0] q;
+  reg [3:0] expected;
+  integer errors;
+  integer i;
+  reg [19:0] ena_pattern;
+  counter_enable dut(.clk(clk), .reset(reset), .ena(ena), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    errors = 0;
+    clk = 0; reset = 1; ena = 0;
+    @(posedge clk); #1;
+    if (q !== 4'd0) begin $display("FAIL reset q=%d", q); errors = errors + 1; end
+    reset = 0;
+    expected = 4'd0;
+    ena_pattern = 20'b1101_1110_0101_1111_1010;
+    for (i = 0; i < 20; i = i + 1) begin
+      ena = ena_pattern[i];
+      @(posedge clk); #1;
+      if (ena) expected = expected + 4'd1;
+      if (q !== expected) begin
+        $display("FAIL step=%0d ena=%b q=%d expected=%d", i, ena, q, expected);
+        errors = errors + 1;
+      end
+    end
+    // hold with enable low for several cycles
+    ena = 0;
+    for (i = 0; i < 3; i = i + 1) begin
+      @(posedge clk); #1;
+      if (q !== expected) begin
+        $display("FAIL hold q=%d expected=%d", q, expected);
+        errors = errors + 1;
+      end
+    end
+    reset = 1;
+    @(posedge clk); #1;
+    if (q !== 4'd0) begin $display("FAIL re-reset q=%d", q); errors = errors + 1; end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="ignores_enable",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) q <= 4'd0;
+    else q <= q + 4'd1;
+  end
+endmodule
+""",
+        description="counts every cycle regardless of ena",
+    ),
+    WrongVariant(
+        name="enable_gates_reset",
+        body="""\
+  always @(posedge clk) begin
+    if (ena) begin
+      if (reset) q <= 4'd0;
+      else q <= q + 4'd1;
+    end
+  end
+endmodule
+""",
+        description="reset only works while enabled",
+    ),
+    WrongVariant(
+        name="resets_to_one",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) q <= 4'd1;
+    else if (ena) q <= q + 4'd1;
+  end
+endmodule
+""",
+        description="resets to 1 instead of 0",
+    ),
+)
+
+PROBLEM = Problem(
+    number=14,
+    slug="counter_enable",
+    title="Counter with enable signal",
+    difficulty=Difficulty.ADVANCED,
+    module_name="counter_enable",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

@@ -1,0 +1,174 @@
+"""Problem 15 (Advanced): FSM that recognizes the sequence 101 (Fig. 5).
+
+The prompt follows the paper's Fig. 5 text literally, including its
+quirk: from S1 on x=1 the next state is IDLE (not S1).  The test bench
+checks the specification exactly as prompted, mirroring the paper's
+observation that "the exact test-bench implementation can have a large
+impact on how many cases pass".
+"""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a finite state machine that recognizes the sequence 101 on the input signal x.
+module adv_fsm(input clk, input reset, input x, output z);
+  reg [1:0] present_state, next_state;
+  parameter IDLE=0, S1=1, S10=2, S101=3;
+"""
+
+_MEDIUM = _LOW + """\
+// output signal z is asserted to 1 when present_state is S101
+// present_state is reset to IDLE when reset is high,
+// otherwise it is assigned next_state
+"""
+
+_HIGH = _MEDIUM + """\
+// if present_state is IDLE, next_state is assigned S1 if
+// x is 1, otherwise next_state stays at IDLE
+// if present_state is S1, next_state is assigned S10 if
+// x is 0, otherwise next_state stays at IDLE
+// if present_state is S10, next_state is assigned S101 if
+// x is 1, otherwise next_state stays at IDLE
+// if present_state is S101, next_state is assigned IDLE
+"""
+
+CANONICAL = """\
+  assign z = (present_state == S101);
+  always @(posedge clk) begin
+    if (reset) present_state <= IDLE;
+    else present_state <= next_state;
+  end
+  always @(present_state or x) begin
+    case (present_state)
+      IDLE: next_state = x ? S1 : IDLE;
+      S1: next_state = x ? IDLE : S10;
+      S10: next_state = x ? S101 : IDLE;
+      S101: next_state = IDLE;
+      default: next_state = IDLE;
+    endcase
+  end
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg clk, reset, x;
+  wire z;
+  reg [1:0] model_state;
+  reg expected_z;
+  reg [15:0] stimulus;
+  integer errors;
+  integer i;
+  adv_fsm dut(.clk(clk), .reset(reset), .x(x), .z(z));
+  always #5 clk = ~clk;
+  initial begin
+    errors = 0;
+    clk = 0; reset = 1; x = 0;
+    @(posedge clk); #1;
+    if (z !== 1'b0) begin $display("FAIL reset z=%b", z); errors = errors + 1; end
+    reset = 0;
+    model_state = 2'd0;
+    stimulus = 16'b1010_0110_1101_1010;
+    for (i = 0; i < 16; i = i + 1) begin
+      x = stimulus[i];
+      @(posedge clk); #1;
+      // reference next-state function per the specification
+      case (model_state)
+        2'd0: model_state = x ? 2'd1 : 2'd0;
+        2'd1: model_state = x ? 2'd0 : 2'd2;
+        2'd2: model_state = x ? 2'd3 : 2'd0;
+        2'd3: model_state = 2'd0;
+      endcase
+      expected_z = (model_state == 2'd3);
+      if (z !== expected_z) begin
+        $display("FAIL step=%0d x=%b z=%b expected=%b", i, x, z, expected_z);
+        errors = errors + 1;
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="moore_stays_s1",
+        body="""\
+  assign z = (present_state == S101);
+  always @(posedge clk) begin
+    if (reset) present_state <= IDLE;
+    else present_state <= next_state;
+  end
+  always @(present_state or x) begin
+    case (present_state)
+      IDLE: next_state = x ? S1 : IDLE;
+      S1: next_state = x ? S1 : S10;
+      S10: next_state = x ? S101 : IDLE;
+      S101: next_state = IDLE;
+      default: next_state = IDLE;
+    endcase
+  end
+endmodule
+""",
+        description="classic overlap handling (stay in S1 on x=1) deviates from the prompt",
+    ),
+    WrongVariant(
+        name="z_on_s10",
+        body="""\
+  assign z = (present_state == S10);
+  always @(posedge clk) begin
+    if (reset) present_state <= IDLE;
+    else present_state <= next_state;
+  end
+  always @(present_state or x) begin
+    case (present_state)
+      IDLE: next_state = x ? S1 : IDLE;
+      S1: next_state = x ? IDLE : S10;
+      S10: next_state = x ? S101 : IDLE;
+      S101: next_state = IDLE;
+      default: next_state = IDLE;
+    endcase
+  end
+endmodule
+""",
+        description="asserts the output one state too early",
+    ),
+    WrongVariant(
+        name="never_leaves_s101",
+        body="""\
+  assign z = (present_state == S101);
+  always @(posedge clk) begin
+    if (reset) present_state <= IDLE;
+    else present_state <= next_state;
+  end
+  always @(present_state or x) begin
+    case (present_state)
+      IDLE: next_state = x ? S1 : IDLE;
+      S1: next_state = x ? IDLE : S10;
+      S10: next_state = x ? S101 : IDLE;
+      S101: next_state = S101;
+      default: next_state = IDLE;
+    endcase
+  end
+endmodule
+""",
+        description="latches in the accepting state forever",
+    ),
+)
+
+PROBLEM = Problem(
+    number=15,
+    slug="adv_fsm",
+    title="FSM to recognize '101'",
+    difficulty=Difficulty.ADVANCED,
+    module_name="adv_fsm",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

@@ -1,0 +1,177 @@
+"""Problem 16 (Advanced): 64-bit arithmetic shift register."""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is a 64-bit arithmetic shift register with synchronous load.
+module shift64(input clk, input load, input ena, input [1:0] amount, input [63:0] data, output reg [63:0] q);
+"""
+
+_MEDIUM = _LOW + """\
+// On the positive edge of clk, when load is high, q is loaded with data.
+// Otherwise, when ena is high, q shifts by the selected amount:
+//   amount=00 shifts left by 1, amount=01 shifts left by 8,
+//   amount=10 arithmetic-shifts right by 1, amount=11 arithmetic-shifts right by 8.
+// The arithmetic right shift replicates q[63], the sign bit.
+"""
+
+_HIGH = _MEDIUM + """\
+// On every positive edge of clk:
+//   if load: q <= data
+//   else if ena:
+//     case (amount)
+//       2'b00: q <= q << 1
+//       2'b01: q <= q << 8
+//       2'b10: q <= {q[63], q[63:1]}
+//       2'b11: q <= {{8{q[63]}}, q[63:8]}
+//     endcase
+"""
+
+CANONICAL = """\
+  always @(posedge clk) begin
+    if (load) q <= data;
+    else if (ena) begin
+      case (amount)
+        2'b00: q <= q << 1;
+        2'b01: q <= q << 8;
+        2'b10: q <= {q[63], q[63:1]};
+        2'b11: q <= {{8{q[63]}}, q[63:8]};
+      endcase
+    end
+  end
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg clk, load, ena;
+  reg [1:0] amount;
+  reg [63:0] data;
+  wire [63:0] q;
+  reg [63:0] expected;
+  integer errors;
+  integer i;
+  shift64 dut(.clk(clk), .load(load), .ena(ena), .amount(amount), .data(data), .q(q));
+  always #5 clk = ~clk;
+  initial begin
+    errors = 0;
+    clk = 0; load = 0; ena = 0; amount = 0; data = 0;
+    // load a negative pattern (MSB set)
+    load = 1; data = 64'h8000_0000_1234_5678;
+    @(posedge clk); #1;
+    load = 0;
+    if (q !== 64'h8000000012345678) begin
+      $display("FAIL load q=%h", q); errors = errors + 1;
+    end
+    expected = 64'h8000000012345678;
+    // exercise every amount with enable high; start with the arithmetic
+    // right shifts while the sign bit is still set
+    for (i = 0; i < 8; i = i + 1) begin
+      ena = 1; amount = i[1:0] + 2'd2;
+      @(posedge clk); #1;
+      case (amount)
+        2'b00: expected = expected << 1;
+        2'b01: expected = expected << 8;
+        2'b10: expected = {expected[63], expected[63:1]};
+        2'b11: expected = {{8{expected[63]}}, expected[63:8]};
+      endcase
+      if (q !== expected) begin
+        $display("FAIL amount=%b q=%h expected=%h", amount, q, expected);
+        errors = errors + 1;
+      end
+    end
+    // hold when enable is low
+    ena = 0; amount = 2'b00;
+    @(posedge clk); #1;
+    if (q !== expected) begin
+      $display("FAIL hold q=%h expected=%h", q, expected); errors = errors + 1;
+    end
+    // load must win even while enable is high
+    load = 1; ena = 1; amount = 2'b00; data = 64'h7FFF_FFFF_FFFF_FFFF;
+    @(posedge clk); #1;
+    if (q !== 64'h7FFFFFFFFFFFFFFF) begin
+      $display("FAIL load priority q=%h", q); errors = errors + 1;
+    end
+    load = 0; ena = 1; amount = 2'b11;
+    @(posedge clk); #1;
+    if (q !== 64'h007FFFFFFFFFFFFF) begin
+      $display("FAIL ashr positive q=%h", q); errors = errors + 1;
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    WrongVariant(
+        name="logical_right_shift",
+        body="""\
+  always @(posedge clk) begin
+    if (load) q <= data;
+    else if (ena) begin
+      case (amount)
+        2'b00: q <= q << 1;
+        2'b01: q <= q << 8;
+        2'b10: q <= q >> 1;
+        2'b11: q <= q >> 8;
+      endcase
+    end
+  end
+endmodule
+""",
+        description="right shifts are logical, losing the sign bit",
+    ),
+    WrongVariant(
+        name="swapped_amounts",
+        body="""\
+  always @(posedge clk) begin
+    if (load) q <= data;
+    else if (ena) begin
+      case (amount)
+        2'b00: q <= q << 8;
+        2'b01: q <= q << 1;
+        2'b10: q <= {{8{q[63]}}, q[63:8]};
+        2'b11: q <= {q[63], q[63:1]};
+      endcase
+    end
+  end
+endmodule
+""",
+        description="1-bit and 8-bit shift amounts swapped",
+    ),
+    WrongVariant(
+        name="load_priority_inverted",
+        body="""\
+  always @(posedge clk) begin
+    if (ena) begin
+      case (amount)
+        2'b00: q <= q << 1;
+        2'b01: q <= q << 8;
+        2'b10: q <= {q[63], q[63:1]};
+        2'b11: q <= {{8{q[63]}}, q[63:8]};
+      endcase
+    end
+    else if (load) q <= data;
+  end
+endmodule
+""",
+        description="shift takes priority over load",
+    ),
+)
+
+PROBLEM = Problem(
+    number=16,
+    slug="shift64",
+    title="64-bit arithmetic shift register",
+    difficulty=Difficulty.ADVANCED,
+    module_name="shift64",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

@@ -1,0 +1,226 @@
+"""Problem 17 (Advanced): ABRO FSM (paper Fig. 4).
+
+From Potop-Butucaru, Edwards and Berry's "Compiling Esterel": the output
+fires once both a and b have been seen (in any order or simultaneously),
+then the machine returns to idle.  Our prompt pins the Moore reading the
+paper's Fig. 4a comments state ("Output z depends only on the state SAB").
+The wrong variant reproduces the paper's Fig. 4c failure.
+"""
+
+from ..spec import Difficulty, Problem, PromptLevel, WrongVariant
+
+_LOW = """\
+// This is an FSM.
+// It outputs 1 when 1 is received for signals a and b irrespective of their
+// order, either simultaneously or non-simultaneously.
+module abro(input clk, input reset, input a, input b, output z);
+  parameter IDLE = 0, SA = 1, SB = 2, SAB = 3;
+  reg [1:0] cur_state, next_state;
+"""
+
+_MEDIUM = _LOW + """\
+// Update state or reset on every clock edge
+// Output z depends only on the state SAB
+// The output z is high when cur_state is SAB
+// cur_state is reset to IDLE when reset is high. Otherwise, it takes the value of next_state.
+"""
+
+_HIGH = _MEDIUM + """\
+// Next state generation logic:
+// If cur_state is IDLE and a and b are both high, state changes to SAB
+// If cur_state is IDLE, and a is high, state changes to SA
+// If cur_state is IDLE, and b is high, state changes to SB
+// If cur_state is SA, and b is high, state changes to SAB
+// If cur_state is SB, and a is high, state changes to SAB
+// If cur_state is SAB, state changes to IDLE
+"""
+
+CANONICAL = """\
+  always @(posedge clk) begin
+    if (reset) cur_state <= IDLE;
+    else cur_state <= next_state;
+  end
+  always @(cur_state or a or b) begin
+    case (cur_state)
+      IDLE: begin
+        if (a && b) next_state = SAB;
+        else if (a) next_state = SA;
+        else if (b) next_state = SB;
+        else next_state = IDLE;
+      end
+      SA: begin
+        if (b) next_state = SAB;
+        else next_state = SA;
+      end
+      SB: begin
+        if (a) next_state = SAB;
+        else next_state = SB;
+      end
+      SAB: next_state = IDLE;
+      default: next_state = IDLE;
+    endcase
+  end
+  assign z = (cur_state == SAB);
+endmodule
+"""
+
+TESTBENCH = """\
+module tb;
+  reg clk, reset, a, b;
+  wire z;
+  reg [1:0] model;
+  reg expected_z;
+  reg [31:0] a_pattern, b_pattern;
+  integer errors;
+  integer i;
+  abro dut(.clk(clk), .reset(reset), .a(a), .b(b), .z(z));
+  always #5 clk = ~clk;
+  initial begin
+    errors = 0;
+    clk = 0; reset = 1; a = 0; b = 0;
+    @(posedge clk); #1;
+    if (z !== 1'b0) begin $display("FAIL reset z=%b", z); errors = errors + 1; end
+    reset = 0;
+    model = 2'd0;
+    // covers: a then b; b then a; simultaneous; repeated symbols; idle gaps
+    a_pattern = 32'b0000_1010_0110_0001_0100_0011_0001_1001;
+    b_pattern = 32'b0000_0110_1010_0010_0110_0011_0110_0110;
+    for (i = 0; i < 32; i = i + 1) begin
+      a = a_pattern[i]; b = b_pattern[i];
+      @(posedge clk); #1;
+      case (model)
+        2'd0: begin
+          if (a && b) model = 2'd3;
+          else if (a) model = 2'd1;
+          else if (b) model = 2'd2;
+        end
+        2'd1: if (b) model = 2'd3;
+        2'd2: if (a) model = 2'd3;
+        2'd3: model = 2'd0;
+      endcase
+      expected_z = (model == 2'd3);
+      if (z !== expected_z) begin
+        $display("FAIL step=%0d a=%b b=%b z=%b expected=%b", i, a, b, z, expected_z);
+        errors = errors + 1;
+      end
+    end
+    if (errors == 0) $display("ALL TESTS PASSED");
+    $finish;
+  end
+endmodule
+"""
+
+WRONG_VARIANTS = (
+    # The paper's Fig. 4c: output is not assigned to state SAB.
+    WrongVariant(
+        name="fig4c_output",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) cur_state <= IDLE;
+    else cur_state <= next_state;
+  end
+  always @(cur_state or a or b) begin
+    case (cur_state)
+      IDLE: begin
+        if (a && b) next_state = SAB;
+        else if (a) next_state = SA;
+        else if (b) next_state = SB;
+        else next_state = IDLE;
+      end
+      SA: begin
+        if (b) next_state = SAB;
+        else next_state = SA;
+      end
+      SB: begin
+        if (a) next_state = SAB;
+        else next_state = SB;
+      end
+      SAB: next_state = IDLE;
+      default: next_state = IDLE;
+    endcase
+  end
+  assign z = (cur_state == IDLE && a && b) || (cur_state == IDLE && a);
+endmodule
+""",
+        description="paper Fig. 4c: output is not assigned to state SAB",
+    ),
+    WrongVariant(
+        name="no_simultaneous",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) cur_state <= IDLE;
+    else cur_state <= next_state;
+  end
+  always @(cur_state or a or b) begin
+    case (cur_state)
+      IDLE: begin
+        if (a) next_state = SA;
+        else if (b) next_state = SB;
+        else next_state = IDLE;
+      end
+      SA: begin
+        if (b) next_state = SAB;
+        else next_state = SA;
+      end
+      SB: begin
+        if (a) next_state = SAB;
+        else next_state = SB;
+      end
+      SAB: next_state = IDLE;
+      default: next_state = IDLE;
+    endcase
+  end
+  assign z = (cur_state == SAB);
+endmodule
+""",
+        description="misses the simultaneous a-and-b arrival from IDLE",
+    ),
+    WrongVariant(
+        name="sab_sticky",
+        body="""\
+  always @(posedge clk) begin
+    if (reset) cur_state <= IDLE;
+    else cur_state <= next_state;
+  end
+  always @(cur_state or a or b) begin
+    case (cur_state)
+      IDLE: begin
+        if (a && b) next_state = SAB;
+        else if (a) next_state = SA;
+        else if (b) next_state = SB;
+        else next_state = IDLE;
+      end
+      SA: begin
+        if (b) next_state = SAB;
+        else next_state = SA;
+      end
+      SB: begin
+        if (a) next_state = SAB;
+        else next_state = SB;
+      end
+      SAB: next_state = SAB;
+      default: next_state = IDLE;
+    endcase
+  end
+  assign z = (cur_state == SAB);
+endmodule
+""",
+        description="never returns to IDLE after firing",
+    ),
+)
+
+PROBLEM = Problem(
+    number=17,
+    slug="abro",
+    title="ABRO FSM",
+    difficulty=Difficulty.ADVANCED,
+    module_name="abro",
+    prompts={
+        PromptLevel.LOW: _LOW,
+        PromptLevel.MEDIUM: _MEDIUM,
+        PromptLevel.HIGH: _HIGH,
+    },
+    canonical_body=CANONICAL,
+    testbench=TESTBENCH,
+    wrong_variants=WRONG_VARIANTS,
+)

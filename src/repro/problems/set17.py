@@ -1,0 +1,73 @@
+"""The complete 17-problem evaluation set (paper Table II)."""
+
+from __future__ import annotations
+
+from .defs import (
+    p01_wire,
+    p02_and_gate,
+    p03_priority_encoder,
+    p04_mux,
+    p05_half_adder,
+    p06_counter,
+    p07_lfsr,
+    p08_fsm_two_states,
+    p09_shift_rotate,
+    p10_ram,
+    p11_permutation,
+    p12_truth_table,
+    p13_signed_adder,
+    p14_counter_enable,
+    p15_adv_fsm,
+    p16_shift64,
+    p17_abro,
+)
+from .spec import Difficulty, Problem
+
+ALL_PROBLEMS: tuple[Problem, ...] = tuple(
+    module.PROBLEM
+    for module in (
+        p01_wire,
+        p02_and_gate,
+        p03_priority_encoder,
+        p04_mux,
+        p05_half_adder,
+        p06_counter,
+        p07_lfsr,
+        p08_fsm_two_states,
+        p09_shift_rotate,
+        p10_ram,
+        p11_permutation,
+        p12_truth_table,
+        p13_signed_adder,
+        p14_counter_enable,
+        p15_adv_fsm,
+        p16_shift64,
+        p17_abro,
+    )
+)
+
+_BY_NUMBER = {problem.number: problem for problem in ALL_PROBLEMS}
+_BY_SLUG = {problem.slug: problem for problem in ALL_PROBLEMS}
+
+
+def get_problem(key: int | str) -> Problem:
+    """Look up a problem by number (1-17) or slug."""
+    if isinstance(key, int):
+        if key not in _BY_NUMBER:
+            raise KeyError(f"no problem number {key}")
+        return _BY_NUMBER[key]
+    if key not in _BY_SLUG:
+        raise KeyError(f"no problem slug {key!r}")
+    return _BY_SLUG[key]
+
+
+def problems_by_difficulty(difficulty: Difficulty) -> tuple[Problem, ...]:
+    """All problems at one difficulty, in number order."""
+    return tuple(p for p in ALL_PROBLEMS if p.difficulty is difficulty)
+
+
+DIFFICULTY_COUNTS = {
+    Difficulty.BASIC: 4,
+    Difficulty.INTERMEDIATE: 8,
+    Difficulty.ADVANCED: 5,
+}

@@ -1,0 +1,5 @@
+"""Byte-pair-encoding tokenizer trained on the Verilog corpus."""
+
+from .bpe import BPETokenizer, pretokenize
+
+__all__ = ["BPETokenizer", "pretokenize"]

@@ -1,0 +1,149 @@
+"""Byte-pair encoding from scratch (paper Sec. II-A, citing Gage 1994).
+
+A byte-level BPE tokenizer: the base vocabulary is the 256 byte values,
+training greedily merges the most frequent adjacent pair, and encoding
+applies the learned merges in rank order.  Encode/decode round-trips any
+string losslessly (property-tested).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+# GPT-2-style pre-tokenization: split into word-ish chunks so merges never
+# straddle a word boundary (keeps training tractable and merges meaningful).
+_PRETOKEN_RE = re.compile(
+    rb" ?[A-Za-z_][A-Za-z0-9_]*| ?[0-9]+| ?[^\sA-Za-z0-9_]+|\s+"
+)
+
+
+def pretokenize(data: bytes) -> list[bytes]:
+    """Split a byte string into pre-token chunks (lossless)."""
+    return _PRETOKEN_RE.findall(data)
+
+
+@dataclass
+class BPETokenizer:
+    """A trained byte-level BPE tokenizer.
+
+    Token ids 0-255 are raw bytes; ids >= 256 are learned merges.
+    """
+
+    merges: list[tuple[int, int]] = field(default_factory=list)
+    _ranks: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+    _vocab_bytes: list[bytes] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rebuild_tables()
+
+    def _rebuild_tables(self) -> None:
+        self._ranks = {pair: i for i, pair in enumerate(self.merges)}
+        self._vocab_bytes = [bytes([i]) for i in range(256)]
+        for left, right in self.merges:
+            self._vocab_bytes.append(
+                self._vocab_bytes[left] + self._vocab_bytes[right]
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return 256 + len(self.merges)
+
+    def token_bytes(self, token_id: int) -> bytes:
+        """Raw bytes a token id decodes to."""
+        return self._vocab_bytes[token_id]
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(cls, text: str, vocab_size: int = 1_024) -> "BPETokenizer":
+        """Learn merges from ``text`` until ``vocab_size`` is reached."""
+        if vocab_size < 256:
+            raise ValueError("vocab_size must be >= 256")
+        word_freqs: dict[bytes, int] = {}
+        for chunk in pretokenize(text.encode("utf-8")):
+            word_freqs[chunk] = word_freqs.get(chunk, 0) + 1
+        # each distinct pre-token becomes a mutable symbol sequence
+        words: list[tuple[list[int], int]] = [
+            (list(chunk), freq) for chunk, freq in word_freqs.items()
+        ]
+        merges: list[tuple[int, int]] = []
+        next_id = 256
+        while next_id < vocab_size:
+            pair_counts: dict[tuple[int, int], int] = {}
+            for symbols, freq in words:
+                for i in range(len(symbols) - 1):
+                    pair = (symbols[i], symbols[i + 1])
+                    pair_counts[pair] = pair_counts.get(pair, 0) + freq
+            if not pair_counts:
+                break
+            best_pair, best_count = max(
+                pair_counts.items(), key=lambda kv: (kv[1], -kv[0][0], -kv[0][1])
+            )
+            if best_count < 2:
+                break  # nothing left worth merging
+            merges.append(best_pair)
+            for symbols, _ in words:
+                i = 0
+                while i < len(symbols) - 1:
+                    if (symbols[i], symbols[i + 1]) == best_pair:
+                        symbols[i : i + 2] = [next_id]
+                    else:
+                        i += 1
+            next_id += 1
+        return cls(merges=merges)
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+    def _encode_chunk(self, chunk: bytes) -> list[int]:
+        symbols = list(chunk)
+        if len(symbols) < 2:
+            return symbols
+        while True:
+            best_rank = None
+            best_index = -1
+            for i in range(len(symbols) - 1):
+                rank = self._ranks.get((symbols[i], symbols[i + 1]))
+                if rank is not None and (best_rank is None or rank < best_rank):
+                    best_rank = rank
+                    best_index = i
+            if best_rank is None:
+                return symbols
+            symbols[best_index : best_index + 2] = [256 + best_rank]
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids for ``text``."""
+        ids: list[int] = []
+        for chunk in pretokenize(text.encode("utf-8")):
+            ids.extend(self._encode_chunk(chunk))
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        """Text for token ids (inverse of :meth:`encode`)."""
+        data = b"".join(self._vocab_bytes[i] for i in ids)
+        return data.decode("utf-8", errors="replace")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({"merges": self.merges})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "BPETokenizer":
+        data = json.loads(payload)
+        merges = [tuple(pair) for pair in data["merges"]]
+        return cls(merges=merges)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "BPETokenizer":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -1,0 +1,95 @@
+"""Icarus-Verilog-like driver: the compile and run gates of the pipeline.
+
+The paper compiles each LLM completion with ``iverilog`` and, when that
+succeeds, simulates it against a test bench.  This module provides the
+same two entry points over our own frontend:
+
+* :func:`check_syntax` — lex + parse only (fast structural gate);
+* :func:`compile_design` — lex + parse + elaborate a top module;
+* :func:`run_simulation` — compile and simulate, returning printed output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import SourceUnit
+from .elaborate import Design, elaborate
+from .errors import VerilogError
+from .parser import parse
+from .sim import SimResult, simulate
+
+
+@dataclass
+class CompileReport:
+    """Result of a compile attempt (success or diagnostics)."""
+
+    ok: bool
+    errors: list[str] = field(default_factory=list)
+    unit: SourceUnit | None = None
+    design: Design | None = None
+
+    @property
+    def error_text(self) -> str:
+        return "\n".join(self.errors)
+
+
+def check_syntax(source: str) -> CompileReport:
+    """Parse-only check, the cheapest 'does it compile' gate."""
+    try:
+        unit = parse(source)
+    except VerilogError as exc:
+        return CompileReport(ok=False, errors=[str(exc)])
+    except RecursionError:
+        return CompileReport(ok=False, errors=["expression nesting too deep"])
+    return CompileReport(ok=True, unit=unit)
+
+
+def compile_design(source: str, top: str | None = None) -> CompileReport:
+    """Full compile: parse and elaborate ``top`` (default: last module).
+
+    Elaboration catches the class of errors Icarus reports beyond syntax:
+    undeclared identifiers, bad port connections, width-less parameters,
+    unknown modules.
+    """
+    report = check_syntax(source)
+    if not report.ok:
+        return report
+    assert report.unit is not None
+    if top is None:
+        top = report.unit.modules[-1].name
+    try:
+        design = elaborate(report.unit, top)
+    except VerilogError as exc:
+        return CompileReport(ok=False, errors=[str(exc)], unit=report.unit)
+    except RecursionError:
+        return CompileReport(
+            ok=False, errors=["elaboration recursion limit"], unit=report.unit
+        )
+    return CompileReport(ok=True, unit=report.unit, design=design)
+
+
+def run_simulation(
+    source: str,
+    top: str | None = None,
+    max_time: int = 1_000_000,
+    max_steps: int = 2_000_000,
+) -> tuple[CompileReport, SimResult | None]:
+    """Compile then simulate; returns (compile report, sim result or None)."""
+    report = compile_design(source, top)
+    if not report.ok:
+        return report, None
+    assert report.design is not None
+    try:
+        result = simulate(report.design, max_time=max_time, max_steps=max_steps)
+    except VerilogError as exc:
+        return (
+            CompileReport(
+                ok=True,
+                errors=[f"runtime: {exc}"],
+                unit=report.unit,
+                design=report.design,
+            ),
+            None,
+        )
+    return report, result

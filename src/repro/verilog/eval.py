@@ -1,0 +1,572 @@
+"""Expression evaluation over four-state values.
+
+The evaluator is shared by constant contexts (parameter values, ranges),
+continuous assignments and procedural code.  A *scope* resolves names to
+signals, parameters or functions (see :mod:`repro.verilog.elaborate`); a
+*context* provides simulation-time services (``$time``, ``$random``) and
+is ``None`` during constant evaluation.
+
+Width semantics follow the IEEE 1364 two-step rule: every expression has a
+*self-determined* size (:func:`size_of`) and operands of arithmetic,
+bitwise and comparison operators are evaluated in a *context width* that
+is the maximum of the operand sizes (and, for assignments, the lvalue
+width).  This is what makes ``{cout, sum} == a + b`` keep the carry bit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from . import ast, values
+from .errors import ElaborationError
+from .values import Vec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .elaborate import Scope, Signal
+
+# Operators whose operands take the surrounding context width.
+_CONTEXT_OPS = frozenset(["+", "-", "*", "/", "%", "&", "|", "^", "~^", "^~"])
+# Comparisons: operands sized to max of the two sides, result is 1 bit.
+_COMPARE_OPS = frozenset(["==", "!=", "===", "!==", "<", "<=", ">", ">="])
+# Shift/power: left operand takes context, right is self-determined.
+_SHIFT_OPS = frozenset(["<<", ">>", "<<<", ">>>", "**"])
+_LOGICAL_OPS = frozenset(["&&", "||"])
+
+_BINARY_FUNCS = {
+    "+": values.add,
+    "-": values.sub,
+    "*": values.mul,
+    "/": values.div,
+    "%": values.mod,
+    "**": values.power,
+    "&": values.bit_and,
+    "|": values.bit_or,
+    "^": values.bit_xor,
+    "~^": values.bit_xnor,
+    "^~": values.bit_xnor,
+    "<<": values.shift_left,
+    ">>": values.shift_right,
+    "<<<": values.arith_shift_left,
+    ">>>": values.arith_shift_right,
+    "==": values.eq,
+    "!=": values.neq,
+    "===": values.case_eq,
+    "!==": values.case_neq,
+    "<": values.lt,
+    "<=": values.le,
+    ">": values.gt,
+    ">=": values.ge,
+    "&&": values.logical_and,
+    "||": values.logical_or,
+}
+
+_UNARY_FUNCS = {
+    "+": values.unary_plus,
+    "-": values.negate,
+    "!": values.logical_not,
+    "~": values.bit_not,
+    "&": values.reduce_and,
+    "~&": values.reduce_nand,
+    "|": values.reduce_or,
+    "~|": values.reduce_nor,
+    "^": values.reduce_xor,
+    "~^": values.reduce_xnor,
+    "^~": values.reduce_xnor,
+}
+
+_CONTEXT_UNARY = frozenset(["+", "-", "~"])
+
+
+def _string_to_vec(text: str) -> Vec:
+    """LRM string-literal value: 8 bits per character, MSB first."""
+    if not text:
+        return Vec.from_int(0, 8)
+    value = 0
+    for ch in text:
+        value = (value << 8) | (ord(ch) & 0xFF)
+    return Vec.from_int(value, 8 * len(text))
+
+
+# ----------------------------------------------------------------------
+# Self-determined sizes (LRM table 5-22)
+# ----------------------------------------------------------------------
+def size_of(expr: ast.Expr, scope: "Scope") -> int:
+    """Self-determined bit size of an expression."""
+    if isinstance(expr, ast.Number):
+        return expr.width
+    if isinstance(expr, ast.StringLit):
+        return max(8, 8 * len(expr.text))
+    if isinstance(expr, ast.Identifier):
+        resolved = scope.resolve(expr.name)
+        if resolved is None:
+            raise ElaborationError(
+                f"undeclared identifier {expr.name!r}", expr.line
+            )
+        kind, payload = resolved
+        if kind == "param":
+            return payload.width
+        if kind == "signal":
+            return payload.width
+        raise ElaborationError(f"{expr.name!r} is not a value", expr.line)
+    if isinstance(expr, ast.BitSelect):
+        signal = _signal_of(expr.base, scope)
+        if signal is not None and signal.memory is not None:
+            return signal.width
+        return 1
+    if isinstance(expr, ast.PartSelect):
+        msb = eval_const(expr.msb, scope)
+        lsb = eval_const(expr.lsb, scope)
+        return abs(msb - lsb) + 1
+    if isinstance(expr, ast.IndexedPartSelect):
+        return eval_const(expr.width, scope)
+    if isinstance(expr, ast.Unary):
+        if expr.op in _CONTEXT_UNARY:
+            return size_of(expr.operand, scope)
+        return 1
+    if isinstance(expr, ast.Binary):
+        if expr.op in _CONTEXT_OPS:
+            return max(size_of(expr.lhs, scope), size_of(expr.rhs, scope))
+        if expr.op in _SHIFT_OPS:
+            return size_of(expr.lhs, scope)
+        return 1  # comparisons and logical ops
+    if isinstance(expr, ast.Ternary):
+        return max(size_of(expr.if_true, scope), size_of(expr.if_false, scope))
+    if isinstance(expr, ast.Concat):
+        return sum(size_of(part, scope) for part in expr.parts)
+    if isinstance(expr, ast.Replicate):
+        return eval_const(expr.count, scope) * size_of(expr.value, scope)
+    if isinstance(expr, ast.SystemCall):
+        if expr.name in ("$signed", "$unsigned"):
+            return size_of(expr.args[0], scope)
+        if expr.name in ("$time", "$stime", "$realtime"):
+            return 64
+        return 32
+    if isinstance(expr, ast.FunctionCall):
+        resolved = scope.resolve(expr.name)
+        if resolved is None or resolved[0] != "func":
+            raise ElaborationError(f"unknown function {expr.name!r}", expr.line)
+        func = resolved[1]
+        if func.range is None:
+            return 1
+        msb = eval_const(func.range.msb, scope)
+        lsb = eval_const(func.range.lsb, scope)
+        return abs(msb - lsb) + 1
+    raise ElaborationError(f"cannot size {type(expr).__name__}", expr.line)
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def eval_expr(
+    expr: ast.Expr, scope: "Scope", ctx=None, width: int | None = None
+) -> Vec:
+    """Evaluate an expression to a :class:`Vec`.
+
+    ``width`` is the context width imposed by the surrounding operator or
+    assignment; ``None`` means self-determined.  Raises
+    :class:`ElaborationError` for unresolvable names — the error class the
+    compile gate reports for undeclared identifiers.
+    """
+    if isinstance(expr, ast.Number):
+        return Vec.from_bits(expr.value_bits, expr.signed)
+    if isinstance(expr, ast.StringLit):
+        return _string_to_vec(expr.text)
+    if isinstance(expr, ast.Identifier):
+        return _eval_identifier(expr, scope)
+    if isinstance(expr, ast.Unary):
+        if expr.op in _CONTEXT_UNARY:
+            inner = max(width or 0, size_of(expr.operand, scope))
+            operand = eval_expr(expr.operand, scope, ctx, inner).resize(inner)
+            return _UNARY_FUNCS[expr.op](operand)
+        return _UNARY_FUNCS[expr.op](eval_expr(expr.operand, scope, ctx))
+    if isinstance(expr, ast.Binary):
+        return _eval_binary(expr, scope, ctx, width)
+    if isinstance(expr, ast.Ternary):
+        return _eval_ternary(expr, scope, ctx, width)
+    if isinstance(expr, ast.Concat):
+        return values.concat([eval_expr(p, scope, ctx) for p in expr.parts])
+    if isinstance(expr, ast.Replicate):
+        count = eval_expr(expr.count, scope, ctx).to_unsigned()
+        if count is None or count < 1:
+            raise ElaborationError("bad replication count", expr.line)
+        return values.replicate(count, eval_expr(expr.value, scope, ctx))
+    if isinstance(expr, ast.BitSelect):
+        return _eval_bit_select(expr, scope, ctx)
+    if isinstance(expr, ast.PartSelect):
+        return _eval_part_select(expr, scope, ctx)
+    if isinstance(expr, ast.IndexedPartSelect):
+        return _eval_indexed_part_select(expr, scope, ctx)
+    if isinstance(expr, ast.SystemCall):
+        return _eval_system_call(expr, scope, ctx)
+    if isinstance(expr, ast.FunctionCall):
+        return _eval_function_call(expr, scope, ctx)
+    raise ElaborationError(f"cannot evaluate {type(expr).__name__}", expr.line)
+
+
+def eval_sized(expr: ast.Expr, scope: "Scope", ctx, target_width: int) -> Vec:
+    """Evaluate an assignment RHS in the context of an lvalue width."""
+    context = max(target_width, size_of(expr, scope))
+    return eval_expr(expr, scope, ctx, context)
+
+
+def eval_const(expr: ast.Expr, scope: "Scope") -> int:
+    """Evaluate a constant expression to a known integer (ranges, params)."""
+    result = eval_expr(expr, scope).to_int()
+    if result is None:
+        raise ElaborationError("constant expression has x/z bits", expr.line)
+    return result
+
+
+def _eval_binary(
+    expr: ast.Binary, scope: "Scope", ctx, width: int | None
+) -> Vec:
+    op = expr.op
+    func = _BINARY_FUNCS[op]
+    if op in _CONTEXT_OPS:
+        context = max(
+            width or 0, size_of(expr.lhs, scope), size_of(expr.rhs, scope)
+        )
+        lhs = eval_expr(expr.lhs, scope, ctx, context).resize(context)
+        rhs = eval_expr(expr.rhs, scope, ctx, context).resize(context)
+        return func(lhs, rhs)
+    if op in _COMPARE_OPS:
+        context = max(size_of(expr.lhs, scope), size_of(expr.rhs, scope))
+        lhs = eval_expr(expr.lhs, scope, ctx, context).resize(context)
+        rhs = eval_expr(expr.rhs, scope, ctx, context).resize(context)
+        return func(lhs, rhs)
+    if op in _SHIFT_OPS:
+        context = max(width or 0, size_of(expr.lhs, scope))
+        lhs = eval_expr(expr.lhs, scope, ctx, context).resize(context)
+        rhs = eval_expr(expr.rhs, scope, ctx)
+        return func(lhs, rhs)
+    # logical && / ||: operands self-determined
+    return func(
+        eval_expr(expr.lhs, scope, ctx), eval_expr(expr.rhs, scope, ctx)
+    )
+
+
+def _eval_identifier(expr: ast.Identifier, scope: "Scope") -> Vec:
+    resolved = scope.resolve(expr.name)
+    if resolved is None:
+        raise ElaborationError(f"undeclared identifier {expr.name!r}", expr.line)
+    kind, payload = resolved
+    if kind == "param":
+        return payload
+    if kind == "signal":
+        signal = payload
+        if signal.memory is not None:
+            raise ElaborationError(
+                f"memory {expr.name!r} used without an index", expr.line
+            )
+        return signal.value
+    raise ElaborationError(f"{expr.name!r} is not a value", expr.line)
+
+
+def _eval_ternary(expr: ast.Ternary, scope: "Scope", ctx, width: int | None) -> Vec:
+    cond = eval_expr(expr.cond, scope, ctx)
+    context = max(
+        width or 0,
+        size_of(expr.if_true, scope),
+        size_of(expr.if_false, scope),
+    )
+    if cond.truthy():
+        return eval_expr(expr.if_true, scope, ctx, context)
+    if cond.is_definitely_zero():
+        return eval_expr(expr.if_false, scope, ctx, context)
+    # ambiguous condition: bitwise-merge both arms (LRM 5.1.13)
+    true_v = eval_expr(expr.if_true, scope, ctx, context).resize(context)
+    false_v = eval_expr(expr.if_false, scope, ctx, context).resize(context)
+    mask = (1 << context) - 1
+    same = ~(true_v.aval ^ false_v.aval) & ~true_v.bval & ~false_v.bval & mask
+    aval = (true_v.aval & same) | (~same & mask)
+    return Vec(context, aval, ~same & mask)
+
+
+def _signal_of(base: ast.Expr, scope: "Scope") -> "Signal | None":
+    if isinstance(base, ast.Identifier):
+        resolved = scope.resolve(base.name)
+        if resolved and resolved[0] == "signal":
+            return resolved[1]
+    return None
+
+
+def _eval_bit_select(expr: ast.BitSelect, scope: "Scope", ctx) -> Vec:
+    signal = _signal_of(expr.base, scope)
+    index = eval_expr(expr.index, scope, ctx).to_int()
+    if signal is not None and signal.memory is not None:
+        return signal.read_word(index)
+    if signal is not None:
+        return values.select_bit(signal.value, signal.bit_offset(index))
+    base = eval_expr(expr.base, scope, ctx)
+    return values.select_bit(base, index)
+
+
+def _eval_part_select(expr: ast.PartSelect, scope: "Scope", ctx) -> Vec:
+    signal = _signal_of(expr.base, scope)
+    msb = eval_expr(expr.msb, scope, ctx).to_int()
+    lsb = eval_expr(expr.lsb, scope, ctx).to_int()
+    if msb is None or lsb is None:
+        raise ElaborationError("part-select bounds must be known", expr.line)
+    if signal is not None:
+        if signal.memory is not None:
+            raise ElaborationError("part-select on memory", expr.line)
+        hi = signal.bit_offset(msb)
+        lo = signal.bit_offset(lsb)
+        if hi is None or lo is None:
+            return Vec.unknown(abs(msb - lsb) + 1)
+        return values.select_part(signal.value, hi, lo)
+    base = eval_expr(expr.base, scope, ctx)
+    return values.select_part(base, msb, lsb)
+
+
+def _eval_indexed_part_select(
+    expr: ast.IndexedPartSelect, scope: "Scope", ctx
+) -> Vec:
+    signal = _signal_of(expr.base, scope)
+    start = eval_expr(expr.start, scope, ctx).to_int()
+    width = eval_expr(expr.width, scope, ctx).to_int()
+    if width is None or width < 1:
+        raise ElaborationError("indexed part-select width must be known", expr.line)
+    if start is None:
+        return Vec.unknown(width)
+    if signal is not None and signal.memory is None:
+        lo_index = start if expr.ascending else start - width + 1
+        lo = signal.bit_offset(lo_index)
+        if lo is None:
+            return Vec.unknown(width)
+        return values.select_part(signal.value, lo + width - 1, lo)
+    base = eval_expr(expr.base, scope, ctx)
+    lo = start if expr.ascending else start - width + 1
+    return values.select_part(base, lo + width - 1, lo)
+
+
+def _eval_system_call(expr: ast.SystemCall, scope: "Scope", ctx) -> Vec:
+    name = expr.name
+    if name == "$signed":
+        return eval_expr(expr.args[0], scope, ctx).as_signed()
+    if name == "$unsigned":
+        return eval_expr(expr.args[0], scope, ctx).as_unsigned()
+    if name == "$clog2":
+        operand = eval_expr(expr.args[0], scope, ctx).to_unsigned()
+        if operand is None:
+            return Vec.unknown(32)
+        bits = 0
+        while (1 << bits) < operand:
+            bits += 1
+        return Vec.from_int(bits, 32, True)
+    if name in ("$time", "$stime", "$realtime"):
+        if ctx is None:
+            raise ElaborationError("$time in constant context", expr.line)
+        return Vec.from_int(ctx.now, 64)
+    if name == "$random":
+        if ctx is None:
+            raise ElaborationError("$random in constant context", expr.line)
+        return Vec.from_int(ctx.next_random(), 32, True)
+    raise ElaborationError(f"unsupported system function {name!r}", expr.line)
+
+
+def _eval_function_call(expr: ast.FunctionCall, scope: "Scope", ctx) -> Vec:
+    resolved = scope.resolve(expr.name)
+    if resolved is None or resolved[0] != "func":
+        raise ElaborationError(f"unknown function {expr.name!r}", expr.line)
+    func = resolved[1]
+    if len(expr.args) != len(func.inputs):
+        raise ElaborationError(
+            f"function {expr.name!r} expects {len(func.inputs)} args, "
+            f"got {len(expr.args)}",
+            expr.line,
+        )
+    args = [eval_expr(arg, scope, ctx) for arg in expr.args]
+    # Local import: elaborate depends on eval for constants.
+    from .elaborate import make_function_scope
+
+    local = make_function_scope(func, scope, args)
+    _exec_function_body(func.body, local, ctx)
+    result = local.resolve(func.name)
+    assert result is not None and result[0] == "signal"
+    return result[1].value
+
+
+def _exec_function_body(stmt: ast.Stmt, scope: "Scope", ctx) -> None:
+    """Synchronous statement executor for function bodies (no timing)."""
+    if isinstance(stmt, ast.Block):
+        for child in stmt.stmts:
+            _exec_function_body(child, scope, ctx)
+    elif isinstance(stmt, ast.Assign):
+        if stmt.nonblocking:
+            raise ElaborationError("nonblocking assign in function", stmt.line)
+        from .elaborate import lvalue_width, store_to_lvalue
+
+        value = eval_sized(stmt.value, scope, ctx, lvalue_width(stmt.target, scope))
+        store_to_lvalue(stmt.target, value, scope, ctx)
+    elif isinstance(stmt, ast.If):
+        if eval_expr(stmt.cond, scope, ctx).truthy():
+            _exec_function_body(stmt.then_stmt, scope, ctx)
+        elif stmt.else_stmt is not None:
+            _exec_function_body(stmt.else_stmt, scope, ctx)
+    elif isinstance(stmt, ast.Case):
+        _exec_function_case(stmt, scope, ctx)
+    elif isinstance(stmt, ast.For):
+        _exec_function_body(stmt.init, scope, ctx)
+        guard = 0
+        while eval_expr(stmt.cond, scope, ctx).truthy():
+            _exec_function_body(stmt.body, scope, ctx)
+            _exec_function_body(stmt.step, scope, ctx)
+            guard += 1
+            if guard > 1_000_000:
+                raise ElaborationError("runaway for-loop in function", stmt.line)
+    elif isinstance(stmt, ast.While):
+        guard = 0
+        while eval_expr(stmt.cond, scope, ctx).truthy():
+            _exec_function_body(stmt.body, scope, ctx)
+            guard += 1
+            if guard > 1_000_000:
+                raise ElaborationError("runaway while-loop in function", stmt.line)
+    elif isinstance(stmt, ast.NullStmt):
+        pass
+    else:
+        raise ElaborationError(
+            f"{type(stmt).__name__} not allowed in function body", stmt.line
+        )
+
+
+def case_matches(kind: str, subject: Vec, label: Vec) -> bool:
+    """Case-item matching for case/casez/casex."""
+    width = max(subject.width, label.width)
+    a, b = subject.resize(width), label.resize(width)
+    mask = (1 << width) - 1
+    if kind == "case":
+        return a.aval == b.aval and a.bval == b.bval
+    if kind == "casez":
+        ignore = (a.bval & ~a.aval) | (b.bval & ~b.aval)  # z bits either side
+    else:  # casex
+        ignore = a.bval | b.bval
+    care = mask & ~ignore
+    return (a.aval & care) == (b.aval & care) and (a.bval & care) == (b.bval & care)
+
+
+def _exec_function_case(stmt: ast.Case, scope: "Scope", ctx) -> None:
+    subject = eval_expr(stmt.subject, scope, ctx)
+    default = None
+    for item in stmt.items:
+        if not item.exprs:
+            default = item
+            continue
+        for label_expr in item.exprs:
+            label = eval_expr(label_expr, scope, ctx)
+            if case_matches(stmt.kind, subject, label):
+                _exec_function_body(item.body, scope, ctx)
+                return
+    if default is not None:
+        _exec_function_body(default.body, scope, ctx)
+
+
+def collect_reads(node, into: set[str] | None = None) -> set[str]:
+    """Names read by an expression or statement (for @* and assigns).
+
+    For statements, assignment *targets* are excluded but their index
+    expressions are included, matching LRM implicit-sensitivity rules.
+    """
+    reads: set[str] = set() if into is None else into
+
+    def walk_expr(expr: ast.Expr | None) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Identifier):
+            reads.add(expr.name)
+        elif isinstance(expr, ast.Unary):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ast.Binary):
+            walk_expr(expr.lhs)
+            walk_expr(expr.rhs)
+        elif isinstance(expr, ast.Ternary):
+            walk_expr(expr.cond)
+            walk_expr(expr.if_true)
+            walk_expr(expr.if_false)
+        elif isinstance(expr, ast.Concat):
+            for part in expr.parts:
+                walk_expr(part)
+        elif isinstance(expr, ast.Replicate):
+            walk_expr(expr.count)
+            walk_expr(expr.value)
+        elif isinstance(expr, ast.BitSelect):
+            walk_expr(expr.base)
+            walk_expr(expr.index)
+        elif isinstance(expr, ast.PartSelect):
+            walk_expr(expr.base)
+            walk_expr(expr.msb)
+            walk_expr(expr.lsb)
+        elif isinstance(expr, ast.IndexedPartSelect):
+            walk_expr(expr.base)
+            walk_expr(expr.start)
+            walk_expr(expr.width)
+        elif isinstance(expr, (ast.SystemCall, ast.FunctionCall)):
+            for arg in expr.args:
+                walk_expr(arg)
+
+    def walk_target_indices(expr: ast.Expr | None) -> None:
+        if isinstance(expr, ast.BitSelect):
+            walk_target_indices(expr.base)
+            walk_expr(expr.index)
+        elif isinstance(expr, ast.PartSelect):
+            walk_target_indices(expr.base)
+            walk_expr(expr.msb)
+            walk_expr(expr.lsb)
+        elif isinstance(expr, ast.IndexedPartSelect):
+            walk_target_indices(expr.base)
+            walk_expr(expr.start)
+            walk_expr(expr.width)
+        elif isinstance(expr, ast.Concat):
+            for part in expr.parts:
+                walk_target_indices(part)
+
+    def walk_stmt(stmt: ast.Stmt | None) -> None:
+        if stmt is None:
+            return
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                walk_stmt(child)
+        elif isinstance(stmt, ast.Assign):
+            walk_expr(stmt.value)
+            walk_target_indices(stmt.target)
+        elif isinstance(stmt, ast.If):
+            walk_expr(stmt.cond)
+            walk_stmt(stmt.then_stmt)
+            walk_stmt(stmt.else_stmt)
+        elif isinstance(stmt, ast.Case):
+            walk_expr(stmt.subject)
+            for item in stmt.items:
+                for expr in item.exprs:
+                    walk_expr(expr)
+                walk_stmt(item.body)
+        elif isinstance(stmt, ast.For):
+            walk_stmt(stmt.init)
+            walk_expr(stmt.cond)
+            walk_stmt(stmt.step)
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, ast.While):
+            walk_expr(stmt.cond)
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, ast.Repeat):
+            walk_expr(stmt.count)
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, ast.EventControl):
+            for sense in stmt.senses:
+                walk_expr(sense.expr)
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, (ast.Forever, ast.DelayStmt)):
+            if isinstance(stmt, ast.DelayStmt):
+                walk_expr(stmt.delay)
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, ast.Wait):
+            walk_expr(stmt.cond)
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, (ast.SysTaskCall, ast.TaskCall)):
+            for arg in stmt.args:
+                walk_expr(arg)
+
+    if isinstance(node, ast.Stmt):
+        walk_stmt(node)
+    else:
+        walk_expr(node)
+    return reads

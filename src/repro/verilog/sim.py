@@ -1,0 +1,656 @@
+"""Event-driven simulation of an elaborated design.
+
+Implements the IEEE 1364 stratified event queue in the form the problem
+set needs: an active region executing processes and continuous
+assignments, a nonblocking-assign (NBA) update region applied when the
+active region drains, and a time wheel for ``#delay`` controls.  Processes
+are Python generators that yield suspension requests; sensitivity is
+re-evaluated on every commit so arbitrary ``@(posedge expr)`` forms work.
+
+System tasks supported: ``$display``/``$write``/``$strobe``, ``$monitor``,
+``$finish``/``$stop``, ``$time``, ``$random`` (deterministic LCG).
+Output lines are collected on :attr:`Simulator.output` — the functional
+gate of the evaluation pipeline greps them for the test bench verdict.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from . import ast
+from .elaborate import (
+    Design,
+    ProcessSpec,
+    Scope,
+    Signal,
+    lvalue_width,
+    store_to_lvalue,
+)
+from .errors import SimulationError
+from .eval import case_matches, collect_reads, eval_expr, eval_sized
+from .values import Vec, edge_kind
+from .vcd import VcdRecorder
+
+
+class _FinishSim(Exception):
+    """Internal control-flow signal raised by $finish/$stop."""
+
+
+@dataclass
+class _SenseEntry:
+    """One sensitivity-list item of a suspended process.
+
+    ``memory_signal`` marks an any-change watch on a whole memory (bare
+    memory identifiers cannot be evaluated, so word writes wake these
+    entries unconditionally).
+    """
+
+    expr: ast.Expr | None
+    scope: Scope
+    edge: str | None
+    last: Vec
+    memory_signal: Signal | None = None
+
+
+class _Suspension:
+    """A process blocked on an event control."""
+
+    __slots__ = ("process", "entries", "done")
+
+    def __init__(self, process: "_Process", entries: list[_SenseEntry]):
+        self.process = process
+        self.entries = entries
+        self.done = False
+
+
+class _Process:
+    """Generator-backed runnable entity."""
+
+    __slots__ = ("name", "generator", "scheduled", "alive")
+
+    def __init__(self, name: str, generator):
+        self.name = name
+        self.generator = generator
+        self.scheduled = False
+        self.alive = True
+
+
+@dataclass
+class _Monitor:
+    fmt_args: list[ast.Expr]
+    scope: Scope
+    last_text: str | None = None
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulation run."""
+
+    finished: bool  # reached $finish (vs. ran out of events/time)
+    time: int
+    output: list[str] = field(default_factory=list)
+    vcd: VcdRecorder | None = None  # populated when the design $dumpvars
+    vcd_file: str | None = None  # the name passed to $dumpfile, if any
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.output)
+
+
+class Simulator:
+    """Runs an elaborated :class:`~repro.verilog.elaborate.Design`."""
+
+    def __init__(
+        self,
+        design: Design,
+        max_time: int = 1_000_000,
+        max_steps: int = 2_000_000,
+        random_seed: int = 0xDEADBEEF,
+    ):
+        self.design = design
+        self.max_time = max_time
+        self.max_steps = max_steps
+        self.now = 0
+        self.output: list[str] = []
+        self._active: list[_Process] = []
+        self._nba: list = []
+        self._timewheel: list = []
+        self._sequence = 0
+        self._steps = 0
+        self._work = 0
+        self._monitors: list[_Monitor] = []
+        self._finished = False
+        self._rand_state = random_seed & 0xFFFFFFFF
+        self._vcd: VcdRecorder | None = None
+        self._vcd_file: str | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        """Simulate until $finish, quiescence, or a resource limit."""
+        for spec in sorted(
+            self.design.processes, key=lambda s: s.kind != "assign"
+        ):
+            process = self._make_process(spec)
+            self._schedule(process)
+        try:
+            self._event_loop()
+        except _FinishSim:
+            self._finished = True
+        return SimResult(
+            self._finished, self.now, self.output,
+            vcd=self._vcd, vcd_file=self._vcd_file,
+        )
+
+    def next_random(self) -> int:
+        """Deterministic $random (numerical-recipes LCG)."""
+        self._rand_state = (1664525 * self._rand_state + 1013904223) & 0xFFFFFFFF
+        value = self._rand_state
+        return value - (1 << 32) if value >> 31 else value
+
+    # ------------------------------------------------------------------
+    # Scheduling core
+    # ------------------------------------------------------------------
+    def _event_loop(self) -> None:
+        while True:
+            while self._active or self._nba:
+                while self._active:
+                    process = self._active.pop(0)
+                    process.scheduled = False
+                    self._resume(process)
+                if self._nba:
+                    updates, self._nba = self._nba, []
+                    for apply_update in updates:
+                        apply_update()
+            self._check_monitors()
+            if not self._timewheel:
+                return
+            next_time = self._timewheel[0][0]
+            if next_time > self.max_time:
+                return
+            self.now = next_time
+            while self._timewheel and self._timewheel[0][0] == self.now:
+                _, _, item = heapq.heappop(self._timewheel)
+                if isinstance(item, _Process):
+                    self._schedule(item)
+                else:
+                    item()  # deferred NBA thunk
+
+    def _schedule(self, process: _Process) -> None:
+        if process.alive and not process.scheduled:
+            process.scheduled = True
+            self._active.append(process)
+
+    def _schedule_at(self, ticks: int, item) -> None:
+        self._sequence += 1
+        heapq.heappush(self._timewheel, (self.now + ticks, self._sequence, item))
+
+    def _resume(self, process: _Process) -> None:
+        self._work = 0
+        while True:
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise SimulationError(
+                    f"simulation exceeded {self.max_steps} steps "
+                    f"(zero-delay loop?) at time {self.now}"
+                )
+            try:
+                request = next(process.generator)
+            except StopIteration:
+                process.alive = False
+                return
+            kind = request[0]
+            if kind == "delay":
+                self._schedule_at(request[1], process)
+                return
+            if kind == "wait":
+                entries = request[1]
+                if not entries:
+                    process.alive = False  # @() on nothing: block forever
+                    return
+                suspension = _Suspension(process, entries)
+                for entry in entries:
+                    if entry.memory_signal is not None:
+                        entry.memory_signal.waiters.append((suspension, entry))
+                        continue
+                    for name in collect_reads(entry.expr):
+                        resolved = entry.scope.resolve(name)
+                        if resolved and resolved[0] == "signal":
+                            resolved[1].waiters.append((suspension, entry))
+                return
+            raise SimulationError(f"unknown suspension {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Value commits and sensitivity
+    # ------------------------------------------------------------------
+    def commit(self, signal: Signal, new_value: Vec, memory_write: bool = False) -> None:
+        """Update a signal and wake processes whose senses now fire."""
+        if not memory_write:
+            old = signal.value
+            if old.aval == new_value.aval and old.bval == new_value.bval:
+                return
+            signal.value = new_value
+            if self._vcd is not None:
+                code = self._vcd.code_for(id(signal))
+                if code is not None:
+                    self._vcd.record(self.now, new_value, code)
+        if not signal.waiters:
+            return
+        pending = signal.waiters
+        signal.waiters = []
+        survivors = []
+        for suspension, entry in pending:
+            if suspension.done:
+                continue
+            if self._sense_fires(entry, force=memory_write):
+                suspension.done = True
+                self._schedule(suspension.process)
+            else:
+                survivors.append((suspension, entry))
+        signal.waiters.extend(survivors)
+
+    def _sense_fires(self, entry: _SenseEntry, force: bool = False) -> bool:
+        if entry.memory_signal is not None:
+            return entry.edge is None  # any write to the memory fires
+        new = eval_expr(entry.expr, entry.scope, self)
+        old = entry.last
+        entry.last = new
+        if force:
+            return entry.edge is None
+        changed = old.aval != new.aval or old.bval != new.bval
+        if entry.edge is None:
+            return changed
+        return edge_kind(old, new) == entry.edge
+
+    # ------------------------------------------------------------------
+    # Process construction
+    # ------------------------------------------------------------------
+    def _make_process(self, spec: ProcessSpec) -> _Process:
+        if spec.kind == "assign":
+            return _Process(
+                f"assign@{spec.line}", self._run_continuous_assign(spec)
+            )
+        if spec.kind == "always":
+            return _Process(f"always@{spec.line}", self._run_always(spec))
+        return _Process(f"initial@{spec.line}", self._run_initial(spec))
+
+    def _run_continuous_assign(self, spec: ProcessSpec):
+        assert spec.value is not None and spec.target is not None
+        target_scope = spec.target_scope or spec.scope
+        dep_names = collect_reads(spec.value)
+        dep_entries = []
+        for name in sorted(dep_names):
+            resolved = spec.scope.resolve(name)
+            if not resolved or resolved[0] != "signal":
+                continue
+            signal = resolved[1]
+            if signal.memory is not None:
+                dep_entries.append(
+                    _SenseEntry(
+                        expr=None, scope=spec.scope, edge=None,
+                        last=Vec.unknown(1), memory_signal=signal,
+                    )
+                )
+            else:
+                dep_entries.append(
+                    _SenseEntry(
+                        expr=ast.Identifier(name=name),
+                        scope=spec.scope,
+                        edge=None,
+                        last=Vec.unknown(1),
+                    )
+                )
+        target_width = lvalue_width(spec.target, target_scope)
+        while True:
+            value = eval_sized(spec.value, spec.scope, self, target_width)
+            store_to_lvalue(
+                spec.target, value, target_scope, self, commit=self.commit
+            )
+            if not dep_entries:
+                return  # constant assign: run once
+            for entry in dep_entries:
+                if entry.memory_signal is None:
+                    entry.last = eval_expr(entry.expr, entry.scope, self)
+            yield ("wait", dep_entries)
+
+    def _run_always(self, spec: ProcessSpec):
+        assert spec.body is not None
+        while True:
+            yielded = yield from self._exec(spec.body, spec.scope)
+            if not yielded:
+                raise SimulationError(
+                    "always block without timing control never suspends",
+                    spec.line,
+                )
+
+    def _run_initial(self, spec: ProcessSpec):
+        assert spec.body is not None
+        yield from self._exec(spec.body, spec.scope)
+
+    # ------------------------------------------------------------------
+    # Statement execution (generator; returns True if it ever suspended)
+    # ------------------------------------------------------------------
+    def _exec(self, stmt: ast.Stmt, scope: Scope):
+        self._bump_work(stmt)
+        if isinstance(stmt, ast.Block):
+            suspended = False
+            for child in stmt.stmts:
+                suspended = (yield from self._exec(child, scope)) or suspended
+            return suspended
+        if isinstance(stmt, ast.Assign):
+            return (yield from self._exec_assign(stmt, scope))
+        if isinstance(stmt, ast.If):
+            cond = eval_expr(stmt.cond, scope, self)
+            if cond.truthy():
+                return (yield from self._exec(stmt.then_stmt, scope))
+            if stmt.else_stmt is not None:
+                return (yield from self._exec(stmt.else_stmt, scope))
+            return False
+        if isinstance(stmt, ast.Case):
+            return (yield from self._exec_case(stmt, scope))
+        if isinstance(stmt, ast.For):
+            return (yield from self._exec_for(stmt, scope))
+        if isinstance(stmt, ast.While):
+            suspended = False
+            while eval_expr(stmt.cond, scope, self).truthy():
+                suspended = (yield from self._exec(stmt.body, scope)) or suspended
+                self._bump_work(stmt)
+            return suspended
+        if isinstance(stmt, ast.Repeat):
+            count = eval_expr(stmt.count, scope, self).to_unsigned() or 0
+            suspended = False
+            for _ in range(count):
+                suspended = (yield from self._exec(stmt.body, scope)) or suspended
+            return suspended
+        if isinstance(stmt, ast.Forever):
+            while True:
+                suspended = yield from self._exec(stmt.body, scope)
+                if not suspended:
+                    raise SimulationError(
+                        "forever loop without timing control", stmt.line
+                    )
+        if isinstance(stmt, ast.DelayStmt):
+            ticks = self._eval_delay(stmt.delay, scope)
+            yield ("delay", ticks)
+            yield from self._exec(stmt.body, scope)
+            return True
+        if isinstance(stmt, ast.EventControl):
+            yield ("wait", self._build_senses(stmt, scope))
+            yield from self._exec(stmt.body, scope)
+            return True
+        if isinstance(stmt, ast.Wait):
+            while not eval_expr(stmt.cond, scope, self).truthy():
+                entries = [
+                    _SenseEntry(
+                        expr=stmt.cond,
+                        scope=scope,
+                        edge=None,
+                        last=eval_expr(stmt.cond, scope, self),
+                    )
+                ]
+                yield ("wait", entries)
+            yield from self._exec(stmt.body, scope)
+            return True
+        if isinstance(stmt, ast.SysTaskCall):
+            self._exec_system_task(stmt, scope)
+            return False
+        if isinstance(stmt, ast.NullStmt):
+            return False
+        if isinstance(stmt, ast.Disable):
+            raise SimulationError("disable is not supported", stmt.line)
+        if isinstance(stmt, ast.TaskCall):
+            raise SimulationError(
+                f"user task {stmt.name!r} is not supported", stmt.line
+            )
+        raise SimulationError(
+            f"cannot execute {type(stmt).__name__}", stmt.line
+        )
+
+    def _exec_assign(self, stmt: ast.Assign, scope: Scope):
+        value = eval_sized(stmt.value, scope, self, lvalue_width(stmt.target, scope))
+        if stmt.nonblocking:
+            delay = self._eval_delay(stmt.delay, scope) if stmt.delay else 0
+            target, captured = stmt.target, value
+
+            def apply_update() -> None:
+                store_to_lvalue(target, captured, scope, self, commit=self.commit)
+
+            if delay:
+                self._schedule_at(delay, apply_update)
+            else:
+                self._nba.append(apply_update)
+            return False
+        if stmt.delay is not None:
+            ticks = self._eval_delay(stmt.delay, scope)
+            yield ("delay", ticks)
+            store_to_lvalue(stmt.target, value, scope, self, commit=self.commit)
+            return True
+        store_to_lvalue(stmt.target, value, scope, self, commit=self.commit)
+        return False
+
+    def _exec_case(self, stmt: ast.Case, scope: Scope):
+        subject = eval_expr(stmt.subject, scope, self)
+        default = None
+        for item in stmt.items:
+            if not item.exprs:
+                default = item
+                continue
+            for label_expr in item.exprs:
+                label = eval_expr(label_expr, scope, self)
+                if case_matches(stmt.kind, subject, label):
+                    return (yield from self._exec(item.body, scope))
+        if default is not None:
+            return (yield from self._exec(default.body, scope))
+        return False
+
+    def _exec_for(self, stmt: ast.For, scope: Scope):
+        suspended = False
+        suspended = (yield from self._exec(stmt.init, scope)) or suspended
+        while eval_expr(stmt.cond, scope, self).truthy():
+            suspended = (yield from self._exec(stmt.body, scope)) or suspended
+            suspended = (yield from self._exec(stmt.step, scope)) or suspended
+            self._bump_work(stmt)
+        return suspended
+
+    def _build_senses(
+        self, stmt: ast.EventControl, scope: Scope
+    ) -> list[_SenseEntry]:
+        entries: list[_SenseEntry] = []
+        if stmt.senses:
+            for sense in stmt.senses:
+                entries.append(
+                    _SenseEntry(
+                        expr=sense.expr,
+                        scope=scope,
+                        edge=sense.edge,
+                        last=eval_expr(sense.expr, scope, self),
+                    )
+                )
+            return entries
+        # @* — implicit sensitivity on everything the body reads
+        for name in sorted(collect_reads(stmt.body)):
+            resolved = scope.resolve(name)
+            if not resolved or resolved[0] != "signal":
+                continue
+            signal = resolved[1]
+            if signal.memory is not None:
+                entries.append(
+                    _SenseEntry(
+                        expr=None, scope=scope, edge=None,
+                        last=Vec.unknown(1), memory_signal=signal,
+                    )
+                )
+                continue
+            ident = ast.Identifier(name=name)
+            entries.append(
+                _SenseEntry(
+                    expr=ident,
+                    scope=scope,
+                    edge=None,
+                    last=eval_expr(ident, scope, self),
+                )
+            )
+        return entries
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _bump_work(self, stmt: ast.Stmt) -> None:
+        self._work += 1
+        if self._work > 500_000:
+            raise SimulationError(
+                f"runaway zero-time loop at time {self.now}", stmt.line
+            )
+
+    def _eval_delay(self, expr: ast.Expr | None, scope: Scope) -> int:
+        if expr is None:
+            return 0
+        ticks = eval_expr(expr, scope, self).to_unsigned()
+        if ticks is None:
+            return 0
+        return ticks
+
+    # ------------------------------------------------------------------
+    # System tasks
+    # ------------------------------------------------------------------
+    def _exec_system_task(self, stmt: ast.SysTaskCall, scope: Scope) -> None:
+        name = stmt.name
+        if name in ("$display", "$write", "$strobe"):
+            text = self._format_args(stmt.args, scope)
+            self.output.append(text)
+            return
+        if name == "$monitor":
+            self._monitors.append(_Monitor(fmt_args=list(stmt.args), scope=scope))
+            return
+        if name in ("$finish", "$stop"):
+            raise _FinishSim()
+        if name == "$dumpfile":
+            if stmt.args and isinstance(stmt.args[0], ast.StringLit):
+                self._vcd_file = stmt.args[0].text
+            return
+        if name == "$dumpvars":
+            self._start_vcd()
+            return
+        if name in ("$timeformat", "$dumpon", "$dumpoff"):
+            return
+        if name == "$readmemh" or name == "$readmemb":
+            return  # no filesystem in the sandbox; memories start at x
+        if name == "$error" or name == "$fatal" or name == "$warning":
+            self.output.append(self._format_args(stmt.args, scope))
+            if name == "$fatal":
+                raise _FinishSim()
+            return
+        raise SimulationError(f"unsupported system task {name!r}", stmt.line)
+
+    def _start_vcd(self) -> None:
+        """Begin recording every non-memory signal of the design."""
+        if self._vcd is not None:
+            return
+        self._vcd = VcdRecorder()
+        for signal in self.design.signals:
+            if signal.memory is None:
+                self._vcd.register(
+                    id(signal), signal.name or "top", signal.width, signal.value
+                )
+
+    def _check_monitors(self) -> None:
+        for monitor in self._monitors:
+            text = self._format_args(monitor.fmt_args, monitor.scope)
+            if text != monitor.last_text:
+                monitor.last_text = text
+                self.output.append(text)
+
+    def _format_args(self, args: list[ast.Expr], scope: Scope) -> str:
+        if not args:
+            return ""
+        if isinstance(args[0], ast.StringLit):
+            return self._format_string(args[0].text, args[1:], scope)
+        rendered = []
+        for arg in args:
+            value = eval_expr(arg, scope, self)
+            rendered.append(self._render(value, "d"))
+        return " ".join(rendered)
+
+    def _format_string(
+        self, fmt: str, args: list[ast.Expr], scope: Scope
+    ) -> str:
+        out: list[str] = []
+        arg_iter = iter(args)
+        index = 0
+        while index < len(fmt):
+            ch = fmt[index]
+            if ch == "\\" and index + 1 < len(fmt):
+                escape = fmt[index + 1]
+                out.append({"n": "\n", "t": "\t", "\\": "\\", '"': '"'}.get(escape, escape))
+                index += 2
+                continue
+            if ch != "%":
+                out.append(ch)
+                index += 1
+                continue
+            index += 1
+            if index >= len(fmt):
+                break
+            spec = ""
+            while index < len(fmt) and fmt[index].isdigit():
+                spec += fmt[index]
+                index += 1
+            conv = fmt[index] if index < len(fmt) else "d"
+            index += 1
+            if conv == "%":
+                out.append("%")
+                continue
+            if conv == "m":
+                out.append(scope.path or self.design.top)
+                continue
+            try:
+                value = eval_expr(next(arg_iter), scope, self)
+            except StopIteration:
+                out.append("%" + conv)
+                continue
+            if conv == "t":
+                out.append(str(value.to_unsigned() or 0))
+            else:
+                out.append(self._render(value, conv.lower()))
+        return "".join(out)
+
+    @staticmethod
+    def _render(value: Vec, conv: str) -> str:
+        if conv in ("d", "0"):
+            number = value.to_int()
+            return "x" if number is None else str(number)
+        if conv == "b":
+            return value.bits()
+        if conv in ("h", "x"):
+            if value.is_fully_known:
+                return format(value.aval, "x")
+            return "".join(
+                "x" if any(value.bit(i) in "xz" for i in range(lo, min(lo + 4, value.width)))
+                else format((value.aval >> lo) & 0xF, "x")
+                for lo in range((value.width - 1) // 4 * 4, -1, -4)
+            )
+        if conv == "o":
+            number = value.to_unsigned()
+            return "x" if number is None else format(number, "o")
+        if conv == "c":
+            number = value.to_unsigned()
+            return "?" if number is None else chr(number & 0xFF)
+        if conv == "s":
+            number = value.to_unsigned()
+            if number is None:
+                return "?"
+            raw = number.to_bytes((value.width + 7) // 8, "big")
+            return raw.lstrip(b"\x00").decode("latin-1")
+        number = value.to_int()
+        return "x" if number is None else str(number)
+
+
+def simulate(
+    design: Design,
+    max_time: int = 1_000_000,
+    max_steps: int = 2_000_000,
+) -> SimResult:
+    """Convenience wrapper: build a Simulator and run it."""
+    return Simulator(design, max_time=max_time, max_steps=max_steps).run()

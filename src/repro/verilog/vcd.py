@@ -1,0 +1,90 @@
+"""Value Change Dump (IEEE 1364 Sec. 18) writer.
+
+The simulator records signal transitions when the design calls
+``$dumpvars``; this module formats them as standard VCD text that
+external waveform viewers (GTKWave etc.) accept.  Files are never written
+implicitly — the caller decides via :meth:`VcdRecorder.text` or
+:meth:`VcdRecorder.write`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .values import Vec
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))  # printable VCD id codes
+
+
+def _id_code(index: int) -> str:
+    """Short printable identifier for the index-th variable."""
+    code = ""
+    index += 1
+    while index:
+        index, digit = divmod(index - 1, len(_ID_CHARS))
+        code = _ID_CHARS[digit] + code
+    return code
+
+
+def _format_value(value: Vec, code: str) -> str:
+    if value.width == 1:
+        return f"{value.bit(0)}{code}"
+    return f"b{value.bits()} {code}"
+
+
+@dataclass
+class VcdRecorder:
+    """Collects value changes and renders VCD text."""
+
+    timescale: str = "1ns"
+    _vars: list[tuple[str, int, str]] = field(default_factory=list)
+    _initial: list[str] = field(default_factory=list)
+    _changes: list[tuple[int, str]] = field(default_factory=list)
+    _codes: dict[int, str] = field(default_factory=dict)
+
+    def register(self, key: int, name: str, width: int, value: Vec) -> str:
+        """Declare one variable; returns its VCD id code."""
+        code = _id_code(len(self._vars))
+        self._codes[key] = code
+        self._vars.append((name, width, code))
+        self._initial.append(_format_value(value, code))
+        return code
+
+    def code_for(self, key: int) -> str | None:
+        return self._codes.get(key)
+
+    def record(self, time: int, value: Vec, code: str) -> None:
+        self._changes.append((time, _format_value(value, code)))
+
+    # ------------------------------------------------------------------
+    def text(self, top: str = "top") -> str:
+        """Render the collected dump as VCD."""
+        lines = [
+            "$date repro simulation $end",
+            "$version repro.verilog VCD writer $end",
+            f"$timescale {self.timescale} $end",
+            f"$scope module {top} $end",
+        ]
+        for name, width, code in self._vars:
+            safe = name.replace(".", "_")
+            lines.append(f"$var wire {width} {code} {safe} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        lines.append("$dumpvars")
+        lines.extend(self._initial)
+        lines.append("$end")
+        current_time: int | None = None
+        for time, change in self._changes:
+            if time != current_time:
+                lines.append(f"#{time}")
+                current_time = time
+            lines.append(change)
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str, top: str = "top") -> None:
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(self.text(top))
+
+    @property
+    def change_count(self) -> int:
+        return len(self._changes)

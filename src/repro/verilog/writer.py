@@ -1,0 +1,260 @@
+"""AST pretty-printer: unparse a parsed design back to Verilog source.
+
+Used for corpus normalization, for emitting mutated designs, and — most
+importantly — for the parser's round-trip property tests: for every
+module ``m``, ``parse(write(parse(m)))`` must produce a structurally
+identical AST.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_INDENT = "  "
+
+
+def write_source_unit(unit: ast.SourceUnit) -> str:
+    return "\n".join(write_module(module) for module in unit.modules)
+
+
+def write_module(module: ast.Module) -> str:
+    lines: list[str] = []
+    header = f"module {module.name}"
+    non_local = [p for p in module.params if not p.is_local]
+    if non_local:
+        params = ", ".join(
+            f"parameter {p.name} = {write_expr(p.value)}" for p in non_local
+        )
+        header += f" #({params})"
+    if module.ports:
+        ports = ", ".join(_write_port(port) for port in module.ports)
+        header += f"({ports})"
+    lines.append(header + ";")
+    for param in module.params:
+        if param.is_local:
+            lines.append(
+                f"{_INDENT}localparam {param.name} = {write_expr(param.value)};"
+            )
+    for decl in module.decls:
+        lines.append(_INDENT + _write_decl(decl))
+    for func in module.functions:
+        lines.extend(_write_function(func))
+    for cont in module.assigns:
+        lines.append(
+            f"{_INDENT}assign {write_expr(cont.target)} = "
+            f"{write_expr(cont.value)};"
+        )
+    for instance in module.instances:
+        lines.append(_INDENT + _write_instance(instance))
+    blocks = [("always", blk.body, blk.line) for blk in module.always_blocks]
+    blocks += [("initial", blk.body, blk.line) for blk in module.initial_blocks]
+    blocks.sort(key=lambda item: item[2])
+    for kind, body, _ in blocks:
+        lines.append(f"{_INDENT}{kind} " + write_stmt(body, 1).lstrip())
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _write_port(port: ast.Port) -> str:
+    parts = [port.direction]
+    if port.net_kind == "reg":
+        parts.append("reg")
+    if port.signed:
+        parts.append("signed")
+    if port.range is not None:
+        parts.append(_write_range(port.range))
+    parts.append(port.name)
+    return " ".join(parts)
+
+
+def _write_range(rng: ast.Range) -> str:
+    return f"[{write_expr(rng.msb)}:{write_expr(rng.lsb)}]"
+
+
+def _write_decl(decl: ast.NetDecl) -> str:
+    parts = [decl.kind]
+    if decl.signed and decl.kind not in ("integer",):
+        parts.append("signed")
+    if decl.range is not None:
+        parts.append(_write_range(decl.range))
+    parts.append(decl.name)
+    if decl.array is not None:
+        parts.append(_write_range(decl.array))
+    text = " ".join(parts)
+    if decl.init is not None:
+        text += f" = {write_expr(decl.init)}"
+    return text + ";"
+
+
+def _write_instance(instance: ast.Instance) -> str:
+    text = instance.module_name
+    if instance.param_overrides:
+        overrides = ", ".join(
+            f".{c.name}({write_expr(c.expr)})" if c.name
+            else write_expr(c.expr)
+            for c in instance.param_overrides
+        )
+        text += f" #({overrides})"
+    connections = ", ".join(
+        f".{c.name}({write_expr(c.expr) if c.expr is not None else ''})"
+        if c.name is not None
+        else (write_expr(c.expr) if c.expr is not None else "")
+        for c in instance.connections
+    )
+    return f"{text} {instance.instance_name}({connections});"
+
+
+def _write_function(func: ast.FunctionDecl) -> list[str]:
+    lines = []
+    header = f"{_INDENT}function "
+    if func.signed:
+        header += "signed "
+    if func.range is not None:
+        header += _write_range(func.range) + " "
+    lines.append(header + func.name + ";")
+    for port in func.inputs:
+        rng = f" {_write_range(port.range)}" if port.range else ""
+        signed = " signed" if port.signed else ""
+        lines.append(f"{_INDENT * 2}input{signed}{rng} {port.name};")
+    for decl in func.decls:
+        lines.append(_INDENT * 2 + _write_decl(decl))
+    lines.append(write_stmt(func.body, 2))
+    lines.append(f"{_INDENT}endfunction")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+def write_stmt(stmt: ast.Stmt | None, depth: int = 0) -> str:
+    pad = _INDENT * depth
+    if stmt is None or isinstance(stmt, ast.NullStmt):
+        return pad + ";"
+    if isinstance(stmt, ast.Block):
+        name = f" : {stmt.name}" if stmt.name else ""
+        inner = "\n".join(write_stmt(s, depth + 1) for s in stmt.stmts)
+        return f"{pad}begin{name}\n{inner}\n{pad}end" if stmt.stmts else f"{pad}begin{name}\n{pad}end"
+    if isinstance(stmt, ast.Assign):
+        op = "<=" if stmt.nonblocking else "="
+        delay = f"#{write_expr(stmt.delay)} " if stmt.delay is not None else ""
+        return (
+            f"{pad}{write_expr(stmt.target)} {op} {delay}"
+            f"{write_expr(stmt.value)};"
+        )
+    if isinstance(stmt, ast.If):
+        text = f"{pad}if ({write_expr(stmt.cond)})\n" + write_stmt(
+            stmt.then_stmt, depth + 1
+        )
+        if stmt.else_stmt is not None:
+            text += f"\n{pad}else\n" + write_stmt(stmt.else_stmt, depth + 1)
+        return text
+    if isinstance(stmt, ast.Case):
+        lines = [f"{pad}{stmt.kind} ({write_expr(stmt.subject)})"]
+        for item in stmt.items:
+            label = (
+                ", ".join(write_expr(e) for e in item.exprs)
+                if item.exprs
+                else "default"
+            )
+            lines.append(f"{pad}{_INDENT}{label}:")
+            lines.append(write_stmt(item.body, depth + 2))
+        lines.append(f"{pad}endcase")
+        return "\n".join(lines)
+    if isinstance(stmt, ast.For):
+        init = write_stmt(stmt.init, 0).strip().rstrip(";")
+        step = write_stmt(stmt.step, 0).strip().rstrip(";")
+        return (
+            f"{pad}for ({init}; {write_expr(stmt.cond)}; {step})\n"
+            + write_stmt(stmt.body, depth + 1)
+        )
+    if isinstance(stmt, ast.While):
+        return f"{pad}while ({write_expr(stmt.cond)})\n" + write_stmt(
+            stmt.body, depth + 1
+        )
+    if isinstance(stmt, ast.Repeat):
+        return f"{pad}repeat ({write_expr(stmt.count)})\n" + write_stmt(
+            stmt.body, depth + 1
+        )
+    if isinstance(stmt, ast.Forever):
+        return f"{pad}forever\n" + write_stmt(stmt.body, depth + 1)
+    if isinstance(stmt, ast.DelayStmt):
+        body = write_stmt(stmt.body, depth + 1)
+        return f"{pad}#{write_expr(stmt.delay)}\n{body}"
+    if isinstance(stmt, ast.EventControl):
+        if stmt.senses:
+            senses = " or ".join(
+                (f"{s.edge} " if s.edge else "") + write_expr(s.expr)
+                for s in stmt.senses
+            )
+            control = f"@({senses})"
+        else:
+            control = "@(*)"
+        return f"{pad}{control}\n" + write_stmt(stmt.body, depth + 1)
+    if isinstance(stmt, ast.Wait):
+        return f"{pad}wait ({write_expr(stmt.cond)})\n" + write_stmt(
+            stmt.body, depth + 1
+        )
+    if isinstance(stmt, ast.SysTaskCall):
+        args = ", ".join(write_expr(a) for a in stmt.args)
+        return f"{pad}{stmt.name}({args});" if stmt.args else f"{pad}{stmt.name};"
+    if isinstance(stmt, ast.Disable):
+        return f"{pad}disable {stmt.target};"
+    raise ValueError(f"cannot write {type(stmt).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def write_expr(expr: ast.Expr | None) -> str:
+    if expr is None:
+        return ""
+    if isinstance(expr, ast.Number):
+        return _write_number(expr)
+    if isinstance(expr, ast.StringLit):
+        return f'"{expr.text}"'
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}({write_expr(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        return f"({write_expr(expr.lhs)} {expr.op} {write_expr(expr.rhs)})"
+    if isinstance(expr, ast.Ternary):
+        return (
+            f"({write_expr(expr.cond)} ? {write_expr(expr.if_true)} : "
+            f"{write_expr(expr.if_false)})"
+        )
+    if isinstance(expr, ast.Concat):
+        return "{" + ", ".join(write_expr(p) for p in expr.parts) + "}"
+    if isinstance(expr, ast.Replicate):
+        return "{" + write_expr(expr.count) + "{" + write_expr(expr.value) + "}}"
+    if isinstance(expr, ast.BitSelect):
+        return f"{write_expr(expr.base)}[{write_expr(expr.index)}]"
+    if isinstance(expr, ast.PartSelect):
+        return (
+            f"{write_expr(expr.base)}"
+            f"[{write_expr(expr.msb)}:{write_expr(expr.lsb)}]"
+        )
+    if isinstance(expr, ast.IndexedPartSelect):
+        op = "+:" if expr.ascending else "-:"
+        return (
+            f"{write_expr(expr.base)}"
+            f"[{write_expr(expr.start)} {op} {write_expr(expr.width)}]"
+        )
+    if isinstance(expr, (ast.SystemCall, ast.FunctionCall)):
+        if not expr.args and isinstance(expr, ast.SystemCall):
+            return expr.name
+        args = ", ".join(write_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise ValueError(f"cannot write {type(expr).__name__}")
+
+
+def _write_number(number: ast.Number) -> str:
+    bits = number.value_bits
+    signed = "s" if number.signed and number.sized else ""
+    if number.sized:
+        return f"{number.width}'{signed}b{bits}"
+    if number.signed and "x" not in bits and "z" not in bits:
+        value = int(bits, 2)
+        if number.width == 32 and value < (1 << 31):
+            return str(value)
+    return f"{number.width}'b{bits}"

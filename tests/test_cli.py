@@ -1,0 +1,123 @@
+"""Tests for the command-line front end (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def verilog_file(tmp_path):
+    path = tmp_path / "dut.v"
+    path.write_text(
+        "module m(input a, output y);\n  assign y = ~a;\nendmodule\n"
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def bench_file(tmp_path):
+    path = tmp_path / "tb.v"
+    path.write_text(
+        "module tb;\n"
+        "  reg a; wire y;\n"
+        "  initial begin a = 0; #1 "
+        '$display("y=%b", y); $finish; end\n'
+        "  assign y = ~a;\n"
+        "endmodule\n"
+    )
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.model == "codegen-16b"
+        assert args.n == 10
+
+
+class TestProblems:
+    def test_lists_all_17(self, capsys):
+        assert main(["problems"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 17
+        assert "ABRO FSM" in out
+
+    def test_prompt_levels(self, capsys):
+        assert main(["prompt", "6", "--level", "L"]) == 0
+        low = capsys.readouterr().out
+        assert main(["prompt", "6", "--level", "H"]) == 0
+        high = capsys.readouterr().out
+        assert high.startswith(low.rstrip("\n")[: len(low) // 2])
+        assert len(high) > len(low)
+
+
+class TestCompileAndSimulate:
+    def test_compile_ok(self, capsys, verilog_file):
+        assert main(["compile", verilog_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compile_failure_exit_code(self, capsys, tmp_path):
+        bad = tmp_path / "bad.v"
+        bad.write_text("module m(input a; endmodule")
+        assert main(["compile", str(bad)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_simulate_prints_output(self, capsys, bench_file):
+        assert main(["simulate", bench_file, "--top", "tb"]) == 0
+        out = capsys.readouterr().out
+        assert "y=1" in out
+        assert "finished=True" in out
+
+    def test_simulate_writes_vcd(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        source = tmp_path / "wave_tb.v"
+        source.write_text(
+            "module tb; reg c;\n"
+            "initial begin $dumpfile(\"dump.vcd\"); $dumpvars;\n"
+            "c = 0; #5 c = 1; #1 $finish; end\nendmodule\n"
+        )
+        assert main(["simulate", str(source), "--top", "tb"]) == 0
+        assert (tmp_path / "dump.vcd").exists()
+        assert "$enddefinitions" in (tmp_path / "dump.vcd").read_text()
+
+
+class TestLint:
+    def test_clean_file_exit_zero(self, capsys, verilog_file):
+        assert main(["lint", verilog_file]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_two(self, capsys, tmp_path):
+        path = tmp_path / "warn.v"
+        path.write_text(
+            "module m(input a, output z);\n  wire ghost;\nendmodule\n"
+        )
+        assert main(["lint", str(path)]) == 2
+        out = capsys.readouterr().out
+        assert "undriven" in out
+        assert "unused-signal" in out
+
+
+class TestEvaluateAndCorpus:
+    def test_evaluate_small(self, capsys):
+        code = main([
+            "evaluate", "--model", "codegen-6b", "--ft",
+            "--n", "2", "--temperature", "0.1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall" in out
+        assert out.count("P") >= 17
+
+    def test_corpus_stats(self, capsys):
+        assert main(["corpus", "--repos", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "queried" in out
+        assert "files" in out

@@ -1,0 +1,250 @@
+"""Tests for the training-corpus pipeline (repro.corpus)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import (
+    Corpus,
+    CorpusConfig,
+    MAX_FILE_CHARS,
+    MinHasher,
+    SourceFile,
+    SyntheticGitHub,
+    apply_filters,
+    bigquery_verilog_query,
+    build_combined_corpus,
+    build_github_corpus,
+    deduplicate,
+    estimate_jaccard,
+    exact_jaccard,
+    has_module_pair,
+    shingles,
+    strip_comments,
+)
+from repro.corpus.generators import GENERATORS, random_verilog_file
+from repro.verilog import check_syntax
+
+
+class TestDocuments:
+    def test_source_file_properties(self):
+        f = SourceFile(path="a/b.v", text="module m; endmodule")
+        assert f.extension == ".v"
+        assert f.size == len(f.text)
+
+    def test_no_extension(self):
+        assert SourceFile(path="README", text="").extension == ""
+
+    def test_corpus_bookkeeping(self):
+        corpus = Corpus()
+        corpus.add(SourceFile(path="x.v", text="abc"))
+        corpus.drop("too_large")
+        corpus.drop("too_large")
+        assert len(corpus) == 1
+        assert corpus.total_bytes == 3
+        assert corpus.dropped == {"too_large": 2}
+
+    def test_training_text_joins_files(self):
+        corpus = Corpus()
+        corpus.add(SourceFile(path="a.v", text="AAA"))
+        corpus.add(SourceFile(path="b.v", text="BBB"))
+        assert corpus.training_text() == "AAA\n\nBBB"
+
+    def test_stats_by_origin(self):
+        corpus = Corpus()
+        corpus.add(SourceFile(path="a.v", text="x", origin="github"))
+        corpus.add(SourceFile(path="b.txt", text="y", origin="textbook"))
+        assert corpus.stats()["by_origin"] == {"github": 1, "textbook": 1}
+
+
+class TestFilters:
+    def test_strip_comments(self):
+        assert strip_comments("a // module\nb /* endmodule */ c") == "a \nb  c"
+
+    def test_module_pair_detection(self):
+        assert has_module_pair("module m; endmodule")
+        assert not has_module_pair("`define X 1")
+        assert not has_module_pair("module m;")  # no endmodule
+
+    def test_module_in_comment_does_not_count(self):
+        assert not has_module_pair("// module endmodule discussion\nwire x;")
+
+    def test_size_filter(self):
+        files = [
+            SourceFile(path="ok.v", text="module m; endmodule"),
+            SourceFile(
+                path="big.v",
+                text="module m; endmodule\n" + "x" * MAX_FILE_CHARS,
+            ),
+        ]
+        corpus = apply_filters(files)
+        assert len(corpus) == 1
+        assert corpus.dropped == {"too_large": 1}
+
+    def test_extension_filter(self):
+        files = [SourceFile(path="a.vhd", text="module m; endmodule")]
+        corpus = apply_filters(files)
+        assert len(corpus) == 0
+        assert corpus.dropped == {"extension": 1}
+
+    def test_filter_order_reports_first_failure(self):
+        files = [SourceFile(path="a.v", text="no hardware here")]
+        assert apply_filters(files).dropped == {"no_module_pair": 1}
+
+
+class TestMinHash:
+    def test_identical_texts_full_similarity(self):
+        hasher = MinHasher(num_perm=32)
+        sig = hasher.signature(shingles("module m; endmodule" * 3))
+        assert estimate_jaccard(sig, sig) == 1.0
+
+    def test_disjoint_texts_low_similarity(self):
+        hasher = MinHasher(num_perm=64)
+        a = hasher.signature(shingles("aaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+        b = hasher.signature(shingles("zzzzzzzzzzzzzzzzzzzzzzzzzzzz"))
+        assert estimate_jaccard(a, b) < 0.3
+
+    def test_signature_length(self):
+        hasher = MinHasher(num_perm=16)
+        assert len(hasher.signature(shingles("hello world"))) == 16
+
+    def test_signature_deterministic(self):
+        hasher = MinHasher(num_perm=16, seed=3)
+        s = shingles("module m; endmodule")
+        assert hasher.signature(s) == hasher.signature(s)
+
+    def test_mismatched_signatures_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_jaccard((1, 2), (1, 2, 3))
+
+    def test_exact_jaccard(self):
+        assert exact_jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert exact_jaccard(set(), set()) == 1.0
+        assert exact_jaccard({1}, set()) == 0.0
+
+    def test_dedup_removes_exact_duplicates(self):
+        texts = ["module a; endmodule" * 5, "module a; endmodule" * 5,
+                 "totally different content here that shares nothing at all"]
+        keep = deduplicate(texts, threshold=0.9)
+        assert keep == [0, 2]
+
+    def test_dedup_keeps_distinct(self):
+        texts = [
+            "module adder(input a, b); assign s = a + b; endmodule" * 3,
+            "completely unrelated prose about simulation semantics" * 3,
+        ]
+        assert deduplicate(texts, threshold=0.8) == [0, 1]
+
+    def test_dedup_near_duplicates(self):
+        base = "module counter(input clk); always @(posedge clk) q <= q + 1; endmodule\n" * 6
+        near = base.replace("clk", "clock")
+        keep = deduplicate([base, near], threshold=0.5)
+        assert keep == [0]
+
+    def test_dedup_empty_input(self):
+        assert deduplicate([]) == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(min_size=20, max_size=200))
+    def test_prop_minhash_estimates_self_similarity(self, text):
+        hasher = MinHasher(num_perm=32)
+        sig = hasher.signature(shingles(text))
+        assert estimate_jaccard(sig, sig) == 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        a=st.sets(st.integers(min_value=0, max_value=500), min_size=5, max_size=60),
+        b=st.sets(st.integers(min_value=0, max_value=500), min_size=5, max_size=60),
+    )
+    def test_prop_minhash_estimate_near_exact_jaccard(self, a, b):
+        hasher = MinHasher(num_perm=256)
+        estimated = estimate_jaccard(hasher.signature(a), hasher.signature(b))
+        exact = exact_jaccard(a, b)
+        assert abs(estimated - exact) < 0.25  # 256 perms -> ~1/16 std dev
+
+
+class TestGenerators:
+    def test_every_generator_output_parses(self):
+        rng = random.Random(7)
+        for gen in GENERATORS:
+            for _ in range(5):
+                source = gen(rng)
+                assert check_syntax(source).ok, (gen.__name__, source)
+
+    def test_random_file_may_contain_multiple_modules(self):
+        rng = random.Random(0)
+        sizes = {random_verilog_file(rng).count("endmodule") for _ in range(50)}
+        assert any(size > 1 for size in sizes)
+
+    def test_generators_deterministic_under_seed(self):
+        a = random_verilog_file(random.Random(5))
+        b = random_verilog_file(random.Random(5))
+        assert a == b
+
+
+class TestSyntheticGitHub:
+    def test_snapshot_cached(self):
+        hub = SyntheticGitHub(repos=10)
+        assert hub.snapshot() is hub.snapshot()
+
+    def test_snapshot_deterministic(self):
+        a = SyntheticGitHub(repos=10, seed=3).snapshot()
+        b = SyntheticGitHub(repos=10, seed=3).snapshot()
+        assert [f.path for r in a for f in r.files] == [
+            f.path for r in b for f in r.files
+        ]
+
+    def test_snapshot_contains_pathologies(self):
+        hub = SyntheticGitHub(repos=40, seed=1)
+        files = [f for r in hub.snapshot() for f in r.files]
+        assert any(not f.path.endswith(".v") for f in files), "noise files"
+        assert any(len(f.text) >= MAX_FILE_CHARS for f in files), "oversized"
+        texts = [f.text for f in files if f.path.endswith(".v")]
+        assert len(texts) != len(set(texts)), "exact forks exist"
+
+    def test_query_selects_by_extension(self):
+        hub = SyntheticGitHub(repos=15, seed=2)
+        selected = bigquery_verilog_query(hub.snapshot())
+        assert all(
+            f.path.endswith(".v") or True for f in selected
+        )  # over-approximation allowed
+        assert any(f.path.endswith(".v") for f in selected)
+
+
+class TestPipeline:
+    def test_github_corpus_stage_log(self):
+        training = build_github_corpus(CorpusConfig(repos=20))
+        stages = dict(training.stage_log)
+        assert stages["queried"] >= stages["after_dedup"] >= stages["after_filters"]
+
+    def test_all_surviving_files_are_verilog(self):
+        training = build_github_corpus(CorpusConfig(repos=20))
+        for f in training.corpus.files:
+            assert f.path.endswith(".v")
+            assert has_module_pair(f.text)
+            assert len(f.text) < MAX_FILE_CHARS
+
+    def test_surviving_files_parse(self):
+        training = build_github_corpus(CorpusConfig(repos=15))
+        for f in training.corpus.files:
+            assert check_syntax(f.text).ok, f.path
+
+    def test_combined_corpus_adds_textbook_examples(self):
+        github_only = build_github_corpus(CorpusConfig(repos=15))
+        combined = build_combined_corpus(
+            CorpusConfig(repos=15, textbook_count=3)
+        )
+        assert len(combined.corpus) > len(github_only.corpus)
+        origins = {f.origin for f in combined.corpus.files}
+        assert origins == {"github", "textbook"}
+
+    def test_corpus_deterministic(self):
+        a = build_github_corpus(CorpusConfig(repos=12, seed=9))
+        b = build_github_corpus(CorpusConfig(repos=12, seed=9))
+        assert a.text == b.text
+
+    def test_dedup_threshold_affects_file_count(self):
+        strict = build_github_corpus(CorpusConfig(repos=25, dedup_threshold=0.5))
+        loose = build_github_corpus(CorpusConfig(repos=25, dedup_threshold=0.99))
+        assert len(strict.corpus) <= len(loose.corpus)

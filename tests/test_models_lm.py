@@ -1,0 +1,234 @@
+"""Tests for the trainable LM substrates (n-gram, transformer, sampling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import (
+    GenerationConfig,
+    NGramModel,
+    TransformerConfig,
+    TransformerLM,
+    apply_temperature,
+    nucleus_filter,
+    sample_token,
+    softmax,
+    stable_hash,
+)
+from repro.tokenizer import BPETokenizer
+
+TRAIN_TEXT = (
+    "module counter(input clk, input rst, output reg [3:0] q);\n"
+    "  always @(posedge clk) begin\n"
+    "    if (rst) q <= 4'd0;\n"
+    "    else q <= q + 4'd1;\n"
+    "  end\n"
+    "endmodule\n"
+) * 12
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return BPETokenizer.train(TRAIN_TEXT, vocab_size=320)
+
+
+@pytest.fixture(scope="module")
+def ngram(tokenizer):
+    return NGramModel(tokenizer=tokenizer, order=3).fit(TRAIN_TEXT)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+
+    def test_distinct(self):
+        assert stable_hash("abc") != stable_hash("abd")
+
+    def test_64_bit(self):
+        assert 0 <= stable_hash("anything") < (1 << 64)
+
+
+class TestSampling:
+    def test_softmax_sums_to_one(self):
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs.argmax() == 2
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([1000.0, 1001.0]))
+        assert np.isfinite(probs).all()
+
+    def test_temperature_sharpens(self):
+        logits = np.array([1.0, 2.0])
+        hot = softmax(apply_temperature(logits, 2.0))
+        cold = softmax(apply_temperature(logits, 0.1))
+        assert cold[1] > hot[1]
+
+    def test_temperature_zero_rejected(self):
+        with pytest.raises(ValueError):
+            apply_temperature(np.array([1.0]), 0.0)
+
+    def test_nucleus_keeps_top_mass(self):
+        probs = np.array([0.5, 0.3, 0.15, 0.05])
+        filtered = nucleus_filter(probs, 0.8)
+        assert filtered[3] == 0.0
+        assert filtered.sum() == pytest.approx(1.0)
+
+    def test_nucleus_top_p_one_identity(self):
+        probs = np.array([0.25, 0.75])
+        assert (nucleus_filter(probs, 1.0) == probs).all()
+
+    def test_nucleus_bad_p_rejected(self):
+        with pytest.raises(ValueError):
+            nucleus_filter(np.array([1.0]), 0.0)
+
+    def test_sample_token_respects_nucleus(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([10.0, 0.0, 0.0, 0.0])
+        tokens = {sample_token(logits, 1.0, 0.5, rng) for _ in range(20)}
+        assert tokens == {0}
+
+    @given(st.lists(st.floats(min_value=-5, max_value=5), min_size=2, max_size=16))
+    def test_prop_softmax_is_distribution(self, logits):
+        probs = softmax(np.array(logits))
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()
+
+
+class TestGenerationConfig:
+    def test_defaults_match_paper(self):
+        config = GenerationConfig()
+        assert config.max_tokens == 300
+        assert config.top_p == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"temperature": 0.0},
+            {"temperature": -1.0},
+            {"n": 0},
+            {"max_tokens": 0},
+            {"top_p": 0.0},
+            {"top_p": 1.5},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GenerationConfig(**kwargs)
+
+
+class TestNGram:
+    def test_distribution_sums_to_one(self, ngram, tokenizer):
+        context = tokenizer.encode("module counter")
+        dist = ngram.next_distribution(context)
+        assert dist.sum() == pytest.approx(1.0)
+        assert len(dist) == tokenizer.vocab_size
+
+    def test_training_reduces_perplexity(self, tokenizer):
+        untrained = NGramModel(tokenizer=tokenizer, order=3)
+        untrained._counts = {n: {} for n in range(1, 4)}
+        trained = NGramModel(tokenizer=tokenizer, order=3).fit(TRAIN_TEXT)
+        holdout = "module counter(input clk, input rst, output reg [3:0] q);"
+        assert trained.perplexity(holdout) < untrained.perplexity(holdout)
+
+    def test_in_domain_beats_out_of_domain(self, ngram):
+        in_domain = "always @(posedge clk) begin"
+        out_domain = "the quick brown fox jumps over"
+        assert ngram.perplexity(in_domain) < ngram.perplexity(out_domain)
+
+    def test_generate_n_completions(self, ngram):
+        out = ngram.generate(
+            "module ", GenerationConfig(temperature=0.5, n=3, max_tokens=10)
+        )
+        assert len(out) == 3
+        assert all(c.tokens == 10 for c in out)
+
+    def test_generate_deterministic(self, ngram):
+        config = GenerationConfig(temperature=0.5, n=2, max_tokens=8)
+        a = ngram.generate("module ", config)
+        b = ngram.generate("module ", config)
+        assert [c.text for c in a] == [c.text for c in b]
+
+    def test_low_temperature_concentrates(self, ngram):
+        cold = ngram.generate(
+            "module counter(input clk",
+            GenerationConfig(temperature=0.05, n=4, max_tokens=6),
+        )
+        texts = {c.text for c in cold}
+        assert len(texts) <= 2  # near-greedy
+
+    def test_log_prob_negative(self, ngram, tokenizer):
+        tokens = tokenizer.encode("module counter")
+        assert ngram.log_prob(tokens) < 0
+
+    def test_trained_tokens_recorded(self, ngram):
+        assert ngram.trained_tokens > 100
+
+
+class TestTransformer:
+    @pytest.fixture(scope="class")
+    def model(self, tokenizer):
+        config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size, d_model=32, n_heads=4,
+            n_layers=2, context=48,
+        )
+        return TransformerLM(tokenizer, config, seed=7)
+
+    def test_parameter_count_positive(self, model):
+        assert model.parameter_count > 10_000
+
+    def test_logits_shape(self, model, tokenizer):
+        tokens = tokenizer.encode("module counter(")
+        logits = model.logits(tokens)
+        assert logits.shape == (len(tokens), tokenizer.vocab_size)
+
+    def test_vocab_mismatch_rejected(self, tokenizer):
+        with pytest.raises(ValueError):
+            TransformerLM(
+                tokenizer,
+                TransformerConfig(vocab_size=10, d_model=8, n_heads=2),
+            )
+
+    def test_gradients_match_numerical(self, model, tokenizer):
+        tokens = tokenizer.encode(TRAIN_TEXT)[:16]
+        loss, grads = model.loss_and_grads(tokens)
+        eps = 1e-5
+        for key in ("h0.qkv_w", "wte"):
+            param = model.params[key]
+            idx = tuple(np.unravel_index(13 % param.size, param.shape))
+            orig = param[idx]
+            param[idx] = orig + eps
+            up, _ = model.loss_and_grads(tokens)
+            param[idx] = orig - eps
+            down, _ = model.loss_and_grads(tokens)
+            param[idx] = orig
+            numerical = (up - down) / (2 * eps)
+            relative = abs(numerical - grads[key][idx]) / max(
+                1e-8, abs(numerical) + abs(grads[key][idx])
+            )
+            assert relative < 1e-4, key
+
+    def test_training_reduces_loss(self, tokenizer):
+        config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size, d_model=32, n_heads=4,
+            n_layers=1, context=48,
+        )
+        model = TransformerLM(tokenizer, config, seed=3)
+        losses = model.fit(TRAIN_TEXT, steps=25, lr=3e-3)
+        assert losses[-1] < losses[0]
+
+    def test_too_short_sequence_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.loss_and_grads([1])
+
+    def test_generate_interface(self, model):
+        out = model.generate(
+            "module ", GenerationConfig(temperature=1.0, n=2, max_tokens=5)
+        )
+        assert len(out) == 2
+        assert all(c.tokens == 5 for c in out)
+
+    def test_context_clipping(self, model, tokenizer):
+        long_tokens = tokenizer.encode(TRAIN_TEXT)
+        logits = model.logits(long_tokens)
+        assert logits.shape[0] <= model.config.context

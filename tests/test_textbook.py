@@ -1,0 +1,122 @@
+"""Tests for the textbook corpus leg (repro.corpus.textbook)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.corpus.textbook import (
+    Textbook,
+    clean_textbook,
+    extract_snippets,
+    filter_irrelevant_passages,
+    generate_library,
+    generate_textbook,
+    repair_ocr,
+    sliding_windows,
+    textbook_examples,
+)
+from repro.verilog import check_syntax
+
+
+class TestGeneration:
+    def test_book_has_front_and_back_matter(self):
+        book = generate_textbook(0)
+        assert any(
+            head in book.text for head in ("PREFACE", "ACKNOWLEDGMENTS")
+        )
+        assert "INDEX" in book.text
+
+    def test_book_contains_chapters_and_listings(self):
+        book = generate_textbook(1)
+        assert "CHAPTER 1" in book.text
+        assert "module" in book.text
+
+    def test_generation_deterministic(self):
+        assert generate_textbook(2).text == generate_textbook(2).text
+
+    def test_library_size(self):
+        assert len(generate_library(count=5)) == 5
+
+    def test_books_differ(self):
+        library = generate_library(count=3)
+        texts = {book.text for book in library}
+        assert len(texts) == 3
+
+
+class TestCleaning:
+    def test_front_matter_removed(self):
+        book = generate_textbook(0)
+        cleaned = filter_irrelevant_passages(book.text)
+        assert "PREFACE" not in cleaned
+        assert "INDEX" not in cleaned
+
+    def test_chapters_survive_cleaning(self):
+        book = generate_textbook(0)
+        cleaned = filter_irrelevant_passages(book.text)
+        assert "CHAPTER 1" in cleaned
+
+    def test_repair_ocr_restores_splits(self):
+        assert repair_ocr("f i") == "fi"
+        assert repair_ocr("a = > b") == "a => b"
+
+    def test_cleaned_books_yield_valid_snippets(self):
+        book = generate_textbook(3)
+        snippets = extract_snippets(clean_textbook(book))
+        assert snippets, "expected at least one validated snippet"
+        for snippet in snippets:
+            assert check_syntax(snippet).ok, snippet[:120]
+
+    def test_snippet_regex_rejects_prose(self):
+        assert extract_snippets("the module keyword introduces a design") == []
+
+
+class TestSlidingWindows:
+    def test_short_text_single_window(self):
+        assert sliding_windows("abc", window=10, stride=5) == ["abc"]
+
+    def test_empty_text_no_windows(self):
+        assert sliding_windows("", window=10, stride=5) == []
+
+    def test_windows_overlap(self):
+        text = "abcdefghij"
+        windows = sliding_windows(text, window=4, stride=2)
+        assert windows[0] == "abcd"
+        assert windows[1] == "cdef"
+
+    def test_windows_cover_whole_text(self):
+        text = "x" * 100 + "END"
+        windows = sliding_windows(text, window=16, stride=8)
+        assert "END" in "".join(windows)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_windows("abc", window=0, stride=1)
+        with pytest.raises(ValueError):
+            sliding_windows("abc", window=4, stride=0)
+
+    @given(
+        text=st.text(min_size=1, max_size=300),
+        window=st.integers(min_value=1, max_value=64),
+        stride=st.integers(min_value=1, max_value=64),
+    )
+    def test_prop_every_window_within_bounds(self, text, window, stride):
+        for chunk in sliding_windows(text, window, stride):
+            assert len(chunk) <= window
+            assert chunk in text
+
+    @given(text=st.text(min_size=1, max_size=300))
+    def test_prop_stride_equals_window_partitions(self, text):
+        windows = sliding_windows(text, window=10, stride=10)
+        assert "".join(windows) == text[: sum(len(w) for w in windows)]
+
+
+class TestExamples:
+    def test_examples_from_library(self):
+        books = generate_library(count=2)
+        examples = textbook_examples(books, window=512, stride=256)
+        assert examples
+        assert all(len(e) <= 512 for e in examples)
+
+    def test_examples_exclude_index_lines(self):
+        books = generate_library(count=2)
+        joined = "\n".join(textbook_examples(books))
+        assert "INDEX" not in joined

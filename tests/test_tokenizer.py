@@ -1,0 +1,108 @@
+"""Tests for the BPE tokenizer (repro.tokenizer)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tokenizer import BPETokenizer, pretokenize
+
+SAMPLE = (
+    "module counter(input clk, input rst, output reg [3:0] q);\n"
+    "  always @(posedge clk) begin\n"
+    "    if (rst) q <= 4'd0;\n"
+    "    else q <= q + 4'd1;\n"
+    "  end\n"
+    "endmodule\n"
+) * 8
+
+
+@pytest.fixture(scope="module")
+def trained():
+    return BPETokenizer.train(SAMPLE, vocab_size=400)
+
+
+class TestPretokenize:
+    def test_lossless(self):
+        data = b"module m(input a); // comment\n  assign b = a + 1;"
+        assert b"".join(pretokenize(data)) == data
+
+    def test_identifiers_kept_whole(self):
+        chunks = pretokenize(b"assign foo_bar = baz;")
+        assert b" foo_bar" in chunks or b"foo_bar" in chunks
+
+    def test_leading_space_attaches(self):
+        chunks = pretokenize(b"a b")
+        assert chunks == [b"a", b" b"]
+
+
+class TestTraining:
+    def test_vocab_grows(self, trained):
+        assert 256 < trained.vocab_size <= 400
+
+    def test_vocab_size_floor(self):
+        with pytest.raises(ValueError):
+            BPETokenizer.train("abc", vocab_size=100)
+
+    def test_training_is_deterministic(self):
+        a = BPETokenizer.train(SAMPLE, vocab_size=300)
+        b = BPETokenizer.train(SAMPLE, vocab_size=300)
+        assert a.merges == b.merges
+
+    def test_training_stops_when_no_repeats(self):
+        tok = BPETokenizer.train("abcdefg", vocab_size=1000)
+        assert tok.vocab_size < 300  # nothing repeats twice
+
+    def test_compression_on_training_domain(self, trained):
+        ids = trained.encode(SAMPLE)
+        assert len(ids) < len(SAMPLE.encode()) / 2
+
+    def test_merges_have_valid_ids(self, trained):
+        for index, (left, right) in enumerate(trained.merges):
+            assert left < 256 + index
+            assert right < 256 + index
+
+
+class TestEncodeDecode:
+    def test_round_trip_sample(self, trained):
+        assert trained.decode(trained.encode(SAMPLE)) == SAMPLE
+
+    def test_empty_string(self, trained):
+        assert trained.encode("") == []
+        assert trained.decode([]) == ""
+
+    def test_unseen_characters_fall_back_to_bytes(self, trained):
+        text = "\x01\x02 unusual ★ text"
+        assert trained.decode(trained.encode(text)) == text
+
+    def test_untrained_tokenizer_is_byte_identity(self):
+        tok = BPETokenizer()
+        ids = tok.encode("abc")
+        assert ids == [97, 98, 99]
+
+    def test_token_bytes_accessor(self, trained):
+        merged = trained.token_bytes(256)
+        assert len(merged) >= 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=200))
+    def test_prop_round_trip_any_text(self, text):
+        tok = BPETokenizer.train(SAMPLE, vocab_size=300)
+        assert tok.decode(tok.encode(text)) == text
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(min_size=1, max_size=100))
+    def test_prop_ids_within_vocab(self, text):
+        tok = BPETokenizer.train(SAMPLE, vocab_size=300)
+        assert all(0 <= i < tok.vocab_size for i in tok.encode(text))
+
+
+class TestPersistence:
+    def test_json_round_trip(self, trained):
+        clone = BPETokenizer.from_json(trained.to_json())
+        assert clone.merges == trained.merges
+        assert clone.encode(SAMPLE) == trained.encode(SAMPLE)
+
+    def test_save_load_file(self, trained, tmp_path):
+        path = tmp_path / "tok.json"
+        trained.save(str(path))
+        clone = BPETokenizer.load(str(path))
+        assert clone.merges == trained.merges
