@@ -10,11 +10,10 @@ published values alongside.
 Run:  python examples/evaluate_model_zoo.py        (~30 s)
 """
 
-import time
+import os
 
+from repro.api import Session
 from repro.eval import (
-    Evaluator,
-    SweepConfig,
     fig6_temperature,
     fig7_difficulty,
     fig7_levels,
@@ -24,24 +23,24 @@ from repro.eval import (
     render_series,
     render_table3,
     render_table4,
-    run_sweep,
     table3,
     table4,
 )
-from repro.models import paper_model_variants
 from repro.problems import get_problem
 
 
 def main() -> None:
-    models = paper_model_variants()
-    print(f"evaluating {len(models)} model variants: "
-          + ", ".join(m.name for m in models))
-    evaluator = Evaluator()
-    started = time.time()
-    sweep = run_sweep(models, SweepConfig(), evaluator)
+    session = Session(backend="zoo", workers=os.cpu_count() or 1)
+    print(f"evaluating {len(session.models())} model variants: "
+          + ", ".join(session.models()))
+    result = session.run_sweep()
+    sweep = result.sweep
+    stats = result.stats
     print(
-        f"{len(sweep)} completions evaluated in {time.time() - started:.1f}s "
-        f"(cache: {evaluator.cache_info})\n"
+        f"{len(sweep)} completions evaluated in "
+        f"{stats['elapsed_seconds']:.1f}s across {stats['workers']} workers "
+        f"({stats['jobs']} jobs, {stats['jobs_skipped']} skipped; "
+        f"cache: {stats['evaluator_cache']})\n"
     )
 
     print(render_table3(table3(sweep)))

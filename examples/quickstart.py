@@ -7,11 +7,14 @@ Walks the three things the library does:
    Verilog stand-in);
 2. ask a model from the calibrated zoo to complete a benchmark prompt;
 3. run the completion through the evaluation pipeline (truncation,
-   compile gate, self-checking test bench) and print the verdict.
+   compile gate, self-checking test bench) and print the verdict;
+4. do the same through the job-based service API (``repro.api``), which
+   adds pluggable backends, parallel execution and skip/error records.
 
 Run:  python examples/quickstart.py
 """
 
+from repro.api import Session
 from repro.eval import Evaluator
 from repro.models import GenerationConfig, make_model
 from repro.problems import ALL_PROBLEMS, PromptLevel, get_problem
@@ -86,7 +89,25 @@ def part3_generate_and_evaluate() -> None:
     print("(paper Table IV, CodeGen-16B FT, intermediate/M: 0.270)")
 
 
+def part4_service_api() -> None:
+    print("=" * 70)
+    print("4. The job-based service API (repro.api)")
+    print("=" * 70)
+    session = Session(backend="zoo", workers=4)
+    result = session.evaluate_model(
+        "codegen-16b-ft", problem_numbers=(1, 2, 6), n=10
+    )
+    for problem in (1, 2, 6):
+        records = result.sweep.filter(problem=problem)
+        passes = sum(r.passed for r in records)
+        print(f"  P{problem}: {passes}/{len(records)} passed")
+    print(f"  stats: {result.stats['jobs']} jobs on "
+          f"{result.stats['workers']} workers, "
+          f"cache {result.stats['evaluator_cache']}")
+
+
 if __name__ == "__main__":
     part1_simulate_verilog()
     part2_browse_problem_set()
     part3_generate_and_evaluate()
+    part4_service_api()

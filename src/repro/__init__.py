@@ -13,18 +13,24 @@ Subpackages:
 * :mod:`repro.problems` — the 17-problem benchmark set with L/M/H prompts
   and self-checking test benches;
 * :mod:`repro.eval` — truncation, compile/functional gates, metrics,
-  sweep harness, table/figure reporting;
+  job-based sweep planner/executor, table/figure reporting;
+* :mod:`repro.backends` — pluggable generation backends (local zoo,
+  deterministic stub, offline-safe HTTP chat adapter) plus registry;
+* :mod:`repro.api` — the stable service facade (:class:`Session`);
 * :mod:`repro.core` — the end-to-end pipeline facade.
 """
 
+from .api import Session, evaluate_model
 from .core import VGenConfig, VGenPipeline, VGenResult, quick_evaluate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Session",
     "VGenConfig",
     "VGenPipeline",
     "VGenResult",
     "__version__",
+    "evaluate_model",
     "quick_evaluate",
 ]

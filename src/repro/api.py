@@ -1,0 +1,202 @@
+"""Stable top-level service facade for generation and evaluation.
+
+The one import most users need::
+
+    from repro.api import Session
+
+    session = Session(backend="zoo", workers=4)
+    result = session.run_sweep()          # SweepResult
+    print(result.stats, len(result.skipped))
+
+A :class:`Session` binds a backend (by name or instance), a shared
+thread-safe evaluator and a worker count, then serves sweeps and
+single-model evaluations through the job planner/executor of
+:mod:`repro.eval.jobs`.  The legacy entrypoints
+(:func:`repro.eval.run_sweep`, :func:`repro.quick_evaluate`,
+``VGenPipeline``) are thin shims over this module.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .backends import Backend, LocalZooBackend, resolve_backend
+from .eval.harness import Sweep, SweepConfig
+from .eval.jobs import (
+    ProgressCallback,
+    SweepExecutor,
+    SweepPlan,
+    SweepPlanner,
+    SweepResult,
+    execute_sweep,
+)
+from .eval.pipeline import Evaluator
+from .models.base import Completion, GenerationConfig, LanguageModel
+
+
+class Session:
+    """A configured generation/evaluation service handle.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.backends.Backend` instance, a registered
+        backend name (``"zoo"``, ``"stub"``, ``"http"``, ...), or
+        ``None`` for the default local zoo.
+    evaluator:
+        Shared across every run of this session, so verdict caching
+        accumulates between calls.
+    workers:
+        Thread-pool width for sweep execution (1 = serial).
+    """
+
+    def __init__(
+        self,
+        backend: Backend | str | None = None,
+        evaluator: Evaluator | None = None,
+        workers: int = 1,
+        progress: ProgressCallback | None = None,
+    ):
+        self.backend = resolve_backend(backend)
+        self.evaluator = evaluator or Evaluator()
+        self.workers = workers
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def models(self) -> list[str]:
+        """Model variants the session's backend serves."""
+        return self.backend.models()
+
+    def generate(
+        self,
+        model: str,
+        prompt: str,
+        temperature: float = 0.1,
+        n: int = 10,
+        max_tokens: int = 300,
+    ) -> list[Completion]:
+        """Raw completions for one prompt (no evaluation)."""
+        config = GenerationConfig(
+            temperature=temperature, n=n, max_tokens=max_tokens
+        )
+        return self.backend.generate(model, prompt, config)
+
+    def plan(
+        self,
+        config: SweepConfig | None = None,
+        models: Sequence[str] | None = None,
+    ) -> SweepPlan:
+        """Expand a sweep into jobs without running it."""
+        return SweepPlanner(self.backend).plan(config, models=models)
+
+    def run_plan(self, plan: SweepPlan) -> SweepResult:
+        """Execute a previously built plan."""
+        executor = SweepExecutor(
+            self.backend,
+            evaluator=self.evaluator,
+            workers=self.workers,
+            progress=self.progress,
+        )
+        return executor.run(plan)
+
+    def run_sweep(
+        self,
+        config: SweepConfig | None = None,
+        models: Sequence[str] | None = None,
+    ) -> SweepResult:
+        """Plan and execute a full sweep (Fig. 1) on this session."""
+        return self.run_plan(self.plan(config, models=models))
+
+    def evaluate_model(
+        self,
+        model: str | LanguageModel,
+        problem_numbers: tuple[int, ...] | None = None,
+        temperature: float = 0.1,
+        n: int = 10,
+        levels: tuple | None = None,
+    ) -> SweepResult:
+        """One model at one temperature over selected problems.
+
+        ``model`` is a served model name, or a bare
+        :class:`LanguageModel` instance (evaluated through a one-off
+        local-zoo backend regardless of the session backend).
+        """
+        config = SweepConfig(
+            temperatures=(temperature,),
+            completions_per_prompt=(n,),
+            problem_numbers=problem_numbers or SweepConfig().problem_numbers,
+            levels=levels or SweepConfig().levels,
+        )
+        if isinstance(model, LanguageModel):
+            return execute_sweep(
+                LocalZooBackend([model]),
+                config=config,
+                evaluator=self.evaluator,
+                workers=self.workers,
+                progress=self.progress,
+            )
+        return self.run_sweep(config, models=[model])
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_info(self) -> dict:
+        """The shared evaluator's cache statistics."""
+        return self.evaluator.cache_info
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(backend={self.backend.name!r}, "
+            f"workers={self.workers})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences (one-shot sessions)
+# ----------------------------------------------------------------------
+def run_sweep(
+    config: SweepConfig | None = None,
+    *,
+    backend: Backend | str | None = None,
+    models: Sequence[str] | list[LanguageModel] | None = None,
+    evaluator: Evaluator | None = None,
+    workers: int = 1,
+    progress: ProgressCallback | None = None,
+) -> SweepResult:
+    """One-shot sweep; ``models`` may be names or LanguageModel instances."""
+    if models and not isinstance(models[0], str):
+        backend = LocalZooBackend(list(models))
+        models = [m.name for m in models]
+    session = Session(
+        backend=backend, evaluator=evaluator, workers=workers, progress=progress
+    )
+    return session.run_sweep(config, models=models)
+
+
+def evaluate_model(
+    model: str | LanguageModel,
+    problem_numbers: tuple[int, ...] | None = None,
+    temperature: float = 0.1,
+    n: int = 10,
+    *,
+    backend: Backend | str | None = None,
+    evaluator: Evaluator | None = None,
+    workers: int = 1,
+) -> SweepResult:
+    """One-shot single-model evaluation (see :meth:`Session.evaluate_model`)."""
+    if isinstance(model, LanguageModel) and backend is None:
+        backend = LocalZooBackend([model])
+        model = model.name
+    session = Session(backend=backend, evaluator=evaluator, workers=workers)
+    return session.evaluate_model(
+        model, problem_numbers=problem_numbers, temperature=temperature, n=n
+    )
+
+
+__all__ = [
+    "Session",
+    "Sweep",
+    "SweepConfig",
+    "SweepResult",
+    "evaluate_model",
+    "run_sweep",
+]

@@ -1,0 +1,55 @@
+"""Pluggable generation backends for the job-based sweep service.
+
+Built-in registrations:
+
+* ``"zoo"`` — :class:`LocalZooBackend`, the calibrated in-process zoo
+  (paper Table I variants by default);
+* ``"stub"`` — :class:`StubBackend`, scripted deterministic completions
+  for tests and smoke runs;
+* ``"stub-canonical"`` — stub answering benchmark prompts with the
+  reference solutions (all-pass smoke source);
+* ``"http"`` — :class:`HTTPChatBackend`, an offline-safe chat-endpoint
+  adapter with an injectable transport.
+"""
+
+from .base import (
+    Backend,
+    BackendError,
+    ModelCapabilities,
+    available_backends,
+    create_backend,
+    register_backend,
+    resolve_backend,
+)
+from .http import (
+    HTTPChatBackend,
+    SYSTEM_PROMPT,
+    clean_chat_response,
+    extract_chat_text,
+)
+from .local import LocalZooBackend
+from .stub import DEFAULT_STUB_TEXT, StubBackend
+
+register_backend("zoo", LocalZooBackend)
+register_backend("stub", StubBackend)
+register_backend(
+    "stub-canonical", lambda **kw: StubBackend(canonical=True, **kw)
+)
+register_backend("http", HTTPChatBackend)
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "DEFAULT_STUB_TEXT",
+    "HTTPChatBackend",
+    "LocalZooBackend",
+    "ModelCapabilities",
+    "StubBackend",
+    "SYSTEM_PROMPT",
+    "available_backends",
+    "clean_chat_response",
+    "create_backend",
+    "extract_chat_text",
+    "register_backend",
+    "resolve_backend",
+]

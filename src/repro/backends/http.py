@@ -1,0 +1,129 @@
+"""Offline-safe HTTP/chat backend adapter.
+
+Speaks the request/response shape of local chat servers (Ollama-style
+``{"message": {"content": ...}}`` and OpenAI-style
+``{"choices": [{"message": {"content": ...}}]}``) but never opens a
+socket itself: the transport is an injected callable
+``transport(url, payload) -> response dict``.  Production deployments
+plug in a real client; tests plug in a recorder.  Chat models wrap code
+in markdown fences and chatter around it, so responses are cleaned
+(fence extraction) before they reach the evaluator.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Callable, Sequence
+
+from ..models.base import Completion, GenerationConfig
+from .base import Backend, BackendError, ModelCapabilities
+
+Transport = Callable[[str, dict], dict]
+
+SYSTEM_PROMPT = (
+    "You are an expert hardware engineer writing synthesizable "
+    "Verilog-2001. Continue the given module skeleton. Output only "
+    "Verilog code, ending with `endmodule`; do not use SystemVerilog."
+)
+
+_FENCE_RES = (
+    re.compile(r"```(?:[Vv]erilog|v|systemverilog)\s*\n(.*?)\n\s*```", re.DOTALL),
+    re.compile(r"```\s*\n(.*?)\n\s*```", re.DOTALL),
+)
+
+
+def clean_chat_response(text: str) -> str:
+    """Extract code from markdown fences; fall back to the bare text."""
+    for fence in _FENCE_RES:
+        match = fence.search(text)
+        if match:
+            return match.group(1).strip()
+    return text.strip()
+
+
+def extract_chat_text(response: dict) -> str:
+    """Pull the assistant text out of an Ollama- or OpenAI-shaped reply."""
+    if "message" in response:  # ollama /api/chat
+        return str(response["message"].get("content", ""))
+    choices = response.get("choices")
+    if choices:  # openai /v1/chat/completions
+        first = choices[0]
+        if "message" in first:
+            return str(first["message"].get("content", ""))
+        return str(first.get("text", ""))
+    raise BackendError(f"unrecognized chat response shape: {sorted(response)}")
+
+
+class HTTPChatBackend(Backend):
+    """Chat-endpoint backend with a pluggable transport."""
+
+    name = "http"
+
+    def __init__(
+        self,
+        model_names: Sequence[str] = ("chat-model",),
+        transport: Transport | None = None,
+        url: str = "http://localhost:11434/api/chat",
+        system_prompt: str = SYSTEM_PROMPT,
+        clean: bool = True,
+        max_tokens: int = 300,
+    ):
+        self._model_names = list(model_names)
+        self._transport = transport
+        self.url = url
+        self.system_prompt = system_prompt
+        self.clean = clean
+        self._max_tokens = max_tokens
+
+    # ------------------------------------------------------------------
+    def models(self) -> list[str]:
+        return list(self._model_names)
+
+    def capabilities(self, model: str) -> ModelCapabilities:
+        return ModelCapabilities(max_tokens=self._max_tokens)
+
+    def payload(
+        self, model: str, prompt: str, config: GenerationConfig, index: int
+    ) -> dict:
+        """One chat request; ``index`` seeds distinct samples per prompt."""
+        return {
+            "model": model,
+            "messages": [
+                {"role": "system", "content": self.system_prompt},
+                {"role": "user", "content": prompt},
+            ],
+            "options": {
+                "temperature": config.temperature,
+                "top_p": config.top_p,
+                "num_predict": min(config.max_tokens, self._max_tokens),
+                "seed": index,
+            },
+            "stream": False,
+        }
+
+    def generate(
+        self, model: str, prompt: str, config: GenerationConfig
+    ) -> list[Completion]:
+        if self._transport is None:
+            raise BackendError(
+                "HTTPChatBackend has no transport configured; it is "
+                "offline-safe by design — inject transport=(url, payload) "
+                "-> response to connect it to a real endpoint"
+            )
+        completions = []
+        for index in range(config.n):
+            started = time.perf_counter()
+            response = self._transport(self.url, self.payload(model, prompt, config, index))
+            elapsed = time.perf_counter() - started
+            text = extract_chat_text(response)
+            if self.clean:
+                text = clean_chat_response(text)
+            completions.append(
+                Completion(
+                    text=text,
+                    inference_seconds=elapsed,
+                    tokens=max(1, len(text) // 4),
+                )
+            )
+        return completions

@@ -7,9 +7,14 @@ Commands:
 * ``compile FILE`` — compile a Verilog file with the built-in frontend;
 * ``simulate FILE [--top NAME]`` — compile and simulate, print output;
 * ``lint FILE`` — run the static lint checks;
-* ``evaluate [--model NAME] [--ft] [--n N] [--temperature T]`` — query a
-  zoo model on the whole problem set and print per-problem verdicts;
-* ``tables`` — run the full sweep and print Tables III/IV + headlines;
+* ``evaluate [--model NAME] [--ft] [--n N] [--temperature T]
+  [--backend B] [--workers W]`` — query a model on the whole problem set
+  and print per-problem verdicts;
+* ``sweep [--models A,B] [--backend B] [--workers W] [--export PATH]
+  ...`` — plan + run a configurable sweep through the job service; print
+  jobs/skips/errors and optionally export records to JSON/CSV;
+* ``tables [--backend B] [--workers W]`` — run the full sweep and print
+  Tables III/IV + headlines + executor stats;
 * ``corpus [--repos N] [--books]`` — build the training corpus, print stats.
 """
 
@@ -85,47 +90,178 @@ def _cmd_lint(args) -> int:
     return 0 if not warnings else 2
 
 
+def _session(args):
+    """Build a Session from common --backend/--workers flags."""
+    from .api import Session
+
+    return Session(backend=args.backend, workers=args.workers)
+
+
 def _cmd_evaluate(args) -> int:
-    from .eval import Evaluator
-    from .models import GenerationConfig, make_model
-    from .problems import ALL_PROBLEMS, PromptLevel
+    from .backends import LocalZooBackend
+    from .api import Session
+    from .models import make_model
+    from .problems import PromptLevel, get_problem
 
-    model = make_model(args.model, fine_tuned=args.ft)
-    evaluator = Evaluator()
-    config = GenerationConfig(temperature=args.temperature, n=args.n)
-    total_pass = total = 0
-    for problem in ALL_PROBLEMS:
-        completions = model.generate(problem.prompt(PromptLevel.MEDIUM), config)
-        passes = sum(
-            evaluator.evaluate(problem, c.text).passed for c in completions
+    if args.backend == "zoo":
+        try:
+            model = make_model(args.model, fine_tuned=args.ft)
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+        session = Session(
+            backend=LocalZooBackend([model]), workers=args.workers
         )
+        name = model.name
+    else:
+        session = _session(args)
+        if args.ft:
+            print("error: --ft only applies to the zoo backend")
+            return 2
+        served = session.models()
+        if args.model in served:
+            name = args.model
+        elif args.model == _DEFAULT_EVAL_MODEL:
+            # the zoo-oriented default isn't served here; fall back visibly
+            name = served[0]
+            print(f"-- evaluating {name} (backend {args.backend!r} default)")
+        else:
+            print(f"error: backend {args.backend!r} does not serve "
+                  f"{args.model!r}; serves: {served}")
+            return 2
+    result = session.evaluate_model(
+        name,
+        temperature=args.temperature,
+        n=args.n,
+        levels=(PromptLevel.MEDIUM,),
+    )
+    total_pass = total = 0
+    by_problem: dict[int, list] = {}
+    for record in result.sweep.records:
+        by_problem.setdefault(record.problem, []).append(record)
+    for number, records in sorted(by_problem.items()):
+        passes = sum(r.passed for r in records)
         total_pass += passes
-        total += len(completions)
-        print(f"P{problem.number:>2} {problem.title:<40} {passes}/{len(completions)}")
-    print(f"-- overall {total_pass}/{total} = {total_pass / total:.3f}")
-    return 0
+        total += len(records)
+        title = get_problem(number).title
+        print(f"P{number:>2} {title:<40} {passes}/{len(records)}")
+    for skip in result.skipped:
+        print(f"-- skipped P{skip.problem}: {skip.reason}")
+    for error in result.errors:
+        print(f"-- failed P{error.job.problem}: {error.error}")
+    if total:
+        print(f"-- overall {total_pass}/{total} = {total_pass / total:.3f}")
+    stats = result.stats
+    print(
+        f"-- backend={stats['backend']} workers={stats['workers']} "
+        f"cache={stats['evaluator_cache']}"
+    )
+    return 1 if result.errors else 0
 
 
-def _cmd_tables(_args) -> int:
+def _parse_levels(text: str):
+    from .problems import PromptLevel
+
+    table = {"L": PromptLevel.LOW, "M": PromptLevel.MEDIUM,
+             "H": PromptLevel.HIGH}
+    return tuple(table[part.strip().upper()] for part in text.split(","))
+
+
+def _cmd_sweep(args) -> int:
+    from .backends import BackendError
+    from .eval import SweepConfig, save_sweep
+    from .problems import ALL_PROBLEMS
+
+    if args.export and not args.export.endswith((".json", ".csv")):
+        print(f"error: --export must end in .json or .csv, got {args.export!r}")
+        return 2
+    session = _session(args)
+    defaults = SweepConfig()
+    try:
+        if args.levels:
+            levels = _parse_levels(args.levels)
+    except KeyError as exc:
+        print(f"error: unknown level {exc.args[0]!r}; choose from L,M,H")
+        return 2
+    try:
+        config = SweepConfig(
+            temperatures=tuple(float(t) for t in args.temperatures.split(","))
+            if args.temperatures else defaults.temperatures,
+            completions_per_prompt=tuple(int(n) for n in args.n.split(","))
+            if args.n else defaults.completions_per_prompt,
+            levels=levels if args.levels else defaults.levels,
+            problem_numbers=tuple(int(p) for p in args.problems.split(","))
+            if args.problems else defaults.problem_numbers,
+            max_tokens=args.max_tokens,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    known_problems = {p.number for p in ALL_PROBLEMS}
+    unknown = sorted(set(config.problem_numbers) - known_problems)
+    if unknown:
+        print(f"error: unknown problem number(s) {unknown}; "
+              f"valid: 1..{max(known_problems)}")
+        return 2
+    models = args.models.split(",") if args.models else None
+    try:
+        plan = session.plan(config, models=models)
+    except BackendError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(
+        f"planned {len(plan.jobs)} jobs "
+        f"({plan.completions_planned} completions), "
+        f"{len(plan.skipped)} skipped"
+    )
+    result = session.run_plan(plan)
+    for skip in result.skipped:
+        print(
+            f"  skipped {skip.model} P{skip.problem} {skip.level} "
+            f"t={skip.temperature} n={skip.n}: {skip.reason}"
+        )
+    for error in result.errors:
+        job = error.job
+        print(f"  failed {job.model} P{job.problem}: {error.error}")
+    sweep = result.sweep
+    rate = sweep.rate(sweep.records) if sweep.records else 0.0
+    print(f"{len(sweep)} records, overall pass rate {rate:.3f}")
+    stats = result.stats
+    print(
+        f"-- backend={stats['backend']} workers={stats['workers']} "
+        f"elapsed={stats['elapsed_seconds']:.2f}s "
+        f"cache={stats['evaluator_cache']}"
+    )
+    if args.export:
+        save_sweep(sweep, args.export)
+        print(f"-- wrote {args.export}")
+    return 1 if result.errors else 0
+
+
+def _cmd_tables(args) -> int:
     from .eval import (
-        Evaluator,
-        SweepConfig,
         headline_numbers,
         render_headline,
         render_table3,
         render_table4,
-        run_sweep,
         table3,
         table4,
     )
-    from .models import paper_model_variants
 
-    sweep = run_sweep(paper_model_variants(), SweepConfig(), Evaluator())
+    session = _session(args)
+    result = session.run_sweep()
+    sweep = result.sweep
     print(render_table3(table3(sweep)))
     print()
     print(render_table4(table4(sweep)))
     print()
     print(render_headline(headline_numbers(sweep)))
+    stats = result.stats
+    print(
+        f"-- backend={stats['backend']} workers={stats['workers']} "
+        f"jobs={stats['jobs']} skipped={stats['jobs_skipped']} "
+        f"cache={stats['evaluator_cache']}"
+    )
     return 0
 
 
@@ -143,6 +279,29 @@ def _cmd_corpus(args) -> int:
     print(f"dropped            {stats['dropped']}")
     print(f"by origin          {stats['by_origin']}")
     return 0
+
+
+_DEFAULT_EVAL_MODEL = "codegen-16b"
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    from .backends import available_backends
+
+    parser.add_argument(
+        "--backend", default="zoo", choices=available_backends(),
+        help="generation backend (default: the local simulated zoo)",
+    )
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="executor thread-pool width (default: 1, serial)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,13 +329,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="run static lint checks on a file")
     p.add_argument("file")
 
-    p = sub.add_parser("evaluate", help="evaluate a zoo model on the set")
-    p.add_argument("--model", default="codegen-16b")
+    p = sub.add_parser("evaluate", help="evaluate a model on the set")
+    p.add_argument("--model", default=_DEFAULT_EVAL_MODEL)
     p.add_argument("--ft", action="store_true")
     p.add_argument("--n", type=int, default=10)
     p.add_argument("--temperature", type=float, default=0.1)
+    _add_service_flags(p)
 
-    sub.add_parser("tables", help="run the full sweep; print Tables III/IV")
+    p = sub.add_parser("sweep", help="run a configurable sweep via the job service")
+    p.add_argument("--models", default=None,
+                   help="comma-separated variant names (default: all served)")
+    p.add_argument("--temperatures", default=None,
+                   help="comma-separated floats (default: paper sweep)")
+    p.add_argument("--n", default=None,
+                   help="comma-separated completions-per-prompt (default: 10)")
+    p.add_argument("--levels", default=None,
+                   help="comma-separated from L,M,H (default: all)")
+    p.add_argument("--problems", default=None,
+                   help="comma-separated problem numbers (default: all 17)")
+    p.add_argument("--max-tokens", type=int, default=300)
+    p.add_argument("--export", default=None,
+                   help="write records to this .json or .csv path")
+    _add_service_flags(p)
+
+    p = sub.add_parser("tables", help="run the full sweep; print Tables III/IV")
+    _add_service_flags(p)
 
     p = sub.add_parser("corpus", help="build the training corpus")
     p.add_argument("--repos", type=int, default=60)
@@ -192,6 +369,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "lint": _cmd_lint,
     "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
     "tables": _cmd_tables,
     "corpus": _cmd_corpus,
 }

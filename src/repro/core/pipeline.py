@@ -17,10 +17,10 @@ from ..corpus import CorpusConfig, TrainingCorpus, build_corpus
 from ..eval import (
     Evaluator,
     Headline,
+    SkippedJob,
     Sweep,
     SweepConfig,
     headline_numbers,
-    run_sweep,
     table3,
     table4,
 )
@@ -40,6 +40,7 @@ class VGenConfig:
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
     sweep: SweepConfig = field(default_factory=SweepConfig)
     seed: int = 0
+    workers: int = 1  # sweep executor pool width (1 = serial)
 
 
 @dataclass
@@ -52,6 +53,8 @@ class VGenResult:
     table3: dict
     table4: dict
     headline: Headline
+    skipped: list[SkippedJob] = field(default_factory=list)
+    sweep_stats: dict = field(default_factory=dict)
 
 
 class VGenPipeline:
@@ -107,7 +110,19 @@ class VGenPipeline:
 
     def evaluate(self, models: list[LanguageModel]) -> Sweep:
         """Steps 6-8: prompt, generate, compile, run test benches."""
-        return run_sweep(models, self.config.sweep, self.evaluator)
+        return self.evaluate_detailed(models).sweep
+
+    def evaluate_detailed(self, models: list[LanguageModel]):
+        """Like :meth:`evaluate` but returns the full service
+        :class:`~repro.eval.jobs.SweepResult` (skips, errors, stats)."""
+        from ..api import run_sweep as service_run_sweep
+
+        return service_run_sweep(
+            self.config.sweep,
+            models=models,
+            evaluator=self.evaluator,
+            workers=self.config.workers,
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> VGenResult:
@@ -115,7 +130,8 @@ class VGenPipeline:
         corpus = self.build_corpus()
         ft_models, reports = self.finetune()
         pt_models = self.models(fine_tune=False)
-        sweep = self.evaluate(pt_models + ft_models)
+        sweep_result = self.evaluate_detailed(pt_models + ft_models)
+        sweep = sweep_result.sweep
         return VGenResult(
             corpus=corpus,
             finetune_reports=reports,
@@ -123,6 +139,8 @@ class VGenPipeline:
             table3=table3(sweep),
             table4=table4(sweep),
             headline=headline_numbers(sweep),
+            skipped=sweep_result.skipped,
+            sweep_stats=sweep_result.stats,
         )
 
 
@@ -132,14 +150,16 @@ def quick_evaluate(
     temperature: float = 0.1,
     n: int = 10,
 ) -> Sweep:
-    """Evaluate one model at one temperature (convenience for examples)."""
-    config = SweepConfig(
-        temperatures=(temperature,),
-        completions_per_prompt=(n,),
-        problem_numbers=problem_numbers
-        or SweepConfig().problem_numbers,
-    )
-    return run_sweep([model], config)
+    """Evaluate one model at one temperature (convenience for examples).
+
+    Shim over :func:`repro.api.evaluate_model`, which also exposes the
+    skip/error records and executor stats.
+    """
+    from ..api import evaluate_model
+
+    return evaluate_model(
+        model, problem_numbers=problem_numbers, temperature=temperature, n=n
+    ).sweep
 
 
 __all__ = [

@@ -11,9 +11,9 @@ successful, per difficulty and description level) is implemented in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
-from ..models.base import GenerationConfig, LanguageModel
+from ..models.base import LanguageModel
 from ..models.calibration import TEMPERATURES
 from ..problems import ALL_PROBLEMS, Difficulty, Problem, PromptLevel
 from .metrics import mean, pass_fraction
@@ -53,13 +53,6 @@ class SweepConfig:
         return [by_number[n] for n in self.problem_numbers]
 
 
-def _model_identity(model: LanguageModel) -> tuple[str, bool]:
-    spec = getattr(model, "spec", None)
-    if spec is not None:
-        return spec.name, bool(getattr(model, "fine_tuned", False))
-    return model.name, bool(getattr(model, "fine_tuned", False))
-
-
 @dataclass
 class Sweep:
     """All records of one sweep run, with slicing helpers."""
@@ -67,11 +60,34 @@ class Sweep:
     records: list[CompletionRecord] = field(default_factory=list)
     _groups: dict | None = field(default=None, repr=False, compare=False)
 
+    def append(self, record: CompletionRecord) -> None:
+        """Add one record and invalidate the group index."""
+        self.records.append(record)
+        self._groups = None
+
+    def extend(self, records: list[CompletionRecord]) -> None:
+        """Add many records and invalidate the group index."""
+        self.records.extend(records)
+        self._groups = None
+
+    def invalidate_index(self) -> None:
+        """Force an index rebuild after mutating ``records`` in place.
+
+        Prefer :meth:`append`/:meth:`extend`; this hook exists for code
+        that replaces or reorders records directly, which the length
+        fallback in :meth:`_index` cannot detect.
+        """
+        self._groups = None
+
     def _index(self) -> dict:
         """Lazy group index keyed by (model, difficulty, level, t, n).
 
         Built once per sweep; report assembly over tens of thousands of
         records drops from repeated linear scans to dict lookups.
+        Invalidated by :meth:`append`/:meth:`extend`; the length check is
+        only a fallback for legacy code appending to ``records`` directly
+        (it cannot see same-length replacements — call
+        :meth:`invalidate_index` for those).
         """
         if self._groups is None or sum(
             len(v) for v in self._groups.values()
@@ -194,46 +210,23 @@ def run_sweep(
     models: list[LanguageModel],
     config: SweepConfig | None = None,
     evaluator: Evaluator | None = None,
+    workers: int = 1,
 ) -> Sweep:
-    """Run the full experimental sweep of Fig. 1 and evaluate everything."""
-    config = config or SweepConfig()
-    evaluator = evaluator or Evaluator()
-    sweep = Sweep()
-    problems = config.problems()
-    for model in models:
-        base_model, fine_tuned = _model_identity(model)
-        for problem in problems:
-            for level in config.levels:
-                prompt = problem.prompt(level)
-                for temperature in config.temperatures:
-                    for n in config.completions_per_prompt:
-                        gen_config = GenerationConfig(
-                            temperature=temperature,
-                            n=n,
-                            max_tokens=config.max_tokens,
-                        )
-                        try:
-                            completions = model.generate(prompt, gen_config)
-                        except ValueError:
-                            continue  # e.g. J1 rejects n=25 (Sec. IV-B)
-                        for index, completion in enumerate(completions):
-                            outcome = evaluator.evaluate(
-                                problem, completion.text, level
-                            )
-                            sweep.records.append(
-                                CompletionRecord(
-                                    model=model.name,
-                                    base_model=base_model,
-                                    fine_tuned=fine_tuned,
-                                    problem=problem.number,
-                                    difficulty=problem.difficulty,
-                                    level=level,
-                                    temperature=temperature,
-                                    n=n,
-                                    sample_index=index,
-                                    compiled=outcome.compiled,
-                                    passed=outcome.passed,
-                                    inference_seconds=completion.inference_seconds,
-                                )
-                            )
-    return sweep
+    """Run the full experimental sweep of Fig. 1 and evaluate everything.
+
+    Compatibility shim over the job-based service (:mod:`repro.eval.jobs`):
+    unsupported combinations that the old loop swallowed with a bare
+    ``except ValueError`` are now planned out up front — use
+    :func:`repro.api.run_sweep` to see the skip/error records.
+    """
+    from ..backends.local import LocalZooBackend
+    from .jobs import execute_sweep
+
+    result = execute_sweep(
+        LocalZooBackend(models),
+        config=config,
+        models=[m.name for m in models],
+        evaluator=evaluator,
+        workers=workers,
+    )
+    return result.sweep

@@ -1,0 +1,294 @@
+"""Job-based sweep service: planner and parallel executor.
+
+The paper's Fig.-1 sweep is a cross product
+(model x problem x level x temperature x n).  :class:`SweepPlanner`
+expands a :class:`~repro.eval.harness.SweepConfig` into a flat list of
+:class:`GenerationJob`s up front, consulting each backend's capability
+claims so that unsupported combinations (e.g. J1's rejected n=25,
+Sec. IV-B) become explicit :class:`SkippedJob` records instead of
+silently swallowed exceptions.  :class:`SweepExecutor` then runs the
+jobs — serially or through a ``concurrent.futures`` thread pool — against
+a shared thread-safe :class:`~repro.eval.pipeline.Evaluator`, with
+per-job error capture and progress callbacks.
+
+Job expansion and result assembly both follow the legacy loop's nesting
+order, so a parallel run produces byte-identical record lists to the old
+serial harness (the acceptance parity check).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..backends.base import Backend
+from ..models.base import GenerationConfig
+from ..problems import Problem, PromptLevel, get_problem
+from .harness import CompletionRecord, Sweep, SweepConfig
+from .pipeline import Evaluator
+
+
+@dataclass(frozen=True)
+class GenerationJob:
+    """One (model, problem, level, temperature, n) generation unit."""
+
+    model: str
+    base_model: str
+    fine_tuned: bool
+    problem: int
+    level: PromptLevel
+    temperature: float
+    n: int
+    max_tokens: int
+
+    def generation_config(self) -> GenerationConfig:
+        return GenerationConfig(
+            temperature=self.temperature, n=self.n, max_tokens=self.max_tokens
+        )
+
+
+@dataclass(frozen=True)
+class SkippedJob:
+    """A combination the planner excluded, with the visible reason."""
+
+    model: str
+    problem: int
+    level: PromptLevel
+    temperature: float
+    n: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class JobError:
+    """A job that failed at runtime; the sweep carries on without it."""
+
+    job: GenerationJob
+    error: str
+
+
+@dataclass
+class SweepPlan:
+    """Planner output: what will run and what was skipped, and why."""
+
+    jobs: list[GenerationJob] = field(default_factory=list)
+    skipped: list[SkippedJob] = field(default_factory=list)
+    config: SweepConfig = field(default_factory=SweepConfig)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def completions_planned(self) -> int:
+        return sum(job.n for job in self.jobs)
+
+
+class SweepPlanner:
+    """Expand a :class:`SweepConfig` into a flat job list for a backend."""
+
+    def __init__(self, backend: Backend):
+        self.backend = backend
+
+    def plan(
+        self,
+        config: SweepConfig | None = None,
+        models: Sequence[str] | None = None,
+    ) -> SweepPlan:
+        """Jobs for ``models`` (default: everything the backend serves).
+
+        Expansion follows the legacy harness nesting order — model,
+        problem, level, temperature, n — so executor output stays
+        record-for-record comparable with the old serial loop.
+        """
+        config = config or SweepConfig()
+        names = list(models) if models is not None else self.backend.models()
+        plan = SweepPlan(config=config)
+        problems = config.problems()
+        for name in names:
+            capabilities = self.backend.capabilities(name)
+            base_model, fine_tuned = self.backend.identity(name)
+            max_tokens = min(config.max_tokens, capabilities.max_tokens)
+            for problem in problems:
+                for level in config.levels:
+                    for temperature in config.temperatures:
+                        for n in config.completions_per_prompt:
+                            reason = self._unsupported_reason(
+                                name, capabilities, temperature, n, max_tokens
+                            )
+                            if reason is not None:
+                                plan.skipped.append(
+                                    SkippedJob(
+                                        model=name,
+                                        problem=problem.number,
+                                        level=level,
+                                        temperature=temperature,
+                                        n=n,
+                                        reason=reason,
+                                    )
+                                )
+                                continue
+                            plan.jobs.append(
+                                GenerationJob(
+                                    model=name,
+                                    base_model=base_model,
+                                    fine_tuned=fine_tuned,
+                                    problem=problem.number,
+                                    level=level,
+                                    temperature=temperature,
+                                    n=n,
+                                    max_tokens=max_tokens,
+                                )
+                            )
+        return plan
+
+    @staticmethod
+    def _unsupported_reason(
+        model: str,
+        capabilities,
+        temperature: float,
+        n: int,
+        max_tokens: int,
+    ) -> str | None:
+        if n == 25 and not capabilities.supports_n25:
+            return f"{model} does not support n=25 (paper Sec. IV-B)"
+        try:
+            GenerationConfig(temperature=temperature, n=n, max_tokens=max_tokens)
+        except ValueError as exc:
+            return str(exc)
+        return None
+
+
+ProgressCallback = Callable[[int, int, GenerationJob], None]
+
+
+@dataclass
+class SweepResult:
+    """Executor output: records plus everything that did not happen."""
+
+    sweep: Sweep
+    skipped: list[SkippedJob] = field(default_factory=list)
+    errors: list[JobError] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.sweep)
+
+
+class SweepExecutor:
+    """Run a :class:`SweepPlan` through a worker pool.
+
+    ``workers <= 1`` runs the jobs inline; anything higher fans out over
+    a thread pool (generation and evaluation are pure Python but the
+    evaluator cache is shared and thread-safe, so identical completions
+    are only compiled once across the whole pool).  Results are
+    reassembled in plan order regardless of completion order.
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        evaluator: Evaluator | None = None,
+        workers: int = 1,
+        progress: ProgressCallback | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.backend = backend
+        self.evaluator = evaluator or Evaluator()
+        self.workers = workers
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def _run_job(self, job: GenerationJob) -> list[CompletionRecord]:
+        problem = get_problem(job.problem)
+        prompt = problem.prompt(job.level)
+        completions = self.backend.generate(
+            job.model, prompt, job.generation_config()
+        )
+        records = []
+        for index, completion in enumerate(completions):
+            outcome = self.evaluator.evaluate(problem, completion.text, job.level)
+            records.append(
+                CompletionRecord(
+                    model=job.model,
+                    base_model=job.base_model,
+                    fine_tuned=job.fine_tuned,
+                    problem=problem.number,
+                    difficulty=problem.difficulty,
+                    level=job.level,
+                    temperature=job.temperature,
+                    n=job.n,
+                    sample_index=index,
+                    compiled=outcome.compiled,
+                    passed=outcome.passed,
+                    inference_seconds=completion.inference_seconds,
+                )
+            )
+        return records
+
+    def run(self, plan: SweepPlan) -> SweepResult:
+        """Execute every job; capture per-job failures instead of dying."""
+        started = time.perf_counter()
+        total = len(plan.jobs)
+        done = 0
+        done_lock = threading.Lock()
+
+        def attempt(job: GenerationJob):
+            nonlocal done
+            try:
+                outcome: tuple = (self._run_job(job), None)
+            except Exception as exc:  # noqa: BLE001 — per-job isolation
+                outcome = ([], f"{type(exc).__name__}: {exc}")
+            if self.progress is not None:
+                with done_lock:
+                    done += 1
+                    self.progress(done, total, job)
+            return outcome
+
+        if self.workers == 1:
+            outcomes = [attempt(job) for job in plan.jobs]
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                outcomes = list(pool.map(attempt, plan.jobs))
+
+        sweep = Sweep()
+        errors: list[JobError] = []
+        for job, (records, error) in zip(plan.jobs, outcomes):
+            if error is not None:
+                errors.append(JobError(job=job, error=error))
+            else:
+                sweep.extend(records)
+        return SweepResult(
+            sweep=sweep,
+            skipped=list(plan.skipped),
+            errors=errors,
+            stats={
+                "backend": self.backend.name,
+                "workers": self.workers,
+                "jobs": total,
+                "jobs_failed": len(errors),
+                "jobs_skipped": len(plan.skipped),
+                "records": len(sweep),
+                "evaluator_cache": dict(self.evaluator.cache_info),
+                "elapsed_seconds": time.perf_counter() - started,
+            },
+        )
+
+
+def execute_sweep(
+    backend: Backend,
+    config: SweepConfig | None = None,
+    models: Sequence[str] | None = None,
+    evaluator: Evaluator | None = None,
+    workers: int = 1,
+    progress: ProgressCallback | None = None,
+) -> SweepResult:
+    """Plan + execute in one call (the common path for the facade)."""
+    plan = SweepPlanner(backend).plan(config, models=models)
+    executor = SweepExecutor(
+        backend, evaluator=evaluator, workers=workers, progress=progress
+    )
+    return executor.run(plan)

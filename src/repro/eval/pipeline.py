@@ -13,6 +13,7 @@ work, exactly like memoizing ``iverilog`` runs on identical files.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..models.base import stable_hash
@@ -38,12 +39,20 @@ class CompletionEvaluation:
 
 
 class Evaluator:
-    """Caching compile+simulate evaluator."""
+    """Caching compile+simulate evaluator.
+
+    Thread-safe: the cache is guarded by a lock so one instance can be
+    shared across a :class:`~repro.eval.jobs.SweepExecutor` worker pool.
+    Two workers racing on the same uncached key may both evaluate it
+    (evaluation is pure, so both compute the identical verdict); the
+    lock only protects the cache dict and the hit/miss counters.
+    """
 
     def __init__(self, max_time: int = 1_000_000, max_steps: int = 2_000_000):
         self.max_time = max_time
         self.max_steps = max_steps
         self._cache: dict[tuple[int, int], CompletionEvaluation] = {}
+        self._lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -61,13 +70,15 @@ class Evaluator:
         """
         truncated = truncate_completion(completion)
         key = (problem.number, stable_hash(truncated))
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
-        self.cache_misses += 1
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
         result = self._evaluate_uncached(problem, truncated, level)
-        self._cache[key] = result
+        with self._lock:
+            self._cache[key] = result
         return result
 
     def _evaluate_uncached(

@@ -269,10 +269,12 @@ def _eval_ternary(expr: ast.Ternary, scope: "Scope", ctx, width: int | None) -> 
         size_of(expr.if_true, scope),
         size_of(expr.if_false, scope),
     )
+    # the result is always `context` wide, even when the chosen arm is
+    # narrower (a ternary's width is static: max of both arms, LRM 5.4.1)
     if cond.truthy():
-        return eval_expr(expr.if_true, scope, ctx, context)
+        return eval_expr(expr.if_true, scope, ctx, context).resize(context)
     if cond.is_definitely_zero():
-        return eval_expr(expr.if_false, scope, ctx, context)
+        return eval_expr(expr.if_false, scope, ctx, context).resize(context)
     # ambiguous condition: bitwise-merge both arms (LRM 5.1.13)
     true_v = eval_expr(expr.if_true, scope, ctx, context).resize(context)
     false_v = eval_expr(expr.if_false, scope, ctx, context).resize(context)

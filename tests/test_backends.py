@@ -1,0 +1,217 @@
+"""Tests for the pluggable generation backends (repro.backends)."""
+
+import pytest
+
+from repro.backends import (
+    Backend,
+    BackendError,
+    HTTPChatBackend,
+    LocalZooBackend,
+    ModelCapabilities,
+    StubBackend,
+    available_backends,
+    clean_chat_response,
+    create_backend,
+    extract_chat_text,
+    register_backend,
+    resolve_backend,
+)
+from repro.eval import Evaluator
+from repro.models import GenerationConfig, make_model
+from repro.problems import PromptLevel, get_problem
+
+CONFIG = GenerationConfig(temperature=0.1, n=3)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        for name in ("zoo", "stub", "stub-canonical", "http"):
+            assert name in names
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            create_backend("telepathy")
+
+    def test_round_trip_custom_backend(self):
+        class EchoBackend(Backend):
+            name = "echo"
+
+            def models(self):
+                return ["echo"]
+
+            def generate(self, model, prompt, config):
+                from repro.models import Completion
+
+                return [Completion(text=prompt)] * config.n
+
+        register_backend("echo", EchoBackend)
+        try:
+            backend = create_backend("echo")
+            assert isinstance(backend, EchoBackend)
+            assert "echo" in available_backends()
+            out = backend.generate("echo", "module m();", CONFIG)
+            assert len(out) == 3 and out[0].text == "module m();"
+        finally:
+            from repro.backends.base import _REGISTRY
+
+            _REGISTRY.pop("echo", None)
+
+    def test_resolve_backend_forms(self):
+        assert resolve_backend(None).name == "zoo"
+        assert resolve_backend("stub").name == "stub"
+        stub = StubBackend()
+        assert resolve_backend(stub) is stub
+
+
+class TestLocalZooBackend:
+    def test_default_serves_paper_variants(self):
+        backend = LocalZooBackend()
+        assert len(backend.models()) == 11
+        assert "codegen-16b-ft" in backend.models()
+
+    def test_generate_matches_wrapped_model(self):
+        model = make_model("codegen-6b", fine_tuned=True)
+        backend = LocalZooBackend([model])
+        prompt = get_problem(1).prompt(PromptLevel.LOW)
+        direct = model.generate(prompt, CONFIG)
+        via_backend = backend.generate("codegen-6b-ft", prompt, CONFIG)
+        assert [c.text for c in direct] == [c.text for c in via_backend]
+
+    def test_capabilities_from_spec(self):
+        backend = LocalZooBackend()
+        j1 = backend.capabilities("j1-large-7b-ft")
+        assert not j1.supports_n25
+        assert j1.max_tokens == 256
+        assert backend.capabilities("codegen-16b-pt").supports_n25
+
+    def test_identity(self):
+        backend = LocalZooBackend()
+        assert backend.identity("codegen-16b-ft") == ("codegen-16b", True)
+        assert backend.identity("codegen-16b-pt") == ("codegen-16b", False)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(BackendError, match="does not serve"):
+            LocalZooBackend().generate("gpt-9", "module m();", CONFIG)
+
+    def test_add_model(self):
+        backend = LocalZooBackend([])
+        backend.add(make_model("codegen-2b"))
+        assert backend.models() == ["codegen-2b-pt"]
+
+
+class TestStubBackend:
+    def test_scripted_round_robin(self):
+        backend = StubBackend(completions=("a", "b"))
+        out = backend.generate("stub", "prompt", CONFIG)
+        assert [c.text for c in out] == ["a", "b", "a"]
+
+    def test_records_queries(self):
+        backend = StubBackend()
+        backend.generate("stub", "p1", CONFIG)
+        backend.generate("stub", "p2", CONFIG)
+        assert [q.prompt for q in backend.queries] == ["p1", "p2"]
+        assert backend.queries[0].config is CONFIG
+
+    def test_default_text_compiles_but_fails(self):
+        backend = StubBackend()
+        problem = get_problem(2)
+        text = backend.generate(
+            "stub", problem.prompt(PromptLevel.LOW), CONFIG
+        )[0].text
+        outcome = Evaluator().evaluate(problem, text)
+        assert outcome.compiled and not outcome.passed
+
+    def test_canonical_mode_passes(self):
+        backend = create_backend("stub-canonical")
+        problem = get_problem(2)
+        text = backend.generate(
+            "stub", problem.prompt(PromptLevel.LOW), CONFIG
+        )[0].text
+        outcome = Evaluator().evaluate(problem, text)
+        assert outcome.compiled and outcome.passed
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(BackendError):
+            StubBackend().generate("other", "p", CONFIG)
+
+    def test_capabilities_configurable(self):
+        backend = StubBackend(supports_n25=False, max_tokens=128)
+        caps = backend.capabilities("stub")
+        assert caps == ModelCapabilities(supports_n25=False, max_tokens=128)
+
+
+class TestResponseCleaning:
+    def test_verilog_fence_extracted(self):
+        text = "Here you go:\n```verilog\nassign y = a;\nendmodule\n```\nEnjoy!"
+        assert clean_chat_response(text) == "assign y = a;\nendmodule"
+
+    def test_plain_fence_extracted(self):
+        text = "```\nassign y = a;\n```"
+        assert clean_chat_response(text) == "assign y = a;"
+
+    def test_bare_text_stripped(self):
+        assert clean_chat_response("  assign y = a;  ") == "assign y = a;"
+
+    def test_extract_ollama_shape(self):
+        assert extract_chat_text({"message": {"content": "hi"}}) == "hi"
+
+    def test_extract_openai_shape(self):
+        response = {"choices": [{"message": {"content": "hi"}}]}
+        assert extract_chat_text(response) == "hi"
+
+    def test_extract_unknown_shape_raises(self):
+        with pytest.raises(BackendError, match="unrecognized"):
+            extract_chat_text({"surprise": True})
+
+
+class TestHTTPChatBackend:
+    def test_no_transport_raises(self):
+        backend = HTTPChatBackend()
+        with pytest.raises(BackendError, match="offline-safe"):
+            backend.generate("chat-model", "module m();", CONFIG)
+
+    def test_transport_called_per_sample_and_cleaned(self):
+        calls = []
+
+        def transport(url, payload):
+            calls.append((url, payload))
+            return {
+                "message": {
+                    "content": "```verilog\nassign y = a;\nendmodule\n```"
+                }
+            }
+
+        backend = HTTPChatBackend(
+            model_names=("m1",), transport=transport, url="http://x/chat"
+        )
+        out = backend.generate("m1", "module m();", CONFIG)
+        assert len(out) == 3 and len(calls) == 3
+        assert all(c.text == "assign y = a;\nendmodule" for c in out)
+        url, payload = calls[0]
+        assert url == "http://x/chat"
+        assert payload["model"] == "m1"
+        assert payload["messages"][1]["content"] == "module m();"
+        assert payload["options"]["temperature"] == pytest.approx(0.1)
+        # distinct seeds per sample so real servers vary their outputs
+        assert [c[1]["options"]["seed"] for c in calls] == [0, 1, 2]
+
+    def test_max_tokens_clamped_in_payload(self):
+        backend = HTTPChatBackend(
+            transport=lambda url, payload: {"message": {"content": "x"}},
+            max_tokens=128,
+        )
+        payload = backend.payload(
+            "chat-model", "p", GenerationConfig(n=1, max_tokens=300), 0
+        )
+        assert payload["options"]["num_predict"] == 128
+
+    def test_clean_disabled_keeps_fences(self):
+        backend = HTTPChatBackend(
+            transport=lambda url, payload: {
+                "message": {"content": "```\ncode\n```"}
+            },
+            clean=False,
+        )
+        out = backend.generate("chat-model", "p", GenerationConfig(n=1))
+        assert out[0].text == "```\ncode\n```"

@@ -41,6 +41,22 @@ class TestParser:
         args = build_parser().parse_args(["evaluate"])
         assert args.model == "codegen-16b"
         assert args.n == 10
+        assert args.backend == "zoo"
+        assert args.workers == 1
+
+    def test_backend_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--backend", "psychic"])
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args([
+            "sweep", "--models", "a,b", "--workers", "4",
+            "--backend", "stub", "--export", "out.json",
+        ])
+        assert args.models == "a,b"
+        assert args.workers == 4
+        assert args.backend == "stub"
+        assert args.export == "out.json"
 
 
 class TestProblems:
@@ -121,3 +137,83 @@ class TestEvaluateAndCorpus:
         out = capsys.readouterr().out
         assert "queried" in out
         assert "files" in out
+
+    def test_evaluate_stub_backend_with_workers(self, capsys):
+        code = main([
+            "evaluate", "--backend", "stub-canonical",
+            "--n", "2", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall 34/34" in out
+        assert "backend=stub" in out
+        assert "workers=2" in out
+        assert "cache=" in out
+
+    def test_evaluate_all_jobs_failed_exits_nonzero(self, capsys):
+        # http backend has no transport configured: every job fails
+        assert main(["evaluate", "--backend", "http", "--n", "1"]) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_evaluate_zero_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--workers", "0"])
+
+    def test_evaluate_ft_rejected_on_non_zoo_backend(self, capsys):
+        assert main(["evaluate", "--backend", "stub", "--ft"]) == 2
+        assert "--ft" in capsys.readouterr().out
+
+    def test_evaluate_unknown_model_on_non_zoo_backend(self, capsys):
+        code = main(["evaluate", "--backend", "stub", "--model", "gpt-9"])
+        assert code == 2
+        assert "does not serve" in capsys.readouterr().out
+
+    def test_sweep_bad_inputs_exit_two(self, capsys):
+        assert main(["sweep", "--levels", "Q"]) == 2
+        assert "unknown level" in capsys.readouterr().out
+        assert main(["sweep", "--problems", "99", "--n", "1"]) == 2
+        assert "unknown problem" in capsys.readouterr().out
+        assert main(["sweep", "--export", "x.parquet", "--n", "1"]) == 2
+        assert ".json or .csv" in capsys.readouterr().out
+
+    def test_evaluate_workers_match_serial(self, capsys):
+        argv = ["evaluate", "--model", "codegen-6b", "--ft", "--n", "2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--workers", "4"]) == 0
+        parallel = capsys.readouterr().out
+        # identical per-problem verdicts regardless of pool width
+        assert [l for l in serial.splitlines() if l.startswith("P")] == [
+            l for l in parallel.splitlines() if l.startswith("P")
+        ]
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_reports_skips(self, capsys):
+        code = main([
+            "sweep", "--models", "codegen-2b-ft,j1-large-7b-ft",
+            "--problems", "1,2", "--temperatures", "0.1",
+            "--n", "2,25", "--levels", "L", "--workers", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planned 6 jobs" in out
+        assert "2 skipped" in out
+        assert "n=25" in out
+        assert "pass rate" in out
+        assert "workers=4" in out
+
+    def test_sweep_json_export(self, capsys, tmp_path):
+        path = tmp_path / "records.json"
+        code = main([
+            "sweep", "--backend", "stub", "--problems", "1",
+            "--temperatures", "0.1", "--n", "2", "--levels", "L,M",
+            "--export", str(path),
+        ])
+        assert code == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        import json
+
+        records = json.loads(path.read_text())
+        assert len(records) == 2 * 2  # levels x n
+        assert records[0]["model"] == "stub"

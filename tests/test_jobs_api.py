@@ -1,0 +1,287 @@
+"""Tests for the job-based sweep service (repro.eval.jobs + repro.api)."""
+
+import pytest
+
+from repro import Session, quick_evaluate
+from repro.api import evaluate_model, run_sweep as api_run_sweep
+from repro.backends import LocalZooBackend, StubBackend
+from repro.eval import (
+    Evaluator,
+    Sweep,
+    SweepConfig,
+    SweepExecutor,
+    SweepPlanner,
+    run_sweep,
+)
+from repro.eval.harness import CompletionRecord
+from repro.models import make_model
+from repro.problems import Difficulty, PromptLevel
+
+SMALL = SweepConfig(
+    temperatures=(0.1, 0.5),
+    completions_per_prompt=(3,),
+    levels=(PromptLevel.LOW, PromptLevel.MEDIUM),
+    problem_numbers=(1, 2, 13),
+)
+
+
+def small_models():
+    return [
+        make_model("codegen-6b", fine_tuned=True),
+        make_model("j1-large-7b", fine_tuned=True),
+    ]
+
+
+class TestPlanner:
+    def test_job_count_arithmetic(self):
+        plan = SweepPlanner(LocalZooBackend(small_models())).plan(SMALL)
+        # 2 models x 3 problems x 2 levels x 2 temperatures x 1 n
+        assert len(plan.jobs) == 24
+        assert plan.skipped == []
+        assert plan.completions_planned == 24 * 3
+
+    def test_n25_skipped_with_reason(self):
+        config = SweepConfig(
+            temperatures=(0.1,),
+            completions_per_prompt=(1, 25),
+            levels=(PromptLevel.LOW,),
+            problem_numbers=(1, 2),
+        )
+        plan = SweepPlanner(LocalZooBackend(small_models())).plan(config)
+        # j1 loses its two n=25 jobs, codegen keeps everything
+        assert len(plan.jobs) == 2 * 2 * 2 - 2
+        assert len(plan.skipped) == 2
+        skip = plan.skipped[0]
+        assert skip.model == "j1-large-7b-ft"
+        assert skip.n == 25
+        assert "n=25" in skip.reason
+
+    def test_max_tokens_clamped_to_capability(self):
+        plan = SweepPlanner(LocalZooBackend(small_models())).plan(SMALL)
+        by_model = {job.model: job.max_tokens for job in plan.jobs}
+        assert by_model["codegen-6b-ft"] == 300
+        assert by_model["j1-large-7b-ft"] == 256  # Table I cap
+
+    def test_invalid_temperature_becomes_skip(self):
+        config = SweepConfig(
+            temperatures=(-1.0,),
+            completions_per_prompt=(1,),
+            levels=(PromptLevel.LOW,),
+            problem_numbers=(1,),
+        )
+        plan = SweepPlanner(StubBackend()).plan(config)
+        assert plan.jobs == []
+        assert "temperature" in plan.skipped[0].reason
+
+    def test_explicit_model_subset(self):
+        backend = LocalZooBackend(small_models())
+        plan = SweepPlanner(backend).plan(SMALL, models=["codegen-6b-ft"])
+        assert {job.model for job in plan.jobs} == {"codegen-6b-ft"}
+
+    def test_identity_on_jobs(self):
+        plan = SweepPlanner(LocalZooBackend(small_models())).plan(SMALL)
+        job = next(j for j in plan.jobs if j.model == "codegen-6b-ft")
+        assert job.base_model == "codegen-6b"
+        assert job.fine_tuned is True
+
+
+class TestExecutor:
+    def test_serial_parallel_record_parity(self):
+        backend = LocalZooBackend(small_models())
+        plan = SweepPlanner(backend).plan(SMALL)
+        serial = SweepExecutor(backend, workers=1).run(plan)
+        parallel = SweepExecutor(backend, workers=8).run(plan)
+        assert serial.sweep.records == parallel.sweep.records
+
+    def test_parity_with_legacy_run_sweep(self):
+        models = small_models()
+        legacy = run_sweep(models, SMALL)
+        service = api_run_sweep(SMALL, models=models, workers=4)
+        assert legacy.records == service.sweep.records
+
+    def test_default_config_parity(self):
+        """Acceptance: full default SweepConfig, serial == workers>1.
+
+        Two variants (one with the n=25 capability quirk) keep the
+        runtime reasonable; all 17 problems x 3 levels x 5 temperatures
+        are exercised.
+        """
+        models = small_models()
+        config = SweepConfig()
+        serial = api_run_sweep(config, models=models, workers=1)
+        parallel = api_run_sweep(config, models=models, workers=8)
+        assert serial.sweep.records == parallel.sweep.records
+        assert len(serial.sweep) == 2 * 17 * 3 * 5 * 10
+
+    def test_per_job_error_capture(self):
+        from repro.models import match_prompt_to_problem
+
+        class FlakyBackend(StubBackend):
+            def generate(self, model, prompt, config):
+                matched = match_prompt_to_problem(prompt)
+                if matched is not None and matched[0].number == 2:
+                    raise RuntimeError("boom")
+                return super().generate(model, prompt, config)
+
+        backend = FlakyBackend()
+        config = SweepConfig(
+            temperatures=(0.1,),
+            completions_per_prompt=(2,),
+            levels=(PromptLevel.LOW,),
+            problem_numbers=(1, 2),
+        )
+        result = SweepExecutor(backend, workers=2).run(
+            SweepPlanner(backend).plan(config)
+        )
+        assert len(result.errors) == 1
+        assert result.errors[0].job.problem == 2
+        assert "boom" in result.errors[0].error
+        # the healthy job still produced its records
+        assert {r.problem for r in result.sweep.records} == {1}
+        assert result.stats["jobs_failed"] == 1
+
+    def test_progress_callback_counts_jobs(self):
+        backend = StubBackend()
+        seen = []
+        config = SweepConfig(
+            temperatures=(0.1,),
+            completions_per_prompt=(1,),
+            levels=(PromptLevel.LOW,),
+            problem_numbers=(1, 2, 3),
+        )
+        plan = SweepPlanner(backend).plan(config)
+        SweepExecutor(
+            backend, workers=2, progress=lambda d, t, j: seen.append((d, t))
+        ).run(plan)
+        assert sorted(seen) == [(1, 3), (2, 3), (3, 3)]
+
+    def test_stats_shape(self):
+        backend = StubBackend()
+        result = SweepExecutor(backend, workers=3).run(
+            SweepPlanner(backend).plan(
+                SweepConfig(
+                    temperatures=(0.1,),
+                    completions_per_prompt=(2,),
+                    levels=(PromptLevel.LOW,),
+                    problem_numbers=(1,),
+                )
+            )
+        )
+        stats = result.stats
+        assert stats["backend"] == "stub"
+        assert stats["workers"] == 3
+        assert stats["jobs"] == 1
+        assert stats["records"] == 2
+        assert set(stats["evaluator_cache"]) == {"hits", "misses", "entries"}
+        assert stats["elapsed_seconds"] >= 0
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(StubBackend(), workers=0)
+
+    def test_shared_evaluator_cache_accumulates(self):
+        backend = StubBackend()
+        evaluator = Evaluator()
+        config = SweepConfig(
+            temperatures=(0.1, 0.3),
+            completions_per_prompt=(2,),
+            levels=(PromptLevel.LOW,),
+            problem_numbers=(1,),
+        )
+        SweepExecutor(backend, evaluator=evaluator, workers=4).run(
+            SweepPlanner(backend).plan(config)
+        )
+        info = evaluator.cache_info
+        # one unique completion text per problem: everything else hits
+        assert info["entries"] == 1
+        assert info["hits"] >= 1
+
+
+class TestSessionFacade:
+    def test_session_run_sweep(self):
+        session = Session(backend=LocalZooBackend(small_models()), workers=2)
+        result = session.run_sweep(SMALL)
+        assert len(result.sweep) == 24 * 3
+        assert result.stats["workers"] == 2
+
+    def test_session_evaluate_model_by_name(self):
+        session = Session(backend="stub")
+        result = session.evaluate_model("stub", problem_numbers=(1, 2), n=2)
+        assert len(result.sweep) == 2 * 3 * 2  # problems x levels x n
+
+    def test_session_evaluate_model_instance(self):
+        session = Session(backend="stub")  # instance overrides backend
+        result = session.evaluate_model(
+            make_model("codegen-2b"), problem_numbers=(1,), n=2,
+            levels=(PromptLevel.LOW,),
+        )
+        assert {r.model for r in result.sweep.records} == {"codegen-2b-pt"}
+
+    def test_session_shares_evaluator_across_runs(self):
+        session = Session(backend="stub")
+        session.evaluate_model("stub", problem_numbers=(1,), n=2)
+        before = session.cache_info["misses"]
+        session.evaluate_model("stub", problem_numbers=(1,), n=2)
+        assert session.cache_info["misses"] == before
+
+    def test_module_level_evaluate_model(self):
+        result = evaluate_model(
+            make_model("codegen-6b", fine_tuned=True),
+            problem_numbers=(1,),
+            n=2,
+        )
+        assert len(result.sweep) == 3 * 2
+
+    def test_quick_evaluate_shim_unchanged(self):
+        sweep = quick_evaluate(
+            make_model("codegen-6b", fine_tuned=True),
+            problem_numbers=(1, 2, 3),
+            temperature=0.1,
+            n=5,
+        )
+        assert isinstance(sweep, Sweep)
+        assert len(sweep) == 3 * 3 * 5
+
+
+def _record(**kw):
+    base = dict(
+        model="m-ft", base_model="m", fine_tuned=True, problem=1,
+        difficulty=Difficulty.BASIC, level=PromptLevel.LOW, temperature=0.1,
+        n=10, sample_index=0, compiled=True, passed=True,
+        inference_seconds=1.0,
+    )
+    base.update(kw)
+    return CompletionRecord(**base)
+
+
+class TestSweepIndexInvalidation:
+    def test_append_invalidates_index(self):
+        sweep = Sweep(records=[_record()])
+        assert len(sweep.group("m-ft", Difficulty.BASIC, PromptLevel.LOW, 0.1, 10)) == 1
+        sweep.append(_record(sample_index=1))
+        assert len(sweep.group("m-ft", Difficulty.BASIC, PromptLevel.LOW, 0.1, 10)) == 2
+
+    def test_extend_invalidates_index(self):
+        sweep = Sweep()
+        sweep.extend([_record(), _record(sample_index=1)])
+        assert len(sweep.group("m-ft", Difficulty.BASIC, PromptLevel.LOW, 0.1, 10)) == 2
+        sweep.extend([_record(sample_index=2)])
+        assert len(sweep.group("m-ft", Difficulty.BASIC, PromptLevel.LOW, 0.1, 10)) == 3
+
+    def test_same_length_replacement_via_invalidate(self):
+        sweep = Sweep(records=[_record(passed=True)])
+        assert sweep.rate(
+            sweep.group("m-ft", Difficulty.BASIC, PromptLevel.LOW, 0.1, 10)
+        ) == 1.0
+        # in-place replacement keeps the length: explicit invalidation hook
+        sweep.records[0] = _record(passed=False)
+        sweep.invalidate_index()
+        assert sweep.rate(
+            sweep.group("m-ft", Difficulty.BASIC, PromptLevel.LOW, 0.1, 10)
+        ) == 0.0
+
+    def test_legacy_direct_append_still_seen(self):
+        sweep = Sweep(records=[_record()])
+        sweep.group("m-ft", Difficulty.BASIC, PromptLevel.LOW, 0.1, 10)
+        sweep.records.append(_record(sample_index=1))  # legacy pattern
+        assert len(sweep.group("m-ft", Difficulty.BASIC, PromptLevel.LOW, 0.1, 10)) == 2
