@@ -1,0 +1,126 @@
+"""Executor scaling benchmark: serial vs thread pool vs process pool.
+
+Generation and evaluation are pure-Python CPU work (the zoo's RNG text
+synthesis plus the compile/simulate pipeline), so the thread executor is
+GIL-bound: it matches the serial records exactly but cannot beat serial
+wall-clock.  The process executor is the one that scales with cores —
+this script measures all three on the same CPU-bound multi-model sweep,
+verifies record-for-record parity, and reports the speedups.
+
+Run it standalone (no pytest plugins needed)::
+
+    PYTHONPATH=src python benchmarks/bench_executor_scaling.py
+    PYTHONPATH=src python benchmarks/bench_executor_scaling.py \
+        --workers 8 --temperatures 0.5,0.8 --min-speedup 1.2
+
+``--min-speedup X`` exits non-zero unless process beats thread by that
+factor — meaningful only on multi-core machines (the script prints the
+core count and skips the assertion on a single core, where no executor
+can win by more than noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.backends import LocalZooBackend
+from repro.eval import SweepConfig, SweepExecutor, SweepPlanner
+from repro.eval.pipeline import Evaluator
+from repro.models import make_model
+from repro.problems import PromptLevel
+from repro.service import ProcessPoolSweepExecutor
+
+# pre-trained variants at high temperature emit many *distinct* broken/
+# wrong completions, so the evaluator cache cannot collapse the work and
+# every job pays real compile/simulate CPU — the workload the paper's
+# full sweep is made of
+DEFAULT_MODELS = "codegen-2b,codegen-6b,codegen-16b"
+
+
+def build_plan(args):
+    backend = LocalZooBackend(
+        [make_model(name) for name in args.models.split(",")]
+    )
+    config = SweepConfig(
+        temperatures=tuple(float(t) for t in args.temperatures.split(",")),
+        completions_per_prompt=(args.n,),
+        levels=(PromptLevel.LOW,),
+    )
+    return backend, SweepPlanner(backend).plan(config)
+
+
+def bench(label, factory, plan, repeat):
+    best = None
+    result = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = factory().run(plan)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--models", default=DEFAULT_MODELS)
+    parser.add_argument("--temperatures", default="0.5,0.8")
+    parser.add_argument("--n", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="runs per executor; best time wins")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless process/thread >= this factor "
+                             "(skipped on single-core machines)")
+    args = parser.parse_args(argv)
+
+    backend, plan = build_plan(args)
+    cores = os.cpu_count() or 1
+    print(
+        f"{len(plan.jobs)} jobs ({plan.completions_planned} completions), "
+        f"{cores} cores, {args.workers} workers"
+    )
+
+    executors = (
+        ("serial", lambda: SweepExecutor(backend, evaluator=Evaluator())),
+        ("thread", lambda: SweepExecutor(
+            backend, evaluator=Evaluator(), workers=args.workers)),
+        ("process", lambda: ProcessPoolSweepExecutor(
+            backend, workers=args.workers)),
+    )
+    times = {}
+    records = {}
+    for label, factory in executors:
+        times[label], result = bench(label, factory, plan, args.repeat)
+        records[label] = result.sweep.records
+        print(f"  {label:>8}: {times[label]:7.2f}s "
+              f"({len(result.sweep)} records)")
+
+    if not (records["serial"] == records["thread"] == records["process"]):
+        print("PARITY FAILURE: executors disagree on records")
+        return 1
+    print("record parity: OK (all three executors byte-identical)")
+
+    thread_speedup = times["serial"] / times["thread"]
+    process_speedup = times["thread"] / times["process"]
+    print(f"thread  vs serial: {thread_speedup:5.2f}x  (GIL-bound: ~1.0x)")
+    print(f"process vs thread: {process_speedup:5.2f}x")
+
+    if args.min_speedup is not None:
+        if cores < 2:
+            print(f"single core: skipping --min-speedup {args.min_speedup} "
+                  "assertion (no parallel speedup is physically possible)")
+        elif process_speedup < args.min_speedup:
+            print(f"FAIL: process speedup {process_speedup:.2f}x < "
+                  f"required {args.min_speedup}x")
+            return 1
+        else:
+            print(f"OK: process speedup {process_speedup:.2f}x >= "
+                  f"{args.min_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,10 @@ Subpackages:
 * :mod:`repro.eval` — truncation, compile/functional gates, metrics,
   job-based sweep planner/executor, table/figure reporting;
 * :mod:`repro.backends` — pluggable generation backends (local zoo,
-  deterministic stub, offline-safe HTTP chat adapter) plus registry;
+  deterministic stub, offline-safe HTTP chat adapter, eval-service
+  client) plus registry;
+* :mod:`repro.service` — the distributed sweep service: HTTP eval
+  server, shard planner/merger, process-pool executor;
 * :mod:`repro.api` — the stable service facade (:class:`Session`);
 * :mod:`repro.core` — the end-to-end pipeline facade.
 """

@@ -23,7 +23,9 @@ from typing import Sequence
 from .backends import Backend, LocalZooBackend, resolve_backend
 from .eval.harness import Sweep, SweepConfig
 from .eval.jobs import (
+    Executor,
     ProgressCallback,
+    RetryPolicy,
     SweepExecutor,
     SweepPlan,
     SweepPlanner,
@@ -32,6 +34,8 @@ from .eval.jobs import (
 )
 from .eval.pipeline import Evaluator
 from .models.base import Completion, GenerationConfig, LanguageModel
+
+EXECUTORS = ("thread", "process")
 
 
 class Session:
@@ -47,7 +51,17 @@ class Session:
         Shared across every run of this session, so verdict caching
         accumulates between calls.
     workers:
-        Thread-pool width for sweep execution (1 = serial).
+        Worker-pool width for sweep execution (1 = serial).
+    executor:
+        ``"thread"`` (default; shared evaluator cache, GIL-bound) or
+        ``"process"`` (worker processes — real parallelism for
+        CPU-bound sweeps; the backend must pickle).
+    retry:
+        A :class:`~repro.eval.jobs.RetryPolicy` for transient backend
+        failures (``None`` = no retries).
+    batch_size:
+        Consecutive same-model jobs grouped into one
+        ``generate_batch`` call (thread executor only).
     """
 
     def __init__(
@@ -56,11 +70,21 @@ class Session:
         evaluator: Evaluator | None = None,
         workers: int = 1,
         progress: ProgressCallback | None = None,
+        executor: str = "thread",
+        retry: RetryPolicy | None = None,
+        batch_size: int = 1,
     ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
+            )
         self.backend = resolve_backend(backend)
         self.evaluator = evaluator or Evaluator()
         self.workers = workers
         self.progress = progress
+        self.executor = executor
+        self.retry = retry
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------
     def models(self) -> list[str]:
@@ -89,15 +113,29 @@ class Session:
         """Expand a sweep into jobs without running it."""
         return SweepPlanner(self.backend).plan(config, models=models)
 
-    def run_plan(self, plan: SweepPlan) -> SweepResult:
-        """Execute a previously built plan."""
-        executor = SweepExecutor(
+    def make_executor(self) -> Executor:
+        """The executor this session is configured for."""
+        if self.executor == "process":
+            from .service.process import ProcessPoolSweepExecutor
+
+            return ProcessPoolSweepExecutor(
+                self.backend,
+                workers=self.workers,
+                retry=self.retry,
+                progress=self.progress,
+            )
+        return SweepExecutor(
             self.backend,
             evaluator=self.evaluator,
             workers=self.workers,
             progress=self.progress,
+            retry=self.retry,
+            batch_size=self.batch_size,
         )
-        return executor.run(plan)
+
+    def run_plan(self, plan: SweepPlan) -> SweepResult:
+        """Execute a previously built plan."""
+        return self.make_executor().run(plan)
 
     def run_sweep(
         self,
@@ -138,6 +176,33 @@ class Session:
         return self.run_sweep(config, models=[model])
 
     # ------------------------------------------------------------------
+    # Distributed entrypoints (repro.service)
+    # ------------------------------------------------------------------
+    def serve(self, host: str = "127.0.0.1", port: int = 8076):
+        """An :class:`~repro.service.server.EvalService` over this session.
+
+        Not yet listening: call ``start()`` (background thread) or
+        ``serve_forever()`` (blocking, the CLI path) on the result.
+        """
+        from .service.server import EvalService
+
+        return EvalService(self, host=host, port=port)
+
+    def plan_shards(
+        self,
+        num_shards: int,
+        config: SweepConfig | None = None,
+        models: Sequence[str] | None = None,
+    ):
+        """Plan a sweep and split it into ``num_shards`` deterministic
+        shards (see :mod:`repro.service.sharding`); run one with
+        :meth:`run_plan` on ``shard.plan``, merge with
+        :func:`~repro.service.sharding.merge_shard_results`."""
+        from .service.sharding import ShardPlanner
+
+        return ShardPlanner(num_shards).split(self.plan(config, models=models))
+
+    # ------------------------------------------------------------------
     @property
     def cache_info(self) -> dict:
         """The shared evaluator's cache statistics."""
@@ -146,7 +211,7 @@ class Session:
     def __repr__(self) -> str:
         return (
             f"Session(backend={self.backend.name!r}, "
-            f"workers={self.workers})"
+            f"executor={self.executor!r}, workers={self.workers})"
         )
 
 
@@ -161,13 +226,22 @@ def run_sweep(
     evaluator: Evaluator | None = None,
     workers: int = 1,
     progress: ProgressCallback | None = None,
+    executor: str = "thread",
+    retry: RetryPolicy | None = None,
+    batch_size: int = 1,
 ) -> SweepResult:
     """One-shot sweep; ``models`` may be names or LanguageModel instances."""
     if models and not isinstance(models[0], str):
         backend = LocalZooBackend(list(models))
         models = [m.name for m in models]
     session = Session(
-        backend=backend, evaluator=evaluator, workers=workers, progress=progress
+        backend=backend,
+        evaluator=evaluator,
+        workers=workers,
+        progress=progress,
+        executor=executor,
+        retry=retry,
+        batch_size=batch_size,
     )
     return session.run_sweep(config, models=models)
 
@@ -193,6 +267,8 @@ def evaluate_model(
 
 
 __all__ = [
+    "EXECUTORS",
+    "RetryPolicy",
     "Session",
     "Sweep",
     "SweepConfig",

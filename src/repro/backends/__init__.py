@@ -9,7 +9,10 @@ Built-in registrations:
 * ``"stub-canonical"`` — stub answering benchmark prompts with the
   reference solutions (all-pass smoke source);
 * ``"http"`` — :class:`HTTPChatBackend`, an offline-safe chat-endpoint
-  adapter with an injectable transport.
+  adapter with an injectable transport;
+* ``"service"`` — :class:`~repro.service.client.ServiceBackend`, the
+  client of the distributed eval service (``url=...`` points it at a
+  server; the import is lazy to keep the package layering acyclic).
 """
 
 from .base import (
@@ -30,12 +33,19 @@ from .http import (
 from .local import LocalZooBackend
 from .stub import DEFAULT_STUB_TEXT, StubBackend
 
+def _service_backend(**kwargs):
+    from ..service.client import ServiceBackend
+
+    return ServiceBackend(**kwargs)
+
+
 register_backend("zoo", LocalZooBackend)
 register_backend("stub", StubBackend)
 register_backend(
     "stub-canonical", lambda **kw: StubBackend(canonical=True, **kw)
 )
 register_backend("http", HTTPChatBackend)
+register_backend("service", _service_backend)
 
 __all__ = [
     "Backend",

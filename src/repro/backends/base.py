@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..models.base import Completion, GenerationConfig
 
@@ -44,6 +44,23 @@ class Backend(abc.ABC):
         self, model: str, prompt: str, config: GenerationConfig
     ) -> list[Completion]:
         """Return ``config.n`` completions of ``prompt`` from ``model``."""
+
+    def generate_batch(
+        self,
+        model: str,
+        requests: Sequence[tuple[str, GenerationConfig]],
+    ) -> list[list[Completion]]:
+        """Serve many (prompt, config) requests for one model.
+
+        The default just loops :meth:`generate`; backends that can
+        amortize per-request overhead (model lookup, connection setup,
+        prompt preprocessing) override this.  Executors use it when
+        batching is enabled to cut per-job dispatch cost.
+        """
+        return [
+            self.generate(model, prompt, config)
+            for prompt, config in requests
+        ]
 
     def capabilities(self, model: str) -> ModelCapabilities:
         """Capability claims for ``model``; defaults are permissive."""

@@ -10,9 +10,16 @@ Commands:
 * ``evaluate [--model NAME] [--ft] [--n N] [--temperature T]
   [--backend B] [--workers W]`` — query a model on the whole problem set
   and print per-problem verdicts;
-* ``sweep [--models A,B] [--backend B] [--workers W] [--export PATH]
-  ...`` — plan + run a configurable sweep through the job service; print
-  jobs/skips/errors and optionally export records to JSON/CSV;
+* ``sweep [--models A,B] [--backend B] [--workers W] [--executor E]
+  [--shards K --shard-index I] [--export PATH] ...`` — plan + run a
+  configurable sweep through the job service (optionally one shard of
+  it); print jobs/skips/errors and optionally export records to
+  JSON/CSV (or a mergeable shard-result file);
+* ``merge SHARD.json ... [--export PATH]`` — recombine executed shard
+  files into one serial-order result;
+* ``serve [--backend B] [--host H] [--port P] [--workers W]`` — expose
+  the session over HTTP (the eval service); point other machines at it
+  with ``--backend service --url http://host:port``;
 * ``tables [--backend B] [--workers W]`` — run the full sweep and print
   Tables III/IV + headlines + executor stats;
 * ``corpus [--repos N] [--books]`` — build the training corpus, print stats.
@@ -90,16 +97,40 @@ def _cmd_lint(args) -> int:
     return 0 if not warnings else 2
 
 
-def _session(args):
-    """Build a Session from common --backend/--workers flags."""
-    from .api import Session
+def _session(args, backend=None):
+    """Build a Session from the common service flags.
 
-    return Session(backend=args.backend, workers=args.workers)
+    ``backend`` overrides ``--backend`` with a ready instance (the
+    evaluate command's ad-hoc zoo); every other flag still applies.
+    """
+    from .api import Session
+    from .backends import create_backend
+    from .eval import RetryPolicy
+
+    if getattr(args, "url", None):
+        if backend is not None or args.backend not in ("service", "http"):
+            print(f"error: --url does not apply to backend {args.backend!r}")
+            raise SystemExit(2)
+        backend = create_backend(args.backend, url=args.url)
+    elif backend is None:
+        backend = args.backend
+    retry = None
+    if getattr(args, "retries", 0):
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1,
+            backoff_seconds=getattr(args, "backoff", 0.0),
+        )
+    return Session(
+        backend=backend,
+        workers=args.workers,
+        executor=getattr(args, "executor", "thread"),
+        retry=retry,
+        batch_size=getattr(args, "batch_size", 1),
+    )
 
 
 def _cmd_evaluate(args) -> int:
     from .backends import LocalZooBackend
-    from .api import Session
     from .models import make_model
     from .problems import PromptLevel, get_problem
 
@@ -109,9 +140,7 @@ def _cmd_evaluate(args) -> int:
         except (KeyError, ValueError) as exc:
             print(f"error: {exc.args[0]}")
             return 2
-        session = Session(
-            backend=LocalZooBackend([model]), workers=args.workers
-        )
+        session = _session(args, backend=LocalZooBackend([model]))
         name = model.name
     else:
         session = _session(args)
@@ -172,9 +201,16 @@ def _cmd_sweep(args) -> int:
     from .eval import SweepConfig, save_sweep
     from .problems import ALL_PROBLEMS
 
-    if args.export and not args.export.endswith((".json", ".csv")):
-        print(f"error: --export must end in .json or .csv, got {args.export!r}")
-        return 2
+    shard_mode = args.shard_index is not None
+    if args.export:
+        if shard_mode and not args.export.endswith(".json"):
+            print(f"error: with --shards, --export writes a mergeable "
+                  f"shard result and must end in .json, got {args.export!r}")
+            return 2
+        if not args.export.endswith((".json", ".csv")):
+            print(f"error: --export must end in .json or .csv, "
+                  f"got {args.export!r}")
+            return 2
     session = _session(args)
     defaults = SweepConfig()
     try:
@@ -203,6 +239,12 @@ def _cmd_sweep(args) -> int:
         print(f"error: unknown problem number(s) {unknown}; "
               f"valid: 1..{max(known_problems)}")
         return 2
+    if shard_mode and not 0 <= args.shard_index < args.shards:
+        print(f"error: --shard-index must be in 0..{args.shards - 1}")
+        return 2
+    if args.shards > 1 and not shard_mode:
+        print("error: --shards needs --shard-index (run one shard per call)")
+        return 2
     models = args.models.split(",") if args.models else None
     try:
         plan = session.plan(config, models=models)
@@ -214,6 +256,16 @@ def _cmd_sweep(args) -> int:
         f"({plan.completions_planned} completions), "
         f"{len(plan.skipped)} skipped"
     )
+    shard = None
+    if shard_mode:
+        from .service import ShardPlanner
+
+        shard = ShardPlanner(args.shards).split(plan)[args.shard_index]
+        plan = shard.plan
+        print(
+            f"shard {shard.shard_index + 1}/{shard.num_shards}: "
+            f"{len(plan.jobs)} jobs, {len(plan.skipped)} skips"
+        )
     result = session.run_plan(plan)
     for skip in result.skipped:
         print(
@@ -233,9 +285,66 @@ def _cmd_sweep(args) -> int:
         f"cache={stats['evaluator_cache']}"
     )
     if args.export:
-        save_sweep(sweep, args.export)
+        if shard is not None:
+            from .service import save_shard_result
+
+            save_shard_result(shard, result, args.export)
+            print(f"-- wrote shard result {args.export} "
+                  f"(merge with: python -m repro merge ...)")
+        else:
+            save_sweep(sweep, args.export)
+            print(f"-- wrote {args.export}")
+    return 1 if result.errors else 0
+
+
+def _cmd_merge(args) -> int:
+    from .eval import save_sweep, save_sweep_result
+    from .service import merge_shard_files
+
+    try:
+        result = merge_shard_files(args.files)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    sweep = result.sweep
+    rate = sweep.rate(sweep.records) if sweep.records else 0.0
+    stats = result.stats
+    print(
+        f"merged {stats['shards']} shards: {len(sweep)} records, "
+        f"{stats['jobs_skipped']} skips, {stats['jobs_failed']} failures, "
+        f"overall pass rate {rate:.3f}"
+    )
+    if args.export:
+        if args.full:
+            if not args.export.endswith(".json"):
+                print("error: --full exports to .json only")
+                return 2
+            save_sweep_result(result, args.export)
+        elif args.export.endswith((".json", ".csv")):
+            save_sweep(sweep, args.export)
+        else:
+            print(f"error: --export must end in .json or .csv, "
+                  f"got {args.export!r}")
+            return 2
         print(f"-- wrote {args.export}")
     return 1 if result.errors else 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import EvalService
+
+    service = EvalService(_session(args), host=args.host, port=args.port)
+    service.bind()  # resolve port 0 before announcing the URL
+    backend_name = service.app.session.backend.name
+    print(f"eval service on {service.url} (backend={backend_name}, "
+          f"workers={args.workers}) — Ctrl-C to stop")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nstopped")
+    finally:
+        service.stop()
+    return 0
 
 
 def _cmd_tables(args) -> int:
@@ -300,7 +409,25 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--workers", type=_positive_int, default=1,
-        help="executor thread-pool width (default: 1, serial)",
+        help="executor pool width (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--url", default=None,
+        help="endpoint for the service/http backends "
+             "(e.g. http://host:8076 from `repro serve`)",
+    )
+    parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker pool flavour: thread (shared cache) or process "
+             "(GIL-free, for CPU-bound sweeps)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retry transient backend errors this many times per job",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.0,
+        help="base backoff seconds between retries (doubles per attempt)",
     )
 
 
@@ -349,7 +476,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated problem numbers (default: all 17)")
     p.add_argument("--max-tokens", type=int, default=300)
     p.add_argument("--export", default=None,
-                   help="write records to this .json or .csv path")
+                   help="write records to this .json or .csv path "
+                        "(with --shards: a mergeable shard-result .json)")
+    p.add_argument("--shards", type=_positive_int, default=1,
+                   help="split the plan into this many deterministic shards")
+    p.add_argument("--shard-index", type=int, default=None,
+                   help="which shard to run (0-based; requires --shards)")
+    p.add_argument("--batch-size", type=_positive_int, default=1,
+                   help="consecutive same-model jobs per generate_batch call")
+    _add_service_flags(p)
+
+    p = sub.add_parser("merge", help="merge executed shard-result files")
+    p.add_argument("files", nargs="+",
+                   help=".json files written by sweep --shards --export")
+    p.add_argument("--export", default=None,
+                   help="write merged records to .json/.csv")
+    p.add_argument("--full", action="store_true",
+                   help="export the full result (records+skips+errors) JSON")
+
+    p = sub.add_parser("serve", help="expose the eval service over HTTP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8076,
+                   help="listening port (0 = pick a free one)")
     _add_service_flags(p)
 
     p = sub.add_parser("tables", help="run the full sweep; print Tables III/IV")
@@ -370,6 +518,8 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
+    "merge": _cmd_merge,
+    "serve": _cmd_serve,
     "tables": _cmd_tables,
     "corpus": _cmd_corpus,
 }

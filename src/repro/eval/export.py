@@ -1,8 +1,14 @@
-"""Sweep result export: CSV and JSON for external analysis.
+"""Sweep result export: CSV and JSON for external analysis and sharding.
 
 Downstream users (plotting notebooks, the VerilogEval-style leaderboards)
 want raw records, not our rendered ASCII tables.  Exports are stable:
 column order is fixed and enum fields serialize to their string values.
+
+Beyond plain record tables, this module is the wire codec for the
+distributed sweep service: jobs, skips, errors, configs and whole
+:class:`~repro.eval.jobs.SweepResult`s round-trip through dicts/JSON so
+shard manifests (:mod:`repro.service.sharding`) and the HTTP eval
+service (:mod:`repro.service.server`) share one schema.
 """
 
 from __future__ import annotations
@@ -11,7 +17,11 @@ import csv
 import io
 import json
 
-from .harness import CompletionRecord, Sweep
+from ..problems import Difficulty, PromptLevel
+from .harness import CompletionRecord, Sweep, SweepConfig
+
+_LEVEL_BY_VALUE = {str(level): level for level in PromptLevel}
+_DIFFICULTY_BY_VALUE = {str(d): d for d in Difficulty}
 
 CSV_COLUMNS = (
     "model", "base_model", "fine_tuned", "problem", "difficulty", "level",
@@ -64,28 +74,175 @@ def save_sweep(sweep: Sweep, path: str) -> None:
         handle.write(payload)
 
 
+def record_from_dict(row: dict) -> CompletionRecord:
+    """Rebuild one :class:`CompletionRecord` from its :func:`_row` dict."""
+    return CompletionRecord(
+        model=row["model"],
+        base_model=row["base_model"],
+        fine_tuned=bool(row["fine_tuned"]),
+        problem=int(row["problem"]),
+        difficulty=_DIFFICULTY_BY_VALUE[row["difficulty"]],
+        level=_LEVEL_BY_VALUE[row["level"]],
+        temperature=float(row["temperature"]),
+        n=int(row["n"]),
+        sample_index=int(row["sample_index"]),
+        compiled=bool(row["compiled"]),
+        passed=bool(row["passed"]),
+        inference_seconds=float(row["inference_seconds"]),
+    )
+
+
+record_to_dict = _row
+
+
 def load_sweep_json(payload: str) -> Sweep:
     """Rebuild a Sweep from :func:`sweep_to_json` output."""
-    from ..problems import Difficulty, PromptLevel
+    return Sweep(records=[record_from_dict(row) for row in json.loads(payload)])
 
-    level_by_value = {str(level): level for level in PromptLevel}
-    difficulty_by_value = {str(d): d for d in Difficulty}
-    records = []
-    for row in json.loads(payload):
-        records.append(
-            CompletionRecord(
-                model=row["model"],
-                base_model=row["base_model"],
-                fine_tuned=bool(row["fine_tuned"]),
-                problem=int(row["problem"]),
-                difficulty=difficulty_by_value[row["difficulty"]],
-                level=level_by_value[row["level"]],
-                temperature=float(row["temperature"]),
-                n=int(row["n"]),
-                sample_index=int(row["sample_index"]),
-                compiled=bool(row["compiled"]),
-                passed=bool(row["passed"]),
-                inference_seconds=float(row["inference_seconds"]),
+
+# ----------------------------------------------------------------------
+# Job / skip / error / config codecs (the service + shard wire schema)
+# ----------------------------------------------------------------------
+def job_to_dict(job) -> dict:
+    return {
+        "model": job.model,
+        "base_model": job.base_model,
+        "fine_tuned": job.fine_tuned,
+        "problem": job.problem,
+        "level": str(job.level),
+        "temperature": job.temperature,
+        "n": job.n,
+        "max_tokens": job.max_tokens,
+    }
+
+
+def job_from_dict(row: dict):
+    from .jobs import GenerationJob
+
+    return GenerationJob(
+        model=row["model"],
+        base_model=row["base_model"],
+        fine_tuned=bool(row["fine_tuned"]),
+        problem=int(row["problem"]),
+        level=_LEVEL_BY_VALUE[row["level"]],
+        temperature=float(row["temperature"]),
+        n=int(row["n"]),
+        max_tokens=int(row["max_tokens"]),
+    )
+
+
+def skip_to_dict(skip) -> dict:
+    return {
+        "model": skip.model,
+        "problem": skip.problem,
+        "level": str(skip.level),
+        "temperature": skip.temperature,
+        "n": skip.n,
+        "reason": skip.reason,
+    }
+
+
+def skip_from_dict(row: dict):
+    from .jobs import SkippedJob
+
+    return SkippedJob(
+        model=row["model"],
+        problem=int(row["problem"]),
+        level=_LEVEL_BY_VALUE[row["level"]],
+        temperature=float(row["temperature"]),
+        n=int(row["n"]),
+        reason=row["reason"],
+    )
+
+
+def error_to_dict(error) -> dict:
+    return {
+        "job": job_to_dict(error.job),
+        "error": error.error,
+        "attempts": error.attempts,
+    }
+
+
+def error_from_dict(row: dict):
+    from .jobs import JobError
+
+    return JobError(
+        job=job_from_dict(row["job"]),
+        error=row["error"],
+        attempts=int(row.get("attempts", 1)),
+    )
+
+
+def config_to_dict(config: SweepConfig) -> dict:
+    return {
+        "temperatures": list(config.temperatures),
+        "completions_per_prompt": list(config.completions_per_prompt),
+        "levels": [str(level) for level in config.levels],
+        "problem_numbers": list(config.problem_numbers),
+        "max_tokens": config.max_tokens,
+    }
+
+
+def config_from_dict(row: dict) -> SweepConfig:
+    defaults = SweepConfig()
+    return SweepConfig(
+        temperatures=tuple(
+            float(t) for t in row.get("temperatures", defaults.temperatures)
+        ),
+        completions_per_prompt=tuple(
+            int(n)
+            for n in row.get(
+                "completions_per_prompt", defaults.completions_per_prompt
             )
-        )
-    return Sweep(records=records)
+        ),
+        levels=tuple(
+            _LEVEL_BY_VALUE[str(level)]
+            for level in row.get("levels", [str(l) for l in defaults.levels])
+        ),
+        problem_numbers=tuple(
+            int(p)
+            for p in row.get("problem_numbers", defaults.problem_numbers)
+        ),
+        max_tokens=int(row.get("max_tokens", defaults.max_tokens)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Whole-result round-trip (records + skip/error metadata + stats)
+# ----------------------------------------------------------------------
+def sweep_result_to_dict(result) -> dict:
+    """Serialize a :class:`~repro.eval.jobs.SweepResult` losslessly."""
+    return {
+        "records": [_row(r) for r in result.sweep.records],
+        "skipped": [skip_to_dict(s) for s in result.skipped],
+        "errors": [error_to_dict(e) for e in result.errors],
+        "stats": result.stats,
+    }
+
+
+def sweep_result_from_dict(row: dict):
+    from .jobs import SweepResult
+
+    return SweepResult(
+        sweep=Sweep(records=[record_from_dict(r) for r in row["records"]]),
+        skipped=[skip_from_dict(s) for s in row.get("skipped", [])],
+        errors=[error_from_dict(e) for e in row.get("errors", [])],
+        stats=dict(row.get("stats", {})),
+    )
+
+
+def sweep_result_to_json(result, indent: int | None = None) -> str:
+    return json.dumps(sweep_result_to_dict(result), indent=indent)
+
+
+def load_sweep_result_json(payload: str):
+    """Rebuild a SweepResult from :func:`sweep_result_to_json` output."""
+    return sweep_result_from_dict(json.loads(payload))
+
+
+def save_sweep_result(result, path: str) -> None:
+    """Write a full SweepResult (records + skips + errors) to JSON."""
+    if not path.endswith(".json"):
+        raise ValueError(f"sweep results export to .json, got {path!r}")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(sweep_result_to_json(result))

@@ -1,4 +1,4 @@
-"""Job-based sweep service: planner and parallel executor.
+"""Job-based sweep service: planner and parallel executors.
 
 The paper's Fig.-1 sweep is a cross product
 (model x problem x level x temperature x n).  :class:`SweepPlanner`
@@ -9,7 +9,15 @@ Sec. IV-B) become explicit :class:`SkippedJob` records instead of
 silently swallowed exceptions.  :class:`SweepExecutor` then runs the
 jobs — serially or through a ``concurrent.futures`` thread pool — against
 a shared thread-safe :class:`~repro.eval.pipeline.Evaluator`, with
-per-job error capture and progress callbacks.
+per-job error capture, a configurable :class:`RetryPolicy` for transient
+backend failures, and progress callbacks.
+
+Every executor implements the :class:`Executor` interface (``run(plan)
+-> SweepResult``); :class:`~repro.service.process.ProcessPoolSweepExecutor`
+is the process-pool variant for CPU-bound sweeps that the GIL would
+otherwise serialize.  The job-level helpers (:func:`evaluate_job`,
+:func:`run_job_with_retry`) are module-level functions so process
+workers can share them with the thread pool.
 
 Job expansion and result assembly both follow the legacy loop's nesting
 order, so a parallel run produces byte-identical record lists to the old
@@ -18,14 +26,15 @@ serial harness (the acceptance parity check).
 
 from __future__ import annotations
 
+import abc
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..backends.base import Backend
-from ..models.base import GenerationConfig
+from ..backends.base import Backend, BackendError
+from ..models.base import Completion, GenerationConfig
 from ..problems import Problem, PromptLevel, get_problem
 from .harness import CompletionRecord, Sweep, SweepConfig
 from .pipeline import Evaluator
@@ -64,10 +73,45 @@ class SkippedJob:
 
 @dataclass(frozen=True)
 class JobError:
-    """A job that failed at runtime; the sweep carries on without it."""
+    """A job that failed at runtime; the sweep carries on without it.
+
+    ``attempts`` counts how many times the executor tried the job before
+    giving up (1 unless a :class:`RetryPolicy` allowed retries).
+    """
 
     job: GenerationJob
     error: str
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry transient backend failures with deterministic backoff.
+
+    Only :class:`~repro.backends.base.BackendError` is considered
+    transient (a flaky remote endpoint); anything else — evaluator bugs,
+    invalid configs — fails the job on the first attempt.  The delay
+    before retry ``k`` (1-based) is
+    ``backoff_seconds * backoff_multiplier ** (k - 1)``; executors take
+    an injectable ``sleep`` so tests can assert the schedule without
+    waiting it out.
+    """
+
+    max_attempts: int = 1
+    backoff_seconds: float = 0.0
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+        if self.backoff_multiplier < 1:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def delay(self, failures: int) -> float:
+        """Seconds to wait after the ``failures``-th failed attempt."""
+        return self.backoff_seconds * self.backoff_multiplier ** (failures - 1)
 
 
 @dataclass
@@ -84,6 +128,23 @@ class SweepPlan:
     @property
     def completions_planned(self) -> int:
         return sum(job.n for job in self.jobs)
+
+    def subset(
+        self,
+        job_indices: Sequence[int],
+        skip_indices: Sequence[int] = (),
+    ) -> SweepPlan:
+        """A sub-plan holding the selected jobs/skips (the shard hook).
+
+        Indices are positions into ``jobs``/``skipped``; the sub-plan
+        preserves their relative order, so executing it yields records
+        in the same order a serial run would produce for those jobs.
+        """
+        return SweepPlan(
+            jobs=[self.jobs[i] for i in job_indices],
+            skipped=[self.skipped[i] for i in skip_indices],
+            config=self.config,
+        )
 
 
 class SweepPlanner:
@@ -163,6 +224,9 @@ class SweepPlanner:
 
 ProgressCallback = Callable[[int, int, GenerationJob], None]
 
+#: (records, error text or None, attempts) for one executed job.
+JobOutcome = tuple[list[CompletionRecord], "str | None", int]
+
 
 @dataclass
 class SweepResult:
@@ -177,14 +241,119 @@ class SweepResult:
         return len(self.sweep)
 
 
-class SweepExecutor:
-    """Run a :class:`SweepPlan` through a worker pool.
+# ----------------------------------------------------------------------
+# Job-level helpers (module-level so process-pool workers can use them)
+# ----------------------------------------------------------------------
+def evaluate_completions(
+    evaluator: Evaluator, job: GenerationJob, completions: list[Completion]
+) -> list[CompletionRecord]:
+    """Push one job's completions through the evaluator into records."""
+    problem = get_problem(job.problem)
+    records = []
+    for index, completion in enumerate(completions):
+        outcome = evaluator.evaluate(problem, completion.text, job.level)
+        records.append(
+            CompletionRecord(
+                model=job.model,
+                base_model=job.base_model,
+                fine_tuned=job.fine_tuned,
+                problem=problem.number,
+                difficulty=problem.difficulty,
+                level=job.level,
+                temperature=job.temperature,
+                n=job.n,
+                sample_index=index,
+                compiled=outcome.compiled,
+                passed=outcome.passed,
+                inference_seconds=completion.inference_seconds,
+            )
+        )
+    return records
+
+
+def evaluate_job(
+    backend: Backend, evaluator: Evaluator, job: GenerationJob
+) -> list[CompletionRecord]:
+    """Generate and evaluate one job (no error capture)."""
+    problem = get_problem(job.problem)
+    completions = backend.generate(
+        job.model, problem.prompt(job.level), job.generation_config()
+    )
+    return evaluate_completions(evaluator, job, completions)
+
+
+def run_job_with_retry(
+    backend: Backend,
+    evaluator: Evaluator,
+    job: GenerationJob,
+    retry: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> JobOutcome:
+    """Run one job under a retry policy; never raises."""
+    retry = retry or RetryPolicy()
+    for attempt in range(1, retry.max_attempts + 1):
+        try:
+            return evaluate_job(backend, evaluator, job), None, attempt
+        except BackendError as exc:  # transient: retry with backoff
+            if attempt < retry.max_attempts:
+                delay = retry.delay(attempt)
+                if delay > 0:
+                    sleep(delay)
+                continue
+            return [], f"{type(exc).__name__}: {exc}", attempt
+        except Exception as exc:  # noqa: BLE001 — per-job isolation
+            return [], f"{type(exc).__name__}: {exc}", attempt
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def assemble_result(
+    plan: SweepPlan, outcomes: Sequence[JobOutcome], stats: dict
+) -> SweepResult:
+    """Zip plan-ordered outcomes back into a :class:`SweepResult`."""
+    sweep = Sweep()
+    errors: list[JobError] = []
+    attempts_total = 0
+    for job, (records, error, attempts) in zip(plan.jobs, outcomes):
+        attempts_total += attempts
+        if error is not None:
+            errors.append(JobError(job=job, error=error, attempts=attempts))
+        else:
+            sweep.extend(records)
+    stats = dict(stats)
+    stats.update(
+        jobs=len(plan.jobs),
+        jobs_failed=len(errors),
+        jobs_skipped=len(plan.skipped),
+        records=len(sweep),
+        attempts=attempts_total,
+    )
+    return SweepResult(
+        sweep=sweep, skipped=list(plan.skipped), errors=errors, stats=stats
+    )
+
+
+class Executor(abc.ABC):
+    """Common interface every sweep executor variant implements."""
+
+    @abc.abstractmethod
+    def run(self, plan: SweepPlan) -> SweepResult:
+        """Execute every job; capture per-job failures instead of dying."""
+
+
+class SweepExecutor(Executor):
+    """Run a :class:`SweepPlan` through a thread pool.
 
     ``workers <= 1`` runs the jobs inline; anything higher fans out over
     a thread pool (generation and evaluation are pure Python but the
     evaluator cache is shared and thread-safe, so identical completions
     are only compiled once across the whole pool).  Results are
     reassembled in plan order regardless of completion order.
+
+    ``batch_size > 1`` groups consecutive same-model jobs and sends each
+    group through :meth:`~repro.backends.base.Backend.generate_batch`,
+    letting backends amortize per-request overhead; a failing batch
+    falls back to per-job execution so error isolation (and the retry
+    policy) still applies job by job.
     """
 
     def __init__(
@@ -193,41 +362,73 @@ class SweepExecutor:
         evaluator: Evaluator | None = None,
         workers: int = 1,
         progress: ProgressCallback | None = None,
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        batch_size: int = 1,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.backend = backend
         self.evaluator = evaluator or Evaluator()
         self.workers = workers
         self.progress = progress
+        self.retry = retry or RetryPolicy()
+        self.sleep = sleep
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------
     def _run_job(self, job: GenerationJob) -> list[CompletionRecord]:
-        problem = get_problem(job.problem)
-        prompt = problem.prompt(job.level)
-        completions = self.backend.generate(
-            job.model, prompt, job.generation_config()
-        )
-        records = []
-        for index, completion in enumerate(completions):
-            outcome = self.evaluator.evaluate(problem, completion.text, job.level)
-            records.append(
-                CompletionRecord(
-                    model=job.model,
-                    base_model=job.base_model,
-                    fine_tuned=job.fine_tuned,
-                    problem=problem.number,
-                    difficulty=problem.difficulty,
-                    level=job.level,
-                    temperature=job.temperature,
-                    n=job.n,
-                    sample_index=index,
-                    compiled=outcome.compiled,
-                    passed=outcome.passed,
-                    inference_seconds=completion.inference_seconds,
+        return evaluate_job(self.backend, self.evaluator, job)
+
+    def _run_chunk(self, jobs: Sequence[GenerationJob]) -> list[JobOutcome]:
+        """One work unit: a run of consecutive same-model jobs."""
+        if len(jobs) > 1:
+            problems = [get_problem(job.problem) for job in jobs]
+            try:
+                batches = self.backend.generate_batch(
+                    jobs[0].model,
+                    [
+                        (problem.prompt(job.level), job.generation_config())
+                        for job, problem in zip(jobs, problems)
+                    ],
                 )
+            except Exception:  # noqa: BLE001 — retry job by job instead
+                batches = None
+            if batches is not None and len(batches) == len(jobs):
+                outcomes: list[JobOutcome] = []
+                for job, completions in zip(jobs, batches):
+                    try:
+                        records = evaluate_completions(
+                            self.evaluator, job, completions
+                        )
+                        outcomes.append((records, None, 1))
+                    except Exception as exc:  # noqa: BLE001
+                        outcomes.append(
+                            ([], f"{type(exc).__name__}: {exc}", 1)
+                        )
+                return outcomes
+        return [
+            run_job_with_retry(
+                self.backend, self.evaluator, job, self.retry, self.sleep
             )
-        return records
+            for job in jobs
+        ]
+
+    def _chunks(self, plan: SweepPlan) -> list[list[GenerationJob]]:
+        """Split the plan into consecutive same-model runs of batch_size."""
+        chunks: list[list[GenerationJob]] = []
+        for job in plan.jobs:
+            if (
+                chunks
+                and chunks[-1][0].model == job.model
+                and len(chunks[-1]) < self.batch_size
+            ):
+                chunks[-1].append(job)
+            else:
+                chunks.append([job])
+        return chunks
 
     def run(self, plan: SweepPlan) -> SweepResult:
         """Execute every job; capture per-job failures instead of dying."""
@@ -236,42 +437,32 @@ class SweepExecutor:
         done = 0
         done_lock = threading.Lock()
 
-        def attempt(job: GenerationJob):
+        def attempt(jobs: list[GenerationJob]) -> list[JobOutcome]:
             nonlocal done
-            try:
-                outcome: tuple = (self._run_job(job), None)
-            except Exception as exc:  # noqa: BLE001 — per-job isolation
-                outcome = ([], f"{type(exc).__name__}: {exc}")
+            outcomes = self._run_chunk(jobs)
             if self.progress is not None:
                 with done_lock:
-                    done += 1
-                    self.progress(done, total, job)
-            return outcome
+                    for job in jobs:
+                        done += 1
+                        self.progress(done, total, job)
+            return outcomes
 
+        chunks = self._chunks(plan)
         if self.workers == 1:
-            outcomes = [attempt(job) for job in plan.jobs]
+            chunk_outcomes = [attempt(chunk) for chunk in chunks]
         else:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                outcomes = list(pool.map(attempt, plan.jobs))
+                chunk_outcomes = list(pool.map(attempt, chunks))
 
-        sweep = Sweep()
-        errors: list[JobError] = []
-        for job, (records, error) in zip(plan.jobs, outcomes):
-            if error is not None:
-                errors.append(JobError(job=job, error=error))
-            else:
-                sweep.extend(records)
-        return SweepResult(
-            sweep=sweep,
-            skipped=list(plan.skipped),
-            errors=errors,
+        outcomes = [outcome for chunk in chunk_outcomes for outcome in chunk]
+        return assemble_result(
+            plan,
+            outcomes,
             stats={
                 "backend": self.backend.name,
+                "executor": "thread",
                 "workers": self.workers,
-                "jobs": total,
-                "jobs_failed": len(errors),
-                "jobs_skipped": len(plan.skipped),
-                "records": len(sweep),
+                "batch_size": self.batch_size,
                 "evaluator_cache": dict(self.evaluator.cache_info),
                 "elapsed_seconds": time.perf_counter() - started,
             },
@@ -285,10 +476,17 @@ def execute_sweep(
     evaluator: Evaluator | None = None,
     workers: int = 1,
     progress: ProgressCallback | None = None,
+    retry: RetryPolicy | None = None,
+    batch_size: int = 1,
 ) -> SweepResult:
     """Plan + execute in one call (the common path for the facade)."""
     plan = SweepPlanner(backend).plan(config, models=models)
     executor = SweepExecutor(
-        backend, evaluator=evaluator, workers=workers, progress=progress
+        backend,
+        evaluator=evaluator,
+        workers=workers,
+        progress=progress,
+        retry=retry,
+        batch_size=batch_size,
     )
     return executor.run(plan)

@@ -1,0 +1,63 @@
+"""Distributed sweep service: HTTP server, client backend, shards, processes.
+
+The subsystem that takes the job-based sweep stack of
+:mod:`repro.eval.jobs` off a single machine:
+
+* :mod:`repro.service.server` — a stdlib HTTP eval service
+  (:class:`EvalService`) exposing the Session/job API as JSON routes,
+  with a transport-free :class:`ServiceApp` core;
+* :mod:`repro.service.client` — :class:`ServiceBackend`, the registered
+  ``"service"`` backend that makes a remote server look local, with an
+  injectable transport (:func:`in_process_transport` for offline tests);
+* :mod:`repro.service.sharding` — :class:`ShardPlanner` /
+  :func:`merge_shard_results`: partition a plan across machines and
+  recombine results record-for-record identical to a serial run;
+* :mod:`repro.service.process` — :class:`ProcessPoolSweepExecutor`, the
+  GIL-free executor variant for CPU-bound sweeps.
+"""
+
+from .client import (
+    DEFAULT_URL,
+    ServiceBackend,
+    Transport,
+    http_transport,
+    in_process_transport,
+)
+from .process import ProcessPoolSweepExecutor
+from .server import EvalService, ServiceApp, serve
+from .sharding import (
+    PlanShard,
+    ShardPlanner,
+    load_shard_manifest,
+    load_shard_result,
+    merge_shard_files,
+    merge_shard_results,
+    save_shard_result,
+    shard_from_dict,
+    shard_manifest_to_json,
+    shard_to_dict,
+    split_result_by_job,
+)
+
+__all__ = [
+    "DEFAULT_URL",
+    "EvalService",
+    "PlanShard",
+    "ProcessPoolSweepExecutor",
+    "ServiceApp",
+    "ServiceBackend",
+    "ShardPlanner",
+    "Transport",
+    "http_transport",
+    "in_process_transport",
+    "load_shard_manifest",
+    "load_shard_result",
+    "merge_shard_files",
+    "merge_shard_results",
+    "save_shard_result",
+    "serve",
+    "shard_from_dict",
+    "shard_manifest_to_json",
+    "shard_to_dict",
+    "split_result_by_job",
+]

@@ -1,0 +1,168 @@
+"""Client side of the eval service: a Backend that speaks the wire API.
+
+:class:`ServiceBackend` makes a remote eval server look like any other
+registered backend — ``Session(backend="service", ...)`` or
+``--backend service --url http://host:port`` on the CLI — so the sweep
+planner/executor stack needs no remote-awareness at all: capabilities,
+identity and generation all round-trip through the server's JSON routes.
+
+The transport is injectable (``transport(method, path, payload) ->
+response dict``).  The default is a ``urllib`` client bound to ``url``;
+tests and same-process embedding use :func:`in_process_transport`, which
+calls a :class:`~repro.service.server.ServiceApp` directly — the full
+request/validation/serialization path, no sockets.  All transport-level
+failures surface as :class:`~repro.backends.base.BackendError`, which is
+exactly what the executor's :class:`~repro.eval.jobs.RetryPolicy` treats
+as transient.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Callable, Sequence
+
+from ..models.base import Completion, GenerationConfig
+from ..backends.base import Backend, BackendError, ModelCapabilities
+
+Transport = Callable[[str, str, "dict | None"], dict]
+
+DEFAULT_URL = "http://127.0.0.1:8076"
+
+
+def http_transport(base_url: str, timeout: float = 30.0) -> Transport:
+    """A urllib-based transport bound to ``base_url``."""
+
+    def call(method: str, path: str, payload: dict | None = None) -> dict:
+        url = base_url.rstrip("/") + path
+        data = None if payload is None else json.dumps(payload).encode()
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))["error"]
+            except Exception:  # noqa: BLE001 — body may not be our JSON
+                detail = str(exc)
+            raise BackendError(
+                f"eval service {exc.code} on {path}: {detail}"
+            ) from None
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise BackendError(
+                f"cannot reach eval service at {base_url}: {exc}"
+            ) from None
+
+    return call
+
+
+def in_process_transport(app) -> Transport:
+    """Drive a :class:`ServiceApp` directly — offline, full wire schema."""
+
+    def call(method: str, path: str, payload: dict | None = None) -> dict:
+        status, body = app.handle(method, path, payload)
+        if status >= 400:
+            raise BackendError(
+                f"eval service {status} on {path}: "
+                f"{body.get('error', body)}"
+            )
+        return body
+
+    return call
+
+
+class ServiceBackend(Backend):
+    """Backend adapter over a (remote or in-process) eval service."""
+
+    name = "service"
+
+    def __init__(
+        self,
+        url: str = DEFAULT_URL,
+        transport: Transport | None = None,
+        timeout: float = 30.0,
+    ):
+        self.url = url
+        self._transport = transport or http_transport(url, timeout)
+        self._described: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """The server's /health payload (raises BackendError if down)."""
+        return self._transport("GET", "/health", None)
+
+    def models(self) -> list[str]:
+        return list(self._transport("GET", "/models", None)["models"])
+
+    def _describe(self, model: str) -> dict:
+        cached = self._described.get(model)
+        if cached is None:
+            cached = self._transport("POST", "/capabilities", {"model": model})
+            self._described[model] = cached
+        return cached
+
+    def capabilities(self, model: str) -> ModelCapabilities:
+        described = self._describe(model)
+        return ModelCapabilities(
+            supports_n25=bool(described["supports_n25"]),
+            max_tokens=int(described["max_tokens"]),
+        )
+
+    def identity(self, model: str) -> tuple[str, bool]:
+        described = self._describe(model)
+        return described["base_model"], bool(described["fine_tuned"])
+
+    def generate(
+        self, model: str, prompt: str, config: GenerationConfig
+    ) -> list[Completion]:
+        response = self._transport(
+            "POST",
+            "/generate",
+            {
+                "model": model,
+                "prompt": prompt,
+                "config": {
+                    "temperature": config.temperature,
+                    "n": config.n,
+                    "max_tokens": config.max_tokens,
+                    "top_p": config.top_p,
+                },
+            },
+        )
+        return [
+            Completion(
+                text=c["text"],
+                inference_seconds=float(c.get("inference_seconds", 0.0)),
+                tokens=int(c.get("tokens", 0)),
+            )
+            for c in response["completions"]
+        ]
+
+    def run_remote_sweep(
+        self,
+        config=None,
+        models: Sequence[str] | None = None,
+    ):
+        """Execute a whole sweep server-side via POST /sweep.
+
+        Unlike :meth:`generate` (per-job traffic planned client-side),
+        this ships the config across and deserializes the full
+        :class:`~repro.eval.jobs.SweepResult` — one request, the
+        server's worker pool does the fan-out.
+        """
+        from ..eval.export import config_to_dict, sweep_result_from_dict
+
+        payload: dict = {}
+        if config is not None:
+            payload["config"] = config_to_dict(config)
+        if models is not None:
+            payload["models"] = list(models)
+        return sweep_result_from_dict(
+            self._transport("POST", "/sweep", payload)
+        )

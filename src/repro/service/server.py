@@ -1,0 +1,256 @@
+"""HTTP eval service: the Session/job API over JSON.
+
+The service exposes a :class:`~repro.api.Session` to the network with
+nothing but the standard library:
+
+* ``GET  /health``        — liveness + backend identity;
+* ``GET  /models``        — served model variants;
+* ``POST /capabilities``  — capability claims + identity for one model;
+* ``POST /generate``      — completions for one (model, prompt, config);
+* ``POST /sweep``         — plan + execute a whole sweep server-side,
+  returning the full record/skip/error result.
+
+:class:`ServiceApp` is the transport-free core — ``handle(method, path,
+payload) -> (status, body)`` — so tests (and
+:func:`~repro.service.client.in_process_transport`) drive the exact
+routing/validation/serialization code without opening a socket.
+:class:`EvalService` wraps it in a ``ThreadingHTTPServer`` for real
+deployments; agent-style callers then point any HTTP client (or a
+:class:`~repro.service.client.ServiceBackend`) at the port.
+
+The wire schema reuses the job/skip/error codecs of
+:mod:`repro.eval.export`, so a remote sweep result deserializes
+record-for-record identical to a local run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..backends.base import BackendError
+from ..eval.export import config_from_dict, sweep_result_to_dict
+from ..models.base import GenerationConfig
+
+
+class ServiceApp:
+    """Route table + JSON codec over a Session; no sockets involved."""
+
+    def __init__(self, session):
+        self.session = session
+
+    # ------------------------------------------------------------------
+    def handle(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """Dispatch one request; returns (HTTP status, response body)."""
+        route = (method.upper(), path.rstrip("/") or "/")
+        handlers = {
+            ("GET", "/health"): self._health,
+            ("GET", "/models"): self._models,
+            ("POST", "/capabilities"): self._capabilities,
+            ("POST", "/generate"): self._generate,
+            ("POST", "/sweep"): self._sweep,
+        }
+        handler = handlers.get(route)
+        if handler is None:
+            return 404, {"error": f"no route {method.upper()} {path}"}
+        try:
+            return 200, handler(payload or {})
+        except BackendError as exc:
+            return 400, {"error": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return 400, {"error": f"bad request: {exc}"}
+        except Exception as exc:  # noqa: BLE001 — keep the server alive
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    # ------------------------------------------------------------------
+    def _health(self, _payload: dict) -> dict:
+        from .. import __version__
+
+        return {
+            "status": "ok",
+            "backend": self.session.backend.name,
+            "models": len(self.session.models()),
+            "version": __version__,
+        }
+
+    def _models(self, _payload: dict) -> dict:
+        return {"models": self.session.models()}
+
+    def _capabilities(self, payload: dict) -> dict:
+        model = payload["model"]
+        capabilities = self.session.backend.capabilities(model)
+        base_model, fine_tuned = self.session.backend.identity(model)
+        return {
+            "model": model,
+            "supports_n25": capabilities.supports_n25,
+            "max_tokens": capabilities.max_tokens,
+            "base_model": base_model,
+            "fine_tuned": fine_tuned,
+        }
+
+    def _generate(self, payload: dict) -> dict:
+        config = GenerationConfig(
+            **{
+                key: payload.get("config", {})[key]
+                for key in ("temperature", "n", "max_tokens", "top_p")
+                if key in payload.get("config", {})
+            }
+        )
+        completions = self.session.backend.generate(
+            payload["model"], payload["prompt"], config
+        )
+        return {
+            "completions": [
+                {
+                    "text": c.text,
+                    "inference_seconds": c.inference_seconds,
+                    "tokens": c.tokens,
+                }
+                for c in completions
+            ]
+        }
+
+    def _sweep(self, payload: dict) -> dict:
+        config = (
+            config_from_dict(payload["config"])
+            if payload.get("config") is not None
+            else None
+        )
+        result = self.session.run_sweep(config, models=payload.get("models"))
+        return sweep_result_to_dict(result)
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Thin JSON shim between http.server and the ServiceApp."""
+
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _payload(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        return json.loads(self.rfile.read(length).decode("utf-8"))
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            payload = self._payload()
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._respond(400, {"error": f"invalid JSON body: {exc}"})
+            return
+        status, body = self.server.app.handle(method, self.path, payload)
+        self._respond(status, body)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("POST")
+
+    def log_message(self, *args) -> None:  # silence per-request stderr spam
+        pass
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], app: ServiceApp):
+        super().__init__(address, _ServiceRequestHandler)
+        self.app = app
+
+
+class EvalService:
+    """A Session served over HTTP; ``port=0`` picks a free port.
+
+    Use :meth:`start`/:meth:`stop` (or the context manager) to run the
+    server on a background thread for tests and embedding, or
+    :meth:`serve_forever` to block (the CLI ``serve`` command).
+    """
+
+    def __init__(self, session, host: str = "127.0.0.1", port: int = 8076):
+        self.app = ServiceApp(session)
+        self.host = host
+        self.port = port
+        self._httpd: _ServiceHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    # ------------------------------------------------------------------
+    def _ensure_server(self) -> _ServiceHTTPServer:
+        if self._httpd is None:
+            self._httpd = _ServiceHTTPServer((self.host, self.port), self.app)
+            self.port = self._httpd.server_address[1]
+        return self._httpd
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def bind(self) -> str:
+        """Bind the listening socket (resolves ``port=0``) without serving."""
+        self._ensure_server()
+        return self.url
+
+    def start(self) -> str:
+        """Serve on a daemon thread; returns the service URL."""
+        httpd = self._ensure_server()
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(
+                target=httpd.serve_forever, name="eval-service", daemon=True
+            )
+            self._thread.start()
+        return self.url
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        httpd = self._ensure_server()
+        self._serving = True
+        httpd.serve_forever()
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            # shutdown() blocks on the serve loop's exit event, which is
+            # only ever set once serve_forever has run — skip it for a
+            # server that was bound but never served
+            if self._serving:
+                self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        self._serving = False
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "EvalService":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def serve(
+    backend=None,
+    workers: int = 1,
+    host: str = "127.0.0.1",
+    port: int = 8076,
+) -> EvalService:
+    """Build an EvalService over a fresh Session (not yet started)."""
+    from ..api import Session
+
+    return EvalService(Session(backend=backend, workers=workers), host, port)

@@ -57,6 +57,24 @@ class TestParser:
         assert args.workers == 4
         assert args.backend == "stub"
         assert args.export == "out.json"
+        assert args.executor == "thread"
+        assert args.shards == 1
+        assert args.shard_index is None
+        assert args.retries == 0
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8076
+        assert args.backend == "zoo"
+
+    def test_executor_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--executor", "psychic"])
+
+    def test_merge_requires_files(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["merge"])
 
 
 class TestProblems:
@@ -202,6 +220,103 @@ class TestSweepCommand:
         assert "n=25" in out
         assert "pass rate" in out
         assert "workers=4" in out
+
+    def test_sweep_shard_flags_validated(self, capsys):
+        assert main(["sweep", "--shards", "2", "--n", "1"]) == 2
+        assert "--shard-index" in capsys.readouterr().out
+        assert main([
+            "sweep", "--shards", "2", "--shard-index", "2", "--n", "1",
+        ]) == 2
+        assert "0..1" in capsys.readouterr().out
+        assert main([
+            "sweep", "--shards", "2", "--shard-index", "-1", "--n", "1",
+        ]) == 2
+        assert "0..1" in capsys.readouterr().out
+
+    def test_shard_export_extension_checked_before_running(self, capsys):
+        code = main([
+            "sweep", "--shards", "2", "--shard-index", "0", "--n", "1",
+            "--export", "out.csv",
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "must end in .json" in out
+        assert "planned" not in out  # rejected before any work ran
+
+    def test_url_rejected_for_local_backends(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--backend", "stub", "--url", "http://x", "--n", "1"])
+        assert "--url" in capsys.readouterr().out
+        # evaluate's ad-hoc zoo path must reject it too, not ignore it
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--url", "http://x", "--n", "1"])
+        assert "--url" in capsys.readouterr().out
+
+    def test_evaluate_honors_executor_flag(self, capsys):
+        code = main([
+            "evaluate", "--model", "codegen-6b", "--ft", "--n", "2",
+            "--executor", "process", "--workers", "2",
+        ])
+        assert code == 0
+        assert "overall" in capsys.readouterr().out
+
+    def test_shard_merge_round_trip(self, capsys, tmp_path):
+        base = [
+            "sweep", "--backend", "stub", "--problems", "1,2,3",
+            "--temperatures", "0.1", "--n", "2", "--levels", "L",
+        ]
+        paths = []
+        for index in range(2):
+            path = str(tmp_path / f"shard{index}.json")
+            code = main(base + [
+                "--shards", "2", "--shard-index", str(index),
+                "--export", path,
+            ])
+            assert code == 0
+            paths.append(path)
+        out = capsys.readouterr().out
+        assert "shard 1/2" in out and "shard 2/2" in out
+
+        merged = str(tmp_path / "merged.json")
+        assert main(["merge", *paths, "--export", merged]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 shards: 6 records" in out
+
+        serial = str(tmp_path / "serial.json")
+        assert main(base + ["--export", serial]) == 0
+        import json
+
+        assert json.load(open(merged)) == json.load(open(serial))
+
+    def test_merge_full_export(self, capsys, tmp_path):
+        path = str(tmp_path / "shard0.json")
+        assert main([
+            "sweep", "--backend", "stub", "--problems", "1",
+            "--temperatures", "0.1", "--n", "1", "--levels", "L",
+            "--shards", "1", "--shard-index", "0", "--export", path,
+        ]) == 0
+        capsys.readouterr()
+        full = str(tmp_path / "full.json")
+        assert main(["merge", path, "--export", full, "--full"]) == 0
+        import json
+
+        payload = json.load(open(full))
+        assert set(payload) == {"records", "skipped", "errors", "stats"}
+
+    def test_merge_bad_file_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["merge", str(bad)]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_sweep_executor_and_retry_flags(self, capsys):
+        code = main([
+            "sweep", "--backend", "stub-canonical", "--problems", "1,2",
+            "--temperatures", "0.1", "--n", "2", "--levels", "L",
+            "--executor", "process", "--workers", "2", "--retries", "1",
+        ])
+        assert code == 0
+        assert "pass rate 1.000" in capsys.readouterr().out
 
     def test_sweep_json_export(self, capsys, tmp_path):
         path = tmp_path / "records.json"

@@ -1,0 +1,148 @@
+"""Round-trip tests for the export codecs (repro.eval.export): record
+tables, full sweep results with skip/error metadata, and the job/config
+wire schema the service + shard layers share."""
+
+import json
+
+import pytest
+
+from repro.backends import LocalZooBackend, StubBackend
+from repro.eval import (
+    SweepConfig,
+    SweepExecutor,
+    SweepPlanner,
+    load_sweep_json,
+    load_sweep_result_json,
+    save_sweep,
+    save_sweep_result,
+    sweep_result_to_json,
+    sweep_to_csv,
+    sweep_to_json,
+)
+from repro.eval.export import (
+    config_from_dict,
+    config_to_dict,
+    error_from_dict,
+    error_to_dict,
+    job_from_dict,
+    job_to_dict,
+    skip_from_dict,
+    skip_to_dict,
+)
+from repro.eval.jobs import JobError
+from repro.models import make_model, match_prompt_to_problem
+from repro.problems import PromptLevel
+
+CONFIG = SweepConfig(
+    temperatures=(0.1, 0.5),
+    completions_per_prompt=(2, 25),
+    levels=(PromptLevel.LOW, PromptLevel.MEDIUM),
+    problem_numbers=(1, 2),
+)
+
+
+def run_small():
+    backend = LocalZooBackend(
+        [
+            make_model("codegen-6b", fine_tuned=True),
+            make_model("j1-large-7b", fine_tuned=True),  # n=25 skips
+        ]
+    )
+    plan = SweepPlanner(backend).plan(CONFIG)
+    return SweepExecutor(backend).run(plan), plan
+
+
+class TestSweepRoundTrip:
+    def test_save_sweep_load_sweep_json_parity(self, tmp_path):
+        result, _plan = run_small()
+        path = str(tmp_path / "records.json")
+        save_sweep(result.sweep, path)
+        restored = load_sweep_json(open(path, encoding="utf-8").read())
+        # JSON rounds inference_seconds to 6 digits; re-serialization is
+        # the fixed point and must be identical
+        assert sweep_to_json(restored) == sweep_to_json(result.sweep)
+        assert len(restored) == len(result.sweep)
+        first, again = result.sweep.records[0], restored.records[0]
+        assert (first.model, first.problem, first.level) == (
+            again.model, again.problem, again.level,
+        )
+
+    def test_csv_and_json_agree_on_rows(self):
+        result, _plan = run_small()
+        csv_lines = sweep_to_csv(result.sweep).strip().splitlines()
+        rows = json.loads(sweep_to_json(result.sweep))
+        assert len(csv_lines) - 1 == len(rows)  # minus header
+
+
+class TestSweepResultRoundTrip:
+    def test_full_result_round_trip_with_skips(self, tmp_path):
+        result, _plan = run_small()
+        assert result.skipped, "fixture should produce n=25 skips"
+        path = str(tmp_path / "result.json")
+        save_sweep_result(result, path)
+        restored = load_sweep_result_json(open(path, encoding="utf-8").read())
+        assert restored.skipped == result.skipped
+        assert restored.errors == result.errors
+        assert sweep_to_json(restored.sweep) == sweep_to_json(result.sweep)
+        assert restored.stats["backend"] == result.stats["backend"]
+
+    def test_round_trip_preserves_error_metadata(self):
+        class FlakyBackend(StubBackend):
+            def generate(self, model, prompt, config):
+                matched = match_prompt_to_problem(prompt)
+                if matched is not None and matched[0].number == 2:
+                    raise RuntimeError("boom")
+                return super().generate(model, prompt, config)
+
+        backend = FlakyBackend()
+        plan = SweepPlanner(backend).plan(
+            SweepConfig(
+                temperatures=(0.1,),
+                completions_per_prompt=(2,),
+                levels=(PromptLevel.LOW,),
+                problem_numbers=(1, 2),
+            )
+        )
+        result = SweepExecutor(backend).run(plan)
+        assert len(result.errors) == 1
+        restored = load_sweep_result_json(sweep_result_to_json(result))
+        assert restored.errors == result.errors
+        assert restored.errors[0].job == result.errors[0].job
+        assert restored.errors[0].attempts == 1
+        assert "boom" in restored.errors[0].error
+
+    def test_save_sweep_result_requires_json(self, tmp_path):
+        result, _plan = run_small()
+        with pytest.raises(ValueError, match=".json"):
+            save_sweep_result(result, str(tmp_path / "result.csv"))
+
+
+class TestWireCodecs:
+    def test_job_codec_round_trip(self):
+        _result, plan = run_small()
+        for job in plan.jobs:
+            assert job_from_dict(job_to_dict(job)) == job
+
+    def test_skip_codec_round_trip(self):
+        _result, plan = run_small()
+        assert plan.skipped
+        for skip in plan.skipped:
+            assert skip_from_dict(skip_to_dict(skip)) == skip
+
+    def test_error_codec_round_trip_and_attempts_default(self):
+        _result, plan = run_small()
+        error = JobError(job=plan.jobs[0], error="x: y", attempts=3)
+        assert error_from_dict(error_to_dict(error)) == error
+        legacy = error_to_dict(error)
+        del legacy["attempts"]  # pre-retry files have no attempts field
+        assert error_from_dict(legacy).attempts == 1
+
+    def test_config_codec_round_trip(self):
+        assert config_from_dict(config_to_dict(CONFIG)) == CONFIG
+        assert config_from_dict(config_to_dict(SweepConfig())) == SweepConfig()
+
+    def test_config_from_partial_dict_uses_defaults(self):
+        config = config_from_dict({"temperatures": [0.2]})
+        assert config.temperatures == (0.2,)
+        assert config.levels == SweepConfig().levels
+        assert config.problem_numbers == SweepConfig().problem_numbers

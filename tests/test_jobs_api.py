@@ -4,9 +4,11 @@ import pytest
 
 from repro import Session, quick_evaluate
 from repro.api import evaluate_model, run_sweep as api_run_sweep
-from repro.backends import LocalZooBackend, StubBackend
+from repro.backends import BackendError, LocalZooBackend, StubBackend
 from repro.eval import (
     Evaluator,
+    Executor,
+    RetryPolicy,
     Sweep,
     SweepConfig,
     SweepExecutor,
@@ -241,6 +243,194 @@ class TestSessionFacade:
         )
         assert isinstance(sweep, Sweep)
         assert len(sweep) == 3 * 3 * 5
+
+
+TINY = SweepConfig(
+    temperatures=(0.1,),
+    completions_per_prompt=(2,),
+    levels=(PromptLevel.LOW,),
+    problem_numbers=(1, 2),
+)
+
+
+class CountingFlaky(StubBackend):
+    """Raises BackendError ``failures`` times per job, then succeeds."""
+
+    def __init__(self, failures=0):
+        super().__init__()
+        self.failures = failures
+        self.attempts_by_prompt = {}
+
+    def generate(self, model, prompt, config):
+        seen = self.attempts_by_prompt.get(prompt, 0) + 1
+        self.attempts_by_prompt[prompt] = seen
+        if seen <= self.failures:
+            raise BackendError(f"transient #{seen}")
+        return super().generate(model, prompt, config)
+
+
+class TestRetryPolicy:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_seconds=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+
+    def test_transient_errors_retried_to_success(self):
+        backend = CountingFlaky(failures=2)
+        delays = []
+        plan = SweepPlanner(backend).plan(TINY)
+        result = SweepExecutor(
+            backend,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.5),
+            sleep=delays.append,
+        ).run(plan)
+        assert result.errors == []
+        assert len(result.sweep) == 2 * 2
+        # two jobs x two failed attempts each, doubling backoff
+        assert delays == [0.5, 1.0, 0.5, 1.0]
+        assert result.stats["attempts"] == 2 * 3
+
+    def test_exhausted_retries_record_attempt_count(self):
+        backend = CountingFlaky(failures=99)
+        plan = SweepPlanner(backend).plan(TINY)
+        slept = []
+        result = SweepExecutor(
+            backend,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=1.0),
+            sleep=slept.append,
+        ).run(plan)
+        assert len(result.errors) == 2
+        assert all(e.attempts == 3 for e in result.errors)
+        assert all("transient" in e.error for e in result.errors)
+        assert slept == [1.0, 2.0, 1.0, 2.0]
+
+    def test_non_backend_errors_fail_fast(self):
+        class Broken(StubBackend):
+            def generate(self, model, prompt, config):
+                raise RuntimeError("logic bug")
+
+        backend = Broken()
+        plan = SweepPlanner(backend).plan(TINY)
+        slept = []
+        result = SweepExecutor(
+            backend,
+            retry=RetryPolicy(max_attempts=5, backoff_seconds=1.0),
+            sleep=slept.append,
+        ).run(plan)
+        assert slept == []  # no retries for non-transient failures
+        assert all(e.attempts == 1 for e in result.errors)
+
+    def test_no_policy_means_single_attempt(self):
+        backend = CountingFlaky(failures=1)
+        plan = SweepPlanner(backend).plan(TINY)
+        result = SweepExecutor(backend).run(plan)
+        assert len(result.errors) == 2
+        assert all(e.attempts == 1 for e in result.errors)
+
+
+class TestBatching:
+    def test_default_generate_batch_loops_generate(self):
+        from repro.models import GenerationConfig
+
+        backend = StubBackend(completions=("a", "b"))
+        config = GenerationConfig(temperature=0.1, n=2)
+        batches = backend.generate_batch(
+            "stub", [("p1", config), ("p2", config)]
+        )
+        assert [[c.text for c in batch] for batch in batches] == [
+            ["a", "b"], ["a", "b"],
+        ]
+        assert [q.prompt for q in backend.queries] == ["p1", "p2"]
+
+    def test_zoo_batch_matches_loop(self):
+        from repro.models import GenerationConfig
+        from repro.problems import get_problem
+
+        backend = LocalZooBackend(small_models())
+        config = GenerationConfig(temperature=0.1, n=3)
+        prompts = [get_problem(n).prompt(PromptLevel.LOW) for n in (1, 2, 3)]
+        batched = backend.generate_batch(
+            "codegen-6b-ft", [(p, config) for p in prompts]
+        )
+        looped = [backend.generate("codegen-6b-ft", p, config) for p in prompts]
+        assert [[c.text for c in b] for b in batched] == [
+            [c.text for c in b] for b in looped
+        ]
+
+    def test_batched_executor_record_parity(self):
+        backend = LocalZooBackend(small_models())
+        plan = SweepPlanner(backend).plan(SMALL)
+        plain = SweepExecutor(backend, workers=1).run(plan)
+        batched = SweepExecutor(backend, workers=4, batch_size=8).run(plan)
+        assert batched.sweep.records == plain.sweep.records
+        assert batched.stats["batch_size"] == 8
+
+    def test_batch_size_cuts_generate_batch_calls(self):
+        calls = []
+
+        class CountingBatch(StubBackend):
+            def generate_batch(self, model, requests):
+                calls.append(len(requests))
+                return super().generate_batch(model, requests)
+
+        backend = CountingBatch()
+        plan = SweepPlanner(backend).plan(
+            SweepConfig(
+                temperatures=(0.1,),
+                completions_per_prompt=(1,),
+                levels=(PromptLevel.LOW,),
+                problem_numbers=(1, 2, 3, 4, 5, 6),
+            )
+        )
+        SweepExecutor(backend, batch_size=3).run(plan)
+        assert calls == [3, 3]
+
+    def test_failing_batch_falls_back_to_per_job_isolation(self):
+        from repro.models import match_prompt_to_problem
+
+        class BatchlessFlaky(StubBackend):
+            def generate_batch(self, model, requests):
+                raise RuntimeError("batch endpoint down")
+
+            def generate(self, model, prompt, config):
+                matched = match_prompt_to_problem(prompt)
+                if matched is not None and matched[0].number == 2:
+                    raise RuntimeError("boom")
+                return super().generate(model, prompt, config)
+
+        backend = BatchlessFlaky()
+        plan = SweepPlanner(backend).plan(
+            SweepConfig(
+                temperatures=(0.1,),
+                completions_per_prompt=(2,),
+                levels=(PromptLevel.LOW,),
+                problem_numbers=(1, 2, 3),
+            )
+        )
+        result = SweepExecutor(backend, batch_size=3).run(plan)
+        # batch failure degraded to per-job runs: only P2 actually fails
+        assert [e.job.problem for e in result.errors] == [2]
+        assert {r.problem for r in result.sweep.records} == {1, 3}
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(StubBackend(), batch_size=0)
+
+
+class TestExecutorInterface:
+    def test_sweep_executor_is_an_executor(self):
+        assert isinstance(SweepExecutor(StubBackend()), Executor)
+
+    def test_plan_subset(self):
+        backend = LocalZooBackend(small_models())
+        plan = SweepPlanner(backend).plan(SMALL)
+        sub = plan.subset([0, 2], [])
+        assert sub.jobs == [plan.jobs[0], plan.jobs[2]]
+        assert sub.skipped == []
+        assert sub.config is plan.config
 
 
 def _record(**kw):

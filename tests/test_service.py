@@ -1,0 +1,294 @@
+"""Tests for the distributed eval service (repro.service server/client)
+and the process-pool executor."""
+
+import pytest
+
+from repro.api import Session
+from repro.backends import BackendError, StubBackend, available_backends, create_backend
+from repro.eval import SweepConfig, SweepExecutor, SweepPlanner
+from repro.problems import PromptLevel
+from repro.models import GenerationConfig
+from repro.service import (
+    EvalService,
+    ProcessPoolSweepExecutor,
+    ServiceApp,
+    ServiceBackend,
+    in_process_transport,
+    serve,
+)
+
+SMALL = SweepConfig(
+    temperatures=(0.1, 0.5),
+    completions_per_prompt=(2,),
+    levels=(PromptLevel.LOW,),
+    problem_numbers=(1, 2),
+)
+
+
+@pytest.fixture()
+def app():
+    return ServiceApp(Session(backend="zoo"))
+
+
+@pytest.fixture()
+def client(app):
+    return ServiceBackend(transport=in_process_transport(app))
+
+
+class TestServiceApp:
+    def test_health(self, app):
+        status, body = app.handle("GET", "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["backend"] == "zoo"
+        assert body["models"] == 11
+
+    def test_models(self, app):
+        status, body = app.handle("GET", "/models")
+        assert status == 200
+        assert "codegen-16b-ft" in body["models"]
+
+    def test_capabilities_includes_identity(self, app):
+        status, body = app.handle(
+            "POST", "/capabilities", {"model": "j1-large-7b-ft"}
+        )
+        assert status == 200
+        assert body["supports_n25"] is False
+        assert body["max_tokens"] == 256
+        assert body["base_model"] == "j1-large-7b"
+        assert body["fine_tuned"] is True
+
+    def test_generate(self, app):
+        from repro.problems import get_problem
+
+        status, body = app.handle(
+            "POST",
+            "/generate",
+            {
+                "model": "codegen-6b-ft",
+                "prompt": get_problem(1).prompt(PromptLevel.LOW),
+                "config": {"temperature": 0.1, "n": 3},
+            },
+        )
+        assert status == 200
+        assert len(body["completions"]) == 3
+        assert all("text" in c for c in body["completions"])
+
+    def test_sweep_route_matches_local_run(self, app):
+        from repro.eval.export import config_to_dict, sweep_result_from_dict
+
+        status, body = app.handle(
+            "POST",
+            "/sweep",
+            {"config": config_to_dict(SMALL), "models": ["codegen-6b-ft"]},
+        )
+        assert status == 200
+        remote = sweep_result_from_dict(body)
+        local = Session(backend="zoo").run_sweep(
+            SMALL, models=["codegen-6b-ft"]
+        )
+        # wire floats are rounded to 6 digits; compare serialized forms
+        from repro.eval.export import sweep_result_to_dict
+
+        assert body["records"] == sweep_result_to_dict(local)["records"]
+        assert len(remote.sweep) == len(local.sweep)
+
+    def test_unknown_route_404(self, app):
+        status, body = app.handle("GET", "/teapot")
+        assert status == 404
+        assert "no route" in body["error"]
+
+    def test_unknown_model_400(self, app):
+        status, body = app.handle("POST", "/capabilities", {"model": "gpt-9"})
+        assert status == 400
+        assert "does not serve" in body["error"]
+
+    def test_bad_config_400(self, app):
+        status, body = app.handle(
+            "POST",
+            "/generate",
+            {
+                "model": "codegen-6b-ft",
+                "prompt": "module m();",
+                "config": {"temperature": -1.0},
+            },
+        )
+        assert status == 400
+        assert "temperature" in body["error"]
+
+    def test_missing_field_400(self, app):
+        status, body = app.handle("POST", "/generate", {"model": "x"})
+        assert status == 400
+
+    def test_trailing_slash_tolerated(self, app):
+        status, _ = app.handle("GET", "/models/")
+        assert status == 200
+
+
+class TestServiceBackend:
+    def test_registered_in_registry(self):
+        assert "service" in available_backends()
+        backend = create_backend("service", url="http://127.0.0.1:1")
+        assert isinstance(backend, ServiceBackend)
+
+    def test_models_and_capabilities(self, client):
+        assert "codegen-16b-ft" in client.models()
+        caps = client.capabilities("j1-large-7b-ft")
+        assert caps.supports_n25 is False and caps.max_tokens == 256
+        assert client.identity("codegen-16b-ft") == ("codegen-16b", True)
+
+    def test_capabilities_cached(self, app):
+        calls = []
+        inner = in_process_transport(app)
+
+        def transport(method, path, payload=None):
+            calls.append(path)
+            return inner(method, path, payload)
+
+        backend = ServiceBackend(transport=transport)
+        backend.capabilities("codegen-6b-ft")
+        backend.identity("codegen-6b-ft")
+        backend.capabilities("codegen-6b-ft")
+        assert calls.count("/capabilities") == 1
+
+    def test_generate_matches_local_backend(self, client):
+        from repro.problems import get_problem
+
+        prompt = get_problem(1).prompt(PromptLevel.LOW)
+        config = GenerationConfig(temperature=0.1, n=3)
+        local = create_backend("zoo").generate("codegen-6b-ft", prompt, config)
+        remote = client.generate("codegen-6b-ft", prompt, config)
+        assert [c.text for c in local] == [c.text for c in remote]
+
+    def test_sweep_through_service_matches_local(self, client):
+        """Acceptance: ServiceBackend sweep == local-backend sweep."""
+        models = ["codegen-6b-ft", "j1-large-7b-ft"]
+        local = Session(backend="zoo").run_sweep(SMALL, models=models)
+        remote = Session(backend=client, workers=4).run_sweep(
+            SMALL, models=models
+        )
+        assert remote.sweep.records == local.sweep.records
+        assert remote.skipped == local.skipped
+        assert remote.errors == local.errors
+
+    def test_unknown_model_surfaces_as_backend_error(self, client):
+        with pytest.raises(BackendError, match="does not serve"):
+            client.generate("gpt-9", "module m();", GenerationConfig(n=1))
+
+    def test_unreachable_server_raises_backend_error(self):
+        backend = ServiceBackend(url="http://127.0.0.1:9", timeout=0.2)
+        with pytest.raises(BackendError, match="cannot reach"):
+            backend.models()
+
+    def test_run_remote_sweep(self, client):
+        result = client.run_remote_sweep(SMALL, models=["codegen-6b-ft"])
+        assert len(result.sweep) == 2 * 2 * 2  # problems x temps x n
+        assert result.stats["backend"] == "zoo"
+
+
+class TestEvalServiceHTTP:
+    def test_real_http_round_trip(self):
+        session = Session(backend="zoo")
+        with EvalService(session, port=0) as service:
+            backend = ServiceBackend(url=service.url)
+            assert backend.health()["status"] == "ok"
+            local = Session(backend="zoo").run_sweep(
+                SMALL, models=["codegen-6b-ft"]
+            )
+            remote = Session(backend=backend).run_sweep(
+                SMALL, models=["codegen-6b-ft"]
+            )
+        assert remote.sweep.records == local.sweep.records
+
+    def test_http_error_status(self):
+        with EvalService(Session(backend="zoo"), port=0) as service:
+            backend = ServiceBackend(url=service.url)
+            with pytest.raises(BackendError, match="400"):
+                backend.capabilities("gpt-9")
+
+    def test_serve_helper_builds_unstarted_service(self):
+        service = serve(backend="stub", workers=2, port=0)
+        assert isinstance(service, EvalService)
+        assert service.app.session.backend.name == "stub"
+
+    def test_stop_is_idempotent(self):
+        service = EvalService(Session(backend="stub"), port=0)
+        service.start()
+        service.stop()
+        service.stop()
+
+
+class TestProcessPoolExecutor:
+    def test_parity_with_thread_executor(self):
+        backend = create_backend("zoo")
+        plan = SweepPlanner(backend).plan(
+            SMALL, models=["codegen-6b-ft", "j1-large-7b-ft"]
+        )
+        serial = SweepExecutor(backend).run(plan)
+        process = ProcessPoolSweepExecutor(backend, workers=2).run(plan)
+        assert process.sweep.records == serial.sweep.records
+        assert process.errors == serial.errors
+        assert process.stats["executor"] == "process"
+
+    def test_progress_fires_in_plan_order(self):
+        backend = StubBackend()
+        plan = SweepPlanner(backend).plan(
+            SweepConfig(
+                temperatures=(0.1,),
+                completions_per_prompt=(1,),
+                levels=(PromptLevel.LOW,),
+                problem_numbers=(1, 2, 3),
+            )
+        )
+        seen = []
+        ProcessPoolSweepExecutor(
+            backend, workers=2, progress=lambda d, t, j: seen.append((d, j.problem))
+        ).run(plan)
+        assert seen == [(1, 1), (2, 2), (3, 3)]
+
+    def test_unpicklable_backend_rejected_up_front(self):
+        backend = StubBackend()
+        backend.hook = lambda: None  # closures don't pickle
+        with pytest.raises(BackendError, match="not picklable"):
+            ProcessPoolSweepExecutor(backend, workers=2)
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            ProcessPoolSweepExecutor(StubBackend(), workers=0)
+
+    def test_empty_plan_short_circuits(self):
+        from repro.eval import SweepPlan
+
+        result = ProcessPoolSweepExecutor(StubBackend(), workers=2).run(
+            SweepPlan()
+        )
+        assert len(result.sweep) == 0
+        assert result.stats["jobs"] == 0
+
+
+class TestSessionServiceEntrypoints:
+    def test_session_executor_validation(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            Session(backend="stub", executor="quantum")
+
+    def test_session_process_executor(self):
+        models = ["codegen-6b-ft"]
+        thread = Session(backend="zoo").run_sweep(SMALL, models=models)
+        process = Session(
+            backend="zoo", executor="process", workers=2
+        ).run_sweep(SMALL, models=models)
+        assert process.sweep.records == thread.sweep.records
+
+    def test_session_serve_returns_service(self):
+        service = Session(backend="stub").serve(port=0)
+        assert isinstance(service, EvalService)
+        url = service.bind()
+        assert url.startswith("http://127.0.0.1:")
+        service.stop()
+
+    def test_session_plan_shards(self):
+        shards = Session(backend="zoo").plan_shards(
+            3, SMALL, models=["codegen-6b-ft"]
+        )
+        assert len(shards) == 3
+        assert sum(len(s.plan.jobs) for s in shards) == 2 * 2  # problems x temps
