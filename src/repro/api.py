@@ -33,6 +33,7 @@ from .eval.jobs import (
     execute_sweep,
 )
 from .eval.pipeline import Evaluator
+from .eval.store import resolve_store
 from .models.base import Completion, GenerationConfig, LanguageModel
 
 EXECUTORS = ("thread", "process")
@@ -62,6 +63,11 @@ class Session:
     batch_size:
         Consecutive same-model jobs grouped into one
         ``generate_batch`` call (thread executor only).
+    store:
+        A :class:`~repro.eval.store.VerdictStore` (or a directory path)
+        shared across processes and runs: verdicts persist to disk, so
+        process-pool workers, coordinator workers and later sessions
+        skip re-compiling completions any of them has seen before.
     """
 
     def __init__(
@@ -73,13 +79,19 @@ class Session:
         executor: str = "thread",
         retry: RetryPolicy | None = None,
         batch_size: int = 1,
+        store=None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; choose from {EXECUTORS}"
             )
         self.backend = resolve_backend(backend)
-        self.evaluator = evaluator or Evaluator()
+        self.store = resolve_store(store)
+        if evaluator is None:
+            evaluator = Evaluator(store=self.store)
+        elif self.store is not None and evaluator.store is None:
+            evaluator.store = self.store
+        self.evaluator = evaluator
         self.workers = workers
         self.progress = progress
         self.executor = executor
@@ -123,6 +135,7 @@ class Session:
                 workers=self.workers,
                 retry=self.retry,
                 progress=self.progress,
+                store=self.store,
             )
         return SweepExecutor(
             self.backend,
@@ -202,6 +215,60 @@ class Session:
 
         return ShardPlanner(num_shards).split(self.plan(config, models=models))
 
+    def coordinate(
+        self,
+        num_shards: int,
+        config: SweepConfig | None = None,
+        models: Sequence[str] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8076,
+        lease_seconds: float = 300.0,
+    ):
+        """Plan a sweep, split it, and serve the shards to pull workers.
+
+        Returns an :class:`~repro.service.server.EvalService` whose app
+        carries a :class:`~repro.service.coordinator.ShardCoordinator`
+        (reachable as ``service.coordinator``).  Not yet listening —
+        call ``start()``/``serve_forever()``; point workers at the URL
+        with :meth:`work` (or ``python -m repro work --url ...``), and
+        read the streamed-merge result from
+        ``service.coordinator.result()`` once ``coordinator.done``.
+        """
+        from .service.coordinator import ShardCoordinator
+        from .service.server import EvalService
+
+        coordinator = ShardCoordinator(
+            self.plan_shards(num_shards, config, models=models),
+            lease_seconds=lease_seconds,
+        )
+        return EvalService(self, host=host, port=port, coordinator=coordinator)
+
+    def work(
+        self,
+        url: str | None = None,
+        transport=None,
+        worker_id: str | None = None,
+        poll_seconds: float = 0.5,
+        max_idle_polls: int | None = None,
+    ) -> dict:
+        """Serve a coordinator as a pull-based worker until it is done.
+
+        Shards execute on *this* session's configuration (backend,
+        executor, workers, retry, batch size, verdict store); returns
+        the worker summary dict from
+        :func:`~repro.service.client.run_worker`.
+        """
+        from .service.client import run_worker
+
+        return run_worker(
+            url=url,
+            transport=transport,
+            session=self,
+            worker_id=worker_id,
+            poll_seconds=poll_seconds,
+            max_idle_polls=max_idle_polls,
+        )
+
     # ------------------------------------------------------------------
     @property
     def cache_info(self) -> dict:
@@ -229,6 +296,7 @@ def run_sweep(
     executor: str = "thread",
     retry: RetryPolicy | None = None,
     batch_size: int = 1,
+    store=None,
 ) -> SweepResult:
     """One-shot sweep; ``models`` may be names or LanguageModel instances."""
     if models and not isinstance(models[0], str):
@@ -242,6 +310,7 @@ def run_sweep(
         executor=executor,
         retry=retry,
         batch_size=batch_size,
+        store=store,
     )
     return session.run_sweep(config, models=models)
 

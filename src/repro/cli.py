@@ -20,6 +20,12 @@ Commands:
 * ``serve [--backend B] [--host H] [--port P] [--workers W]`` — expose
   the session over HTTP (the eval service); point other machines at it
   with ``--backend service --url http://host:port``;
+* ``coordinate --shards K [--lease-seconds S] [--export PATH] ...`` —
+  plan a sweep, split it into K shards, and serve them to pull-based
+  workers over HTTP, merging results as they stream in (no per-worker
+  index bookkeeping; expired leases are re-served);
+* ``work --url URL [--backend B] [--store DIR] ...`` — run one
+  pull-based worker against a coordinator until the sweep is merged;
 * ``tables [--backend B] [--workers W]`` — run the full sweep and print
   Tables III/IV + headlines + executor stats;
 * ``corpus [--repos N] [--books]`` — build the training corpus, print stats.
@@ -97,23 +103,14 @@ def _cmd_lint(args) -> int:
     return 0 if not warnings else 2
 
 
-def _session(args, backend=None):
-    """Build a Session from the common service flags.
-
-    ``backend`` overrides ``--backend`` with a ready instance (the
-    evaluate command's ad-hoc zoo); every other flag still applies.
-    """
+def _make_session(args, backend):
+    """Build a Session for a resolved ``backend`` from the common
+    executor/retry/batch/store flags (no ``--url`` interpretation —
+    that is the caller's business: :func:`_session` reads it as a
+    service-backend endpoint, ``work`` as the coordinator address)."""
     from .api import Session
-    from .backends import create_backend
     from .eval import RetryPolicy
 
-    if getattr(args, "url", None):
-        if backend is not None or args.backend not in ("service", "http"):
-            print(f"error: --url does not apply to backend {args.backend!r}")
-            raise SystemExit(2)
-        backend = create_backend(args.backend, url=args.url)
-    elif backend is None:
-        backend = args.backend
     retry = None
     if getattr(args, "retries", 0):
         retry = RetryPolicy(
@@ -126,7 +123,26 @@ def _session(args, backend=None):
         executor=getattr(args, "executor", "thread"),
         retry=retry,
         batch_size=getattr(args, "batch_size", 1),
+        store=getattr(args, "store", None),
     )
+
+
+def _session(args, backend=None):
+    """Build a Session from the common service flags.
+
+    ``backend`` overrides ``--backend`` with a ready instance (the
+    evaluate command's ad-hoc zoo); every other flag still applies.
+    """
+    from .backends import create_backend
+
+    if getattr(args, "url", None):
+        if backend is not None or args.backend not in ("service", "http"):
+            print(f"error: --url does not apply to backend {args.backend!r}")
+            raise SystemExit(2)
+        backend = create_backend(args.backend, url=args.url)
+    elif backend is None:
+        backend = args.backend
+    return _make_session(args, backend)
 
 
 def _cmd_evaluate(args) -> int:
@@ -196,29 +212,19 @@ def _parse_levels(text: str):
     return tuple(table[part.strip().upper()] for part in text.split(","))
 
 
-def _cmd_sweep(args) -> int:
-    from .backends import BackendError
-    from .eval import SweepConfig, save_sweep
+def _build_sweep_config(args):
+    """The SweepConfig described by the sweep-shaped flags, or ``None``
+    after printing the error (callers return exit code 2)."""
+    from .eval import SweepConfig
     from .problems import ALL_PROBLEMS
 
-    shard_mode = args.shard_index is not None
-    if args.export:
-        if shard_mode and not args.export.endswith(".json"):
-            print(f"error: with --shards, --export writes a mergeable "
-                  f"shard result and must end in .json, got {args.export!r}")
-            return 2
-        if not args.export.endswith((".json", ".csv")):
-            print(f"error: --export must end in .json or .csv, "
-                  f"got {args.export!r}")
-            return 2
-    session = _session(args)
     defaults = SweepConfig()
     try:
         if args.levels:
             levels = _parse_levels(args.levels)
     except KeyError as exc:
         print(f"error: unknown level {exc.args[0]!r}; choose from L,M,H")
-        return 2
+        return None
     try:
         config = SweepConfig(
             temperatures=tuple(float(t) for t in args.temperatures.split(","))
@@ -232,12 +238,33 @@ def _cmd_sweep(args) -> int:
         )
     except ValueError as exc:
         print(f"error: {exc}")
-        return 2
+        return None
     known_problems = {p.number for p in ALL_PROBLEMS}
     unknown = sorted(set(config.problem_numbers) - known_problems)
     if unknown:
         print(f"error: unknown problem number(s) {unknown}; "
               f"valid: 1..{max(known_problems)}")
+        return None
+    return config
+
+
+def _cmd_sweep(args) -> int:
+    from .backends import BackendError
+    from .eval import save_sweep
+
+    shard_mode = args.shard_index is not None
+    if args.export:
+        if shard_mode and not args.export.endswith(".json"):
+            print(f"error: with --shards, --export writes a mergeable "
+                  f"shard result and must end in .json, got {args.export!r}")
+            return 2
+        if not args.export.endswith((".json", ".csv")):
+            print(f"error: --export must end in .json or .csv, "
+                  f"got {args.export!r}")
+            return 2
+    session = _session(args)
+    config = _build_sweep_config(args)
+    if config is None:
         return 2
     if shard_mode and not 0 <= args.shard_index < args.shards:
         print(f"error: --shard-index must be in 0..{args.shards - 1}")
@@ -347,6 +374,97 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_coordinate(args) -> int:
+    import time as _time
+
+    from .eval import save_sweep
+
+    config = _build_sweep_config(args)
+    if config is None:
+        return 2
+    if args.export and not args.export.endswith((".json", ".csv")):
+        print(f"error: --export must end in .json or .csv, "
+              f"got {args.export!r}")
+        return 2
+    from .api import Session
+
+    session = Session(backend=args.backend)
+    models = args.models.split(",") if args.models else None
+    service = session.coordinate(
+        args.shards,
+        config,
+        models=models,
+        host=args.host,
+        port=args.port,
+        lease_seconds=args.lease_seconds,
+    )
+    coordinator = service.coordinator
+    service.bind()
+    print(f"shard coordinator on {service.url}: {args.shards} shards, "
+          f"lease {args.lease_seconds:.0f}s — point workers at it with "
+          f"`python -m repro work --url {service.url}`")
+    service.start()
+    last_done = -1
+    try:
+        while not coordinator.done:
+            status = coordinator.status()
+            if status["done"] != last_done:
+                last_done = status["done"]
+                print(f"  {status['done']}/{status['num_shards']} shards "
+                      f"merged, {status['records_merged']} records "
+                      f"({status['leased']} leased, {status['pending']} "
+                      f"pending)")
+            _time.sleep(args.poll_seconds)
+        # keep answering /shard/next with done=true for a grace window,
+        # so workers that were idle-polling exit cleanly instead of
+        # hitting a vanished server
+        if args.linger_seconds > 0:
+            _time.sleep(args.linger_seconds)
+    except KeyboardInterrupt:
+        print("\ninterrupted; shards outstanding:",
+              coordinator.status()["pending"] + coordinator.status()["leased"])
+        return 130
+    finally:
+        service.stop()
+    result = coordinator.result()
+    sweep = result.sweep
+    rate = sweep.rate(sweep.records) if sweep.records else 0.0
+    stats = result.stats
+    print(f"merged {stats['shards']} shards: {len(sweep)} records, "
+          f"{stats['jobs_skipped']} skips, {stats['jobs_failed']} failures, "
+          f"{stats['leases_reclaimed']} leases re-served, "
+          f"overall pass rate {rate:.3f}")
+    if args.export:
+        save_sweep(sweep, args.export)
+        print(f"-- wrote {args.export}")
+    return 1 if result.errors else 0
+
+
+def _cmd_work(args) -> int:
+    from .backends import BackendError
+
+    try:
+        session = _make_session(args, args.backend)
+        summary = session.work(
+            url=args.url,
+            worker_id=args.worker_id,
+            poll_seconds=args.poll_seconds,
+            max_idle_polls=args.max_idle_polls,
+        )
+    except BackendError as exc:
+        print(f"error: {exc}")
+        return 2
+    except KeyboardInterrupt:
+        print("\nworker stopped")
+        return 130
+    if summary["coordinator_gone"]:
+        print("-- coordinator went away mid-poll (finished or shut down)")
+    print(f"worker {summary['worker_id']}: {summary['shards']} shards, "
+          f"{summary['jobs']} jobs, {summary['records']} records, "
+          f"{summary['errors']} job errors")
+    return 0
+
+
 def _cmd_tables(args) -> int:
     from .eval import (
         headline_numbers,
@@ -429,6 +547,28 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
         "--backoff", type=float, default=0.0,
         help="base backoff seconds between retries (doubles per attempt)",
     )
+    parser.add_argument(
+        "--store", default=None,
+        help="directory for the shared on-disk verdict store "
+             "(cross-process compile/simulate cache)",
+    )
+
+
+def _add_sweep_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--models", default=None,
+                        help="comma-separated variant names "
+                             "(default: all served)")
+    parser.add_argument("--temperatures", default=None,
+                        help="comma-separated floats (default: paper sweep)")
+    parser.add_argument("--n", default=None,
+                        help="comma-separated completions-per-prompt "
+                             "(default: 10)")
+    parser.add_argument("--levels", default=None,
+                        help="comma-separated from L,M,H (default: all)")
+    parser.add_argument("--problems", default=None,
+                        help="comma-separated problem numbers "
+                             "(default: all 17)")
+    parser.add_argument("--max-tokens", type=int, default=300)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -464,17 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_flags(p)
 
     p = sub.add_parser("sweep", help="run a configurable sweep via the job service")
-    p.add_argument("--models", default=None,
-                   help="comma-separated variant names (default: all served)")
-    p.add_argument("--temperatures", default=None,
-                   help="comma-separated floats (default: paper sweep)")
-    p.add_argument("--n", default=None,
-                   help="comma-separated completions-per-prompt (default: 10)")
-    p.add_argument("--levels", default=None,
-                   help="comma-separated from L,M,H (default: all)")
-    p.add_argument("--problems", default=None,
-                   help="comma-separated problem numbers (default: all 17)")
-    p.add_argument("--max-tokens", type=int, default=300)
+    _add_sweep_config_flags(p)
     p.add_argument("--export", default=None,
                    help="write records to this .json or .csv path "
                         "(with --shards: a mergeable shard-result .json)")
@@ -500,6 +630,60 @@ def build_parser() -> argparse.ArgumentParser:
                    help="listening port (0 = pick a free one)")
     _add_service_flags(p)
 
+    p = sub.add_parser(
+        "coordinate",
+        help="serve sweep shards to pull-based workers; merge as they land",
+    )
+    _add_sweep_config_flags(p)
+    p.add_argument("--shards", type=_positive_int, required=True,
+                   help="how many shards to split the plan into")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8076,
+                   help="listening port (0 = pick a free one)")
+    p.add_argument("--lease-seconds", type=float, default=300.0,
+                   help="re-serve a shard if its worker goes this long "
+                        "without submitting")
+    p.add_argument("--poll-seconds", type=float, default=0.2,
+                   help="progress-print poll interval")
+    p.add_argument("--linger-seconds", type=float, default=2.0,
+                   help="keep serving done-signals this long after the "
+                        "merge completes so idle workers exit cleanly")
+    p.add_argument("--export", default=None,
+                   help="write the merged records to .json/.csv")
+    # no executor/worker/store flags: the coordinator plans and serves
+    # shards but never executes jobs — those belong on `repro work`
+    from .backends import available_backends
+
+    p.add_argument(
+        "--backend", default="zoo", choices=available_backends(),
+        help="backend whose capability claims drive sweep planning",
+    )
+
+    p = sub.add_parser(
+        "work",
+        help="pull and execute shards from a coordinator until done",
+    )
+    p.add_argument("--url", required=True,
+                   help="coordinator URL (from `repro coordinate`)")
+    p.add_argument("--backend", default="zoo",
+                   help="local generation backend to execute shards with")
+    p.add_argument("--workers", type=_positive_int, default=1)
+    p.add_argument("--executor", choices=("thread", "process"),
+                   default="thread")
+    p.add_argument("--batch-size", type=_positive_int, default=1)
+    p.add_argument("--retries", type=int, default=0)
+    p.add_argument("--backoff", type=float, default=0.0)
+    p.add_argument("--store", default=None,
+                   help="shared on-disk verdict store directory")
+    p.add_argument("--worker-id", default=None,
+                   help="name reported to the coordinator "
+                        "(default: host-pid)")
+    p.add_argument("--poll-seconds", type=float, default=0.5,
+                   help="nap between polls when all shards are leased out")
+    p.add_argument("--max-idle-polls", type=int, default=None,
+                   help="give up after this many consecutive empty polls "
+                        "(default: wait until done)")
+
     p = sub.add_parser("tables", help="run the full sweep; print Tables III/IV")
     _add_service_flags(p)
 
@@ -520,6 +704,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "merge": _cmd_merge,
     "serve": _cmd_serve,
+    "coordinate": _cmd_coordinate,
+    "work": _cmd_work,
     "tables": _cmd_tables,
     "corpus": _cmd_corpus,
 }

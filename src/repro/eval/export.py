@@ -43,7 +43,9 @@ def _row(record: CompletionRecord) -> dict:
         "sample_index": record.sample_index,
         "compiled": record.compiled,
         "passed": record.passed,
-        "inference_seconds": round(record.inference_seconds, 6),
+        # full repr, not rounded: JSON floats round-trip exactly, so
+        # wire-shipped shard results merge with *exact* record parity
+        "inference_seconds": record.inference_seconds,
     }
 
 
@@ -204,6 +206,30 @@ def config_from_dict(row: dict) -> SweepConfig:
             for p in row.get("problem_numbers", defaults.problem_numbers)
         ),
         max_tokens=int(row.get("max_tokens", defaults.max_tokens)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Verdict codec (the on-disk verdict store + coordinator state schema)
+# ----------------------------------------------------------------------
+def evaluation_to_dict(evaluation) -> dict:
+    """Serialize one :class:`~repro.eval.pipeline.CompletionEvaluation`."""
+    return {
+        "compiled": evaluation.compiled,
+        "passed": evaluation.passed,
+        "compile_errors": list(evaluation.compile_errors),
+        "sim_finished": evaluation.sim_finished,
+    }
+
+
+def evaluation_from_dict(row: dict):
+    from .pipeline import CompletionEvaluation
+
+    return CompletionEvaluation(
+        compiled=bool(row["compiled"]),
+        passed=bool(row["passed"]),
+        compile_errors=tuple(str(e) for e in row.get("compile_errors", [])),
+        sim_finished=bool(row.get("sim_finished", False)),
     )
 
 

@@ -46,15 +46,29 @@ class Evaluator:
     Two workers racing on the same uncached key may both evaluate it
     (evaluation is pure, so both compute the identical verdict); the
     lock only protects the cache dict and the hit/miss counters.
+
+    ``store`` is an optional :class:`~repro.eval.store.VerdictStore`
+    consulted between the in-memory cache and a real compile+simulate:
+    a hit there costs one small file read instead of a simulation, and
+    every fresh verdict is written back, so evaluators in other
+    processes (process-pool workers, coordinator workers, later runs)
+    share the work.
     """
 
-    def __init__(self, max_time: int = 1_000_000, max_steps: int = 2_000_000):
+    def __init__(
+        self,
+        max_time: int = 1_000_000,
+        max_steps: int = 2_000_000,
+        store=None,
+    ):
         self.max_time = max_time
         self.max_steps = max_steps
+        self.store = store
         self._cache: dict[tuple[int, int], CompletionEvaluation] = {}
         self._lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.store_hits = 0
 
     def evaluate(
         self,
@@ -75,10 +89,20 @@ class Evaluator:
             if cached is not None:
                 self.cache_hits += 1
                 return cached
+        if self.store is not None:
+            stored = self.store.get(*key)
+            if stored is not None:
+                with self._lock:
+                    self.store_hits += 1
+                    self._cache[key] = stored
+                return stored
+        with self._lock:
             self.cache_misses += 1
         result = self._evaluate_uncached(problem, truncated, level)
         with self._lock:
             self._cache[key] = result
+        if self.store is not None:
+            self.store.put(*key, result)
         return result
 
     def _evaluate_uncached(
@@ -109,8 +133,11 @@ class Evaluator:
 
     @property
     def cache_info(self) -> dict:
-        return {
+        info = {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "entries": len(self._cache),
         }
+        if self.store is not None:
+            info["store_hits"] = self.store_hits
+        return info

@@ -1,0 +1,114 @@
+"""Cross-process verdict store: an on-disk compile/simulate cache.
+
+The in-memory :class:`~repro.eval.pipeline.Evaluator` cache collapses
+duplicate completions within one process, but every process-pool worker
+(and every machine in a coordinated fleet) used to rebuild it from
+scratch — the ROADMAP's "cross-process evaluator cache" opening.
+:class:`VerdictStore` closes it: verdicts persist to a directory keyed
+by ``(problem number, completion hash)``, one small JSON file per entry,
+so any evaluator pointed at the same path — a later run, a sibling
+worker process, a pull-based coordinator worker — skips the compile and
+simulation entirely.
+
+Concurrency model: writes go through a per-process temp file renamed
+into place (``os.replace`` is atomic on POSIX and Windows), so readers
+never observe a half-written verdict.  Two processes racing on the same
+uncached key may both evaluate and both write; evaluation is pure, so
+the duplicate work is bounded and the last rename wins with an
+identical payload.  Corrupt or foreign files read as misses.
+
+The store is picklable (it carries only its path), so
+:class:`~repro.service.process.ProcessPoolSweepExecutor` ships it to
+workers the same way it ships the backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .export import evaluation_from_dict, evaluation_to_dict
+
+
+class VerdictStore:
+    """Directory-backed map of ``(problem, completion-hash) -> verdict``."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        os.makedirs(self.path, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _filename(problem: int, completion_hash: int) -> str:
+        return f"p{problem:02d}_{completion_hash:016x}.json"
+
+    def _entry_path(self, problem: int, completion_hash: int) -> str:
+        return os.path.join(self.path, self._filename(problem, completion_hash))
+
+    # ------------------------------------------------------------------
+    def get(self, problem: int, completion_hash: int):
+        """The stored verdict, or ``None`` (missing or unreadable)."""
+        try:
+            with open(
+                self._entry_path(problem, completion_hash), encoding="utf-8"
+            ) as handle:
+                return evaluation_from_dict(json.load(handle))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, problem: int, completion_hash: int, evaluation) -> None:
+        """Persist one verdict atomically (temp file + rename)."""
+        target = self._entry_path(problem, completion_hash)
+        temp = f"{target}.tmp-{os.getpid()}"
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                json.dump(evaluation_to_dict(evaluation), handle)
+            os.replace(temp, target)
+        except OSError:
+            # a read-only or vanished store degrades to a cache miss,
+            # never a failed evaluation
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1
+                for name in os.listdir(self.path)
+                if name.endswith(".json")
+            )
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every stored verdict; returns how many were removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"VerdictStore({self.path!r}, entries={len(self)})"
+
+
+def resolve_store(store: "VerdictStore | str | None") -> "VerdictStore | None":
+    """Coerce a store argument: instance passes through, a string is a
+    directory path, ``None`` stays ``None`` (no cross-process cache)."""
+    if store is None or isinstance(store, VerdictStore):
+        return store
+    return VerdictStore(store)
+
+
+__all__ = ["VerdictStore", "resolve_store"]

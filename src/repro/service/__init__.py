@@ -12,22 +12,31 @@ The subsystem that takes the job-based sweep stack of
 * :mod:`repro.service.sharding` — :class:`ShardPlanner` /
   :func:`merge_shard_results`: partition a plan across machines and
   recombine results record-for-record identical to a serial run;
+* :mod:`repro.service.coordinator` — :class:`ShardCoordinator`: lease
+  shards to pull-based workers (``/shard/next`` → ``/shard/result``)
+  and merge results as they stream in, no index bookkeeping required;
 * :mod:`repro.service.process` — :class:`ProcessPoolSweepExecutor`, the
-  GIL-free executor variant for CPU-bound sweeps.
+  GIL-free executor variant for CPU-bound sweeps (point it at a shared
+  :class:`~repro.eval.store.VerdictStore` to pool verdicts on disk).
 """
 
 from .client import (
     DEFAULT_URL,
     ServiceBackend,
+    ServiceUnreachableError,
     Transport,
+    default_worker_id,
     http_transport,
     in_process_transport,
+    run_worker,
 )
+from .coordinator import ShardCoordinator
 from .process import ProcessPoolSweepExecutor
 from .server import EvalService, ServiceApp, serve
 from .sharding import (
     PlanShard,
     ShardPlanner,
+    assemble_slots,
     load_shard_manifest,
     load_shard_result,
     merge_shard_files,
@@ -46,10 +55,15 @@ __all__ = [
     "ProcessPoolSweepExecutor",
     "ServiceApp",
     "ServiceBackend",
+    "ServiceUnreachableError",
+    "ShardCoordinator",
     "ShardPlanner",
     "Transport",
+    "assemble_slots",
+    "default_worker_id",
     "http_transport",
     "in_process_transport",
+    "run_worker",
     "load_shard_manifest",
     "load_shard_result",
     "merge_shard_files",

@@ -1,0 +1,343 @@
+"""Shard coordinator: lease-based work distribution with streaming merge.
+
+PR 2's sharding made a sweep distributable, but each worker had to be
+told its ``--shard-index`` by hand and results were merged offline from
+files.  :class:`ShardCoordinator` removes both: one process owns the
+full :class:`~repro.service.sharding.ShardPlanner` split and serves it
+to *pull-based* workers over three wire routes (mounted on
+:class:`~repro.service.server.ServiceApp`):
+
+* ``POST /shard/next``   — lease the next pending shard to a worker;
+* ``POST /shard/result`` — submit one executed shard's result;
+* ``GET  /shard/status`` — progress: shard states, records merged.
+
+Results are merged *as they stream in*, using the exact semantics of
+:func:`~repro.service.sharding.merge_shard_results` (each submission is
+attributed back to global plan positions via
+:func:`~repro.service.sharding.split_result_by_job`; assembly goes
+through :func:`~repro.service.sharding.assemble_slots`), so the final
+:class:`~repro.eval.jobs.SweepResult` is record-for-record identical to
+a serial run — the PR 2 merge invariant, now incremental.
+
+Fault tolerance is lease-based: every handout carries a deadline; a
+worker that vanishes simply never submits, and once its lease expires
+the shard is re-served to the next ``/shard/next`` caller.  Submissions
+are validated against the plan before they are merged, and a stale
+lease's late submission for an already-completed shard is acknowledged
+but ignored (evaluation is deterministic, so whichever copy landed
+first is canonical).
+
+All methods speak wire-native dicts (the :mod:`repro.eval.export`
+codecs), so the HTTP layer stays a dumb JSON shim and in-process tests
+drive the identical schema.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+from ..eval.export import sweep_result_from_dict, sweep_result_to_dict
+from ..eval.jobs import SweepResult
+from .sharding import (
+    PlanShard,
+    assemble_slots,
+    shard_from_dict,
+    shard_to_dict,
+    split_result_by_job,
+)
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+
+
+class ShardCoordinator:
+    """Serve a complete shard set to pull-based workers; merge inline.
+
+    ``lease_seconds`` bounds how long a handed-out shard may stay
+    unsubmitted before it is re-served; ``clock`` is injectable
+    (monotonic seconds) so tests can expire leases without waiting.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[PlanShard],
+        lease_seconds: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not shards:
+            raise ValueError("nothing to coordinate: empty shard set")
+        num_shards = shards[0].num_shards
+        indices = {shard.shard_index for shard in shards}
+        if (
+            len(shards) != num_shards
+            or {s.num_shards for s in shards} != {num_shards}
+            or indices != set(range(num_shards))
+        ):
+            raise ValueError(
+                "coordinator needs the complete shard set of one split "
+                f"(got {len(shards)} shards, indices {sorted(indices)}, "
+                f"num_shards={num_shards})"
+            )
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be > 0")
+        self.lease_seconds = lease_seconds
+        self.clock = clock
+        self.shards = {shard.shard_index: shard for shard in shards}
+        self.num_shards = num_shards
+        self._lock = threading.Lock()
+        self._state = {index: PENDING for index in self.shards}
+        # lease_id -> (shard_index, worker_id, deadline); only the most
+        # recent lease per shard is live, older ones are kept so a slow
+        # worker's submission can still be recognised (and ignored)
+        self._leases: dict[str, tuple[int, str, float]] = {}
+        self._live_lease: dict[int, str] = {}
+        self._lease_counter = 0
+        self._results: dict[int, SweepResult] = {}
+        self._job_slots: dict[int, object] = {}
+        self._skip_slots: dict[int, object] = {}
+        self._reclaimed = 0
+
+    # ------------------------------------------------------------------
+    # Wire API (dict in, dict out — ServiceApp routes call these)
+    # ------------------------------------------------------------------
+    def next_shard(self, worker_id: str = "anonymous") -> dict:
+        """Lease the next pending shard to ``worker_id``.
+
+        Returns ``{"shard": <manifest>, "lease_id", "shard_index",
+        "lease_seconds"}`` when work is available; otherwise ``{"shard":
+        None, "done": <bool>, "retry_after": <seconds>}`` — ``done``
+        means the whole sweep is merged and the worker can exit, a
+        ``retry_after`` hint means every remaining shard is leased to
+        someone else right now.
+        """
+        with self._lock:
+            self._reclaim_expired()
+            for index in sorted(self._state):
+                if self._state[index] is not PENDING:
+                    continue
+                self._lease_counter += 1
+                lease_id = f"lease-{self._lease_counter}-s{index}"
+                deadline = self.clock() + self.lease_seconds
+                self._leases[lease_id] = (index, worker_id, deadline)
+                self._live_lease[index] = lease_id
+                self._state[index] = LEASED
+                return {
+                    "shard": shard_to_dict(self.shards[index]),
+                    "shard_index": index,
+                    "lease_id": lease_id,
+                    "lease_seconds": self.lease_seconds,
+                    "done": False,
+                }
+            if all(state is DONE for state in self._state.values()):
+                return {"shard": None, "done": True, "retry_after": 0.0}
+            now = self.clock()
+            remaining = [
+                deadline - now
+                for index, lease_id in self._live_lease.items()
+                if self._state[index] is LEASED
+                for (_, _, deadline) in (self._leases[lease_id],)
+            ]
+            return {
+                "shard": None,
+                "done": False,
+                "retry_after": max(0.05, min(remaining, default=0.05)),
+            }
+
+    def submit_result(self, lease_id: str, result: dict) -> dict:
+        """Merge one executed shard submitted under ``lease_id``.
+
+        The result payload is :func:`sweep_result_to_dict` output for
+        the leased shard's plan.  A submission that does not match the
+        plan (wrong record counts, unmatched errors) is rejected with
+        ``ValueError`` and the shard stays leased — the worker is
+        broken, and the lease clock is already running.
+        """
+        def duplicate_response(index):
+            return {
+                "accepted": False,
+                "duplicate": True,
+                "shard_index": index,
+                "done": self._done_locked(),
+                "remaining": self._remaining_locked(),
+            }
+
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                raise ValueError(f"unknown lease {lease_id!r}")
+            index, worker_id, _deadline = lease
+            if self._state[index] is DONE:
+                return duplicate_response(index)
+            shard = self.shards[index]
+        # decode + validate outside the lock: this is CPU work
+        # proportional to shard size, and holding the lock through it
+        # would stall every /shard/next poll in the fleet
+        shard_result = sweep_result_from_dict(result)
+        outcomes = split_result_by_job(shard.plan, shard_result)
+        with self._lock:
+            if self._state[index] is DONE:  # raced a concurrent submit
+                return duplicate_response(index)
+            for global_index, outcome in zip(shard.job_indices, outcomes):
+                self._job_slots[global_index] = outcome
+            for global_index, skip in zip(
+                shard.skip_indices, shard_result.skipped
+            ):
+                self._skip_slots[global_index] = skip
+            self._results[index] = shard_result
+            self._state[index] = DONE
+            self._live_lease.pop(index, None)
+            return {
+                "accepted": True,
+                "duplicate": False,
+                "shard_index": index,
+                "worker_id": worker_id,
+                "done": self._done_locked(),
+                "remaining": self._remaining_locked(),
+            }
+
+    def status(self) -> dict:
+        """Progress snapshot: shard states, merged record count, leases."""
+        with self._lock:
+            self._reclaim_expired()
+            states = {
+                state: sum(1 for s in self._state.values() if s is state)
+                for state in (PENDING, LEASED, DONE)
+            }
+            now = self.clock()
+            leases = [
+                {
+                    "lease_id": lease_id,
+                    "shard_index": index,
+                    "worker_id": self._leases[lease_id][1],
+                    "expires_in": round(self._leases[lease_id][2] - now, 3),
+                }
+                for index, lease_id in sorted(self._live_lease.items())
+                if self._state[index] is LEASED
+            ]
+            return {
+                "num_shards": self.num_shards,
+                "pending": states[PENDING],
+                "leased": states[LEASED],
+                "done": states[DONE],
+                "complete": self._done_locked(),
+                "records_merged": sum(
+                    len(outcome)
+                    for outcome in self._job_slots.values()
+                    if isinstance(outcome, list)
+                ),
+                "leases": leases,
+                "leases_reclaimed": self._reclaimed,
+            }
+
+    # ------------------------------------------------------------------
+    # Local API (the coordinating process)
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self._done_locked()
+
+    def result(self) -> SweepResult:
+        """The streamed-merge SweepResult (requires every shard done)."""
+        with self._lock:
+            if not self._done_locked():
+                raise ValueError(
+                    f"coordinator incomplete: {self._remaining_locked()} "
+                    f"of {self.num_shards} shards outstanding"
+                )
+            shard_stats = [
+                dict(self._results[index].stats)
+                for index in sorted(self._results)
+            ]
+            merged = assemble_slots(
+                dict(self._job_slots),
+                dict(self._skip_slots),
+                shard_stats,
+                self.num_shards,
+                executor="coordinated",
+            )
+            merged.stats["leases_reclaimed"] = self._reclaimed
+            return merged
+
+    # ------------------------------------------------------------------
+    # Checkpointing (restart a coordinator without re-running shards)
+    # ------------------------------------------------------------------
+    def state_to_dict(self) -> dict:
+        """Serialize shards + completed results (leases do not survive:
+        an in-flight lease on restart just expires into a re-serve)."""
+        with self._lock:
+            return {
+                "lease_seconds": self.lease_seconds,
+                "shards": [
+                    shard_to_dict(self.shards[index])
+                    for index in sorted(self.shards)
+                ],
+                "completed": {
+                    str(index): sweep_result_to_dict(result)
+                    for index, result in sorted(self._results.items())
+                },
+            }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "ShardCoordinator":
+        coordinator = cls(
+            [shard_from_dict(row) for row in state["shards"]],
+            lease_seconds=float(state.get("lease_seconds", 300.0)),
+            clock=clock,
+        )
+        # restore in ascending index order: leases are handed out
+        # lowest-pending-first, so hunting for the target index always
+        # terminates (a checkpoint whose dict iterates out of order —
+        # e.g. re-serialized with sort_keys and 10+ shards — must not
+        # strand the hunt on an already-leased lower index)
+        for index, result in sorted(
+            state.get("completed", {}).items(), key=lambda kv: int(kv[0])
+        ):
+            lease = coordinator.next_shard("restore")
+            while lease["shard_index"] != int(index):
+                lease = coordinator.next_shard("restore")
+            coordinator.submit_result(lease["lease_id"], result)
+        # forget the placeholder leases for shards we did not restore
+        with coordinator._lock:
+            for lease_id, (idx, _, _) in list(coordinator._leases.items()):
+                if coordinator._state[idx] is LEASED:
+                    coordinator._state[idx] = PENDING
+                    coordinator._live_lease.pop(idx, None)
+                    del coordinator._leases[lease_id]
+        return coordinator
+
+    # ------------------------------------------------------------------
+    def _reclaim_expired(self) -> None:
+        now = self.clock()
+        for index, lease_id in list(self._live_lease.items()):
+            if self._state[index] is not LEASED:
+                continue
+            _, _, deadline = self._leases[lease_id]
+            if deadline <= now:
+                self._state[index] = PENDING
+                self._live_lease.pop(index, None)
+                self._reclaimed += 1
+
+    def _done_locked(self) -> bool:
+        return all(state is DONE for state in self._state.values())
+
+    def _remaining_locked(self) -> int:
+        return sum(1 for state in self._state.values() if state is not DONE)
+
+    def __repr__(self) -> str:
+        status = self.status()
+        return (
+            f"ShardCoordinator(shards={self.num_shards}, "
+            f"done={status['done']}, leased={status['leased']}, "
+            f"pending={status['pending']})"
+        )
+
+
+__all__ = ["ShardCoordinator"]

@@ -7,10 +7,13 @@ fans the same plan out over ``concurrent.futures.ProcessPoolExecutor``
 worker *processes* instead: the backend (which must pickle — the zoo and
 stub backends do) is shipped to each worker once via the pool
 initializer, each worker builds its own
-:class:`~repro.eval.pipeline.Evaluator` (caches are per-process; the
-cross-process duplicate work is the price of real parallelism), and
-job outcomes stream back in plan order so results are byte-identical to
-a serial run.
+:class:`~repro.eval.pipeline.Evaluator`, and job outcomes stream back
+in plan order so results are byte-identical to a serial run.
+
+In-memory evaluator caches are per-process; pass a
+:class:`~repro.eval.store.VerdictStore` (``store=...``) to give every
+worker a shared on-disk verdict cache instead of rebuilding the
+compile/simulate work per process.
 """
 
 from __future__ import annotations
@@ -42,8 +45,8 @@ _WORKER_RETRY: RetryPolicy | None = None
 
 def _init_worker(payload: bytes) -> None:
     global _WORKER_BACKEND, _WORKER_EVALUATOR, _WORKER_RETRY
-    _WORKER_BACKEND, _WORKER_RETRY = pickle.loads(payload)
-    _WORKER_EVALUATOR = Evaluator()
+    _WORKER_BACKEND, _WORKER_RETRY, store = pickle.loads(payload)
+    _WORKER_EVALUATOR = Evaluator(store=store)
 
 
 def _run_job(job: GenerationJob) -> JobOutcome:
@@ -67,6 +70,7 @@ class ProcessPoolSweepExecutor(Executor):
         workers: int | None = None,
         retry: RetryPolicy | None = None,
         progress: ProgressCallback | None = None,
+        store=None,
     ):
         workers = workers if workers is not None else os.cpu_count() or 1
         if workers < 1:
@@ -75,8 +79,9 @@ class ProcessPoolSweepExecutor(Executor):
         self.workers = workers
         self.retry = retry or RetryPolicy()
         self.progress = progress
+        self.store = store
         try:
-            self._payload = pickle.dumps((backend, self.retry))
+            self._payload = pickle.dumps((backend, self.retry, store))
         except Exception as exc:  # noqa: BLE001 — report the real cause
             raise BackendError(
                 f"backend {backend.name!r} cannot be shipped to worker "

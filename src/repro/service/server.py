@@ -3,12 +3,23 @@
 The service exposes a :class:`~repro.api.Session` to the network with
 nothing but the standard library:
 
-* ``GET  /health``        — liveness + backend identity;
-* ``GET  /models``        — served model variants;
-* ``POST /capabilities``  — capability claims + identity for one model;
-* ``POST /generate``      — completions for one (model, prompt, config);
-* ``POST /sweep``         — plan + execute a whole sweep server-side,
+* ``GET  /health``          — liveness + backend identity;
+* ``GET  /models``          — served model variants;
+* ``POST /capabilities``    — capability claims + identity for one model;
+* ``POST /generate``        — completions for one (model, prompt, config);
+* ``POST /generate_batch``  — completions for many (prompt, config)
+  requests of one model in a single round-trip;
+* ``POST /sweep``           — plan + execute a whole sweep server-side,
   returning the full record/skip/error result.
+
+When a :class:`~repro.service.coordinator.ShardCoordinator` is attached
+(``ServiceApp(session, coordinator=...)`` or ``EvalService(...,
+coordinator=...)``, the ``Session.coordinate`` path), three more routes
+serve shards to pull-based workers:
+
+* ``POST /shard/next``    — lease the next pending shard;
+* ``POST /shard/result``  — submit one executed shard (merged inline);
+* ``GET  /shard/status``  — coordination progress.
 
 :class:`ServiceApp` is the transport-free core — ``handle(method, path,
 payload) -> (status, body)`` — so tests (and
@@ -35,10 +46,15 @@ from ..models.base import GenerationConfig
 
 
 class ServiceApp:
-    """Route table + JSON codec over a Session; no sockets involved."""
+    """Route table + JSON codec over a Session; no sockets involved.
 
-    def __init__(self, session):
+    ``coordinator`` (optional) mounts the shard-coordination routes; the
+    plain eval routes work with or without one.
+    """
+
+    def __init__(self, session, coordinator=None):
         self.session = session
+        self.coordinator = coordinator
 
     # ------------------------------------------------------------------
     def handle(
@@ -51,7 +67,11 @@ class ServiceApp:
             ("GET", "/models"): self._models,
             ("POST", "/capabilities"): self._capabilities,
             ("POST", "/generate"): self._generate,
+            ("POST", "/generate_batch"): self._generate_batch,
             ("POST", "/sweep"): self._sweep,
+            ("POST", "/shard/next"): self._shard_next,
+            ("POST", "/shard/result"): self._shard_result,
+            ("GET", "/shard/status"): self._shard_status,
         }
         handler = handlers.get(route)
         if handler is None:
@@ -91,25 +111,45 @@ class ServiceApp:
             "fine_tuned": fine_tuned,
         }
 
-    def _generate(self, payload: dict) -> dict:
-        config = GenerationConfig(
+    @staticmethod
+    def _parse_config(row: dict | None) -> GenerationConfig:
+        row = row or {}
+        return GenerationConfig(
             **{
-                key: payload.get("config", {})[key]
+                key: row[key]
                 for key in ("temperature", "n", "max_tokens", "top_p")
-                if key in payload.get("config", {})
+                if key in row
             }
         )
+
+    @staticmethod
+    def _completion_row(completion) -> dict:
+        return {
+            "text": completion.text,
+            "inference_seconds": completion.inference_seconds,
+            "tokens": completion.tokens,
+        }
+
+    def _generate(self, payload: dict) -> dict:
+        config = self._parse_config(payload.get("config"))
         completions = self.session.backend.generate(
             payload["model"], payload["prompt"], config
         )
         return {
-            "completions": [
-                {
-                    "text": c.text,
-                    "inference_seconds": c.inference_seconds,
-                    "tokens": c.tokens,
-                }
-                for c in completions
+            "completions": [self._completion_row(c) for c in completions]
+        }
+
+    def _generate_batch(self, payload: dict) -> dict:
+        requests = [
+            (row["prompt"], self._parse_config(row.get("config")))
+            for row in payload["requests"]
+        ]
+        batches = self.session.backend.generate_batch(
+            payload["model"], requests
+        )
+        return {
+            "batches": [
+                [self._completion_row(c) for c in batch] for batch in batches
             ]
         }
 
@@ -121,6 +161,30 @@ class ServiceApp:
         )
         result = self.session.run_sweep(config, models=payload.get("models"))
         return sweep_result_to_dict(result)
+
+    # ------------------------------------------------------------------
+    # Shard-coordination routes (Session.coordinate / ShardCoordinator)
+    # ------------------------------------------------------------------
+    def _require_coordinator(self):
+        if self.coordinator is None:
+            raise BackendError(
+                "no shard coordinator attached to this service "
+                "(start one with Session.coordinate / `repro coordinate`)"
+            )
+        return self.coordinator
+
+    def _shard_next(self, payload: dict) -> dict:
+        return self._require_coordinator().next_shard(
+            str(payload.get("worker_id") or "anonymous")
+        )
+
+    def _shard_result(self, payload: dict) -> dict:
+        return self._require_coordinator().submit_result(
+            payload["lease_id"], payload["result"]
+        )
+
+    def _shard_status(self, _payload: dict) -> dict:
+        return self._require_coordinator().status()
 
 
 # ----------------------------------------------------------------------
@@ -181,8 +245,14 @@ class EvalService:
     :meth:`serve_forever` to block (the CLI ``serve`` command).
     """
 
-    def __init__(self, session, host: str = "127.0.0.1", port: int = 8076):
-        self.app = ServiceApp(session)
+    def __init__(
+        self,
+        session,
+        host: str = "127.0.0.1",
+        port: int = 8076,
+        coordinator=None,
+    ):
+        self.app = ServiceApp(session, coordinator=coordinator)
         self.host = host
         self.port = port
         self._httpd: _ServiceHTTPServer | None = None
@@ -195,6 +265,10 @@ class EvalService:
             self._httpd = _ServiceHTTPServer((self.host, self.port), self.app)
             self.port = self._httpd.server_address[1]
         return self._httpd
+
+    @property
+    def coordinator(self):
+        return self.app.coordinator
 
     @property
     def url(self) -> str:

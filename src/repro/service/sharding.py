@@ -154,6 +154,25 @@ def merge_shard_results(
         for global_index, skip in zip(shard.skip_indices, result.skipped):
             skip_slots[global_index] = skip
 
+    shard_stats = [dict(result.stats) for result in results]
+    return assemble_slots(job_slots, skip_slots, shard_stats, num_shards)
+
+
+def assemble_slots(
+    job_slots: dict,
+    skip_slots: dict,
+    shard_stats: Sequence[dict],
+    num_shards: int,
+    executor: str = "sharded",
+) -> SweepResult:
+    """Assemble position-keyed job/skip outcomes into one SweepResult.
+
+    This is the tail of :func:`merge_shard_results`, split out so the
+    shard coordinator can fill the slots incrementally (one shard at a
+    time as results stream in) and assemble with identical semantics:
+    positions must be gapless, records land in serial-plan order, and
+    :class:`JobError` outcomes become the merged error list.
+    """
     for name, slots in (("job", job_slots), ("skip", skip_slots)):
         if set(slots) != set(range(len(slots))):
             raise ValueError(
@@ -171,14 +190,14 @@ def merge_shard_results(
             sweep.extend(outcome)
     skipped = [skip_slots[i] for i in range(len(skip_slots))]
 
-    shard_stats = [dict(result.stats) for result in results]
+    shard_stats = [dict(stats) for stats in shard_stats]
     return SweepResult(
         sweep=sweep,
         skipped=skipped,
         errors=errors,
         stats={
-            "backend": shard_stats[0].get("backend", "?"),
-            "executor": "sharded",
+            "backend": shard_stats[0].get("backend", "?") if shard_stats else "?",
+            "executor": executor,
             "shards": num_shards,
             "jobs": len(job_slots),
             "jobs_failed": len(errors),
@@ -265,6 +284,7 @@ def merge_shard_files(paths: Sequence[str]) -> SweepResult:
 __all__ = [
     "PlanShard",
     "ShardPlanner",
+    "assemble_slots",
     "load_shard_manifest",
     "load_shard_result",
     "merge_shard_files",

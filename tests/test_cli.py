@@ -332,3 +332,120 @@ class TestSweepCommand:
         records = json.loads(path.read_text())
         assert len(records) == 2 * 2  # levels x n
         assert records[0]["model"] == "stub"
+
+
+class TestCoordinateAndWorkCommands:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["coordinate", "--shards", "2"])
+        assert args.shards == 2
+        assert args.lease_seconds == 300.0
+        assert args.backend == "zoo"
+        args = build_parser().parse_args(["work", "--url", "http://h:1"])
+        assert args.backend == "zoo"
+        assert args.poll_seconds == 0.5
+        assert args.max_idle_polls is None
+
+    def test_coordinate_requires_shards(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["coordinate"])
+
+    def test_work_requires_url(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["work"])
+
+    def test_store_flag_accepted_by_sweep(self, capsys, tmp_path):
+        store = tmp_path / "verdicts"
+        code = main([
+            "sweep", "--backend", "stub-canonical", "--problems", "1",
+            "--temperatures", "0.1", "--n", "2", "--levels", "L",
+            "--store", str(store),
+        ])
+        assert code == 0
+        assert any(store.glob("*.json"))
+
+    def test_work_unreachable_coordinator_exits_two(self, capsys):
+        code = main(["work", "--url", "http://127.0.0.1:9",
+                     "--backend", "stub"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().out
+
+    def test_work_drains_a_live_coordinator(self, capsys):
+        from repro.api import Session
+        from repro.eval import SweepConfig
+        from repro.problems import PromptLevel
+
+        config = SweepConfig(
+            temperatures=(0.1,), completions_per_prompt=(2,),
+            levels=(PromptLevel.LOW,), problem_numbers=(1, 2),
+        )
+        service = Session(backend="stub-canonical").coordinate(
+            2, config, port=0
+        )
+        url = service.start()
+        try:
+            code = main(["work", "--url", url,
+                         "--backend", "stub-canonical",
+                         "--max-idle-polls", "20"])
+        finally:
+            service.stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert service.coordinator.done
+        assert len(service.coordinator.result().sweep) == 2 * 2
+
+    def test_coordinate_end_to_end_with_cli_worker(self, capsys, tmp_path):
+        import json
+        import socket
+        import threading
+        import time
+
+        from repro.api import Session
+        from repro.backends import BackendError
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        merged_path = tmp_path / "merged.json"
+        codes = []
+
+        def coordinate():
+            codes.append(main([
+                "coordinate", "--shards", "2",
+                "--backend", "stub-canonical",
+                "--problems", "1,2", "--temperatures", "0.1",
+                "--n", "2", "--levels", "L",
+                "--port", str(port), "--poll-seconds", "0.02",
+                "--linger-seconds", "0.1",
+                "--export", str(merged_path),
+            ]))
+
+        thread = threading.Thread(target=coordinate)
+        thread.start()
+        url = f"http://127.0.0.1:{port}"
+        summary = None
+        for _ in range(200):  # wait for the coordinator to come up
+            try:
+                summary = Session(backend="stub-canonical").work(
+                    url=url, max_idle_polls=50, poll_seconds=0.02
+                )
+                break
+            except BackendError:
+                time.sleep(0.05)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert codes == [0]
+        assert summary is not None and summary["shards"] == 2
+        out = capsys.readouterr().out
+        assert "merged 2 shards" in out
+        records = json.loads(merged_path.read_text())
+        # parity with a direct serial sweep export
+        serial_path = tmp_path / "serial.json"
+        assert main([
+            "sweep", "--backend", "stub-canonical", "--problems", "1,2",
+            "--temperatures", "0.1", "--n", "2", "--levels", "L",
+            "--export", str(serial_path),
+        ]) == 0
+        assert records == json.loads(serial_path.read_text())

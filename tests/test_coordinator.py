@@ -1,0 +1,469 @@
+"""Tests for the shard coordinator (repro.service.coordinator): leases,
+expiry/re-serve, streaming merge parity, worker loop, HTTP smoke."""
+
+import threading
+
+import pytest
+
+from repro.api import Session
+from repro.backends import BackendError, StubBackend
+from repro.eval import SweepConfig, SweepExecutor, SweepPlanner
+from repro.eval.export import sweep_result_to_dict
+from repro.problems import PromptLevel
+from repro.service import (
+    ServiceApp,
+    ServiceUnreachableError,
+    ShardCoordinator,
+    ShardPlanner,
+    in_process_transport,
+    run_worker,
+)
+
+CONFIG = SweepConfig(
+    temperatures=(0.1, 0.5),
+    completions_per_prompt=(2, 25),
+    levels=(PromptLevel.LOW,),
+    problem_numbers=(1, 2, 6),
+)
+MODELS = ["codegen-6b-ft", "j1-large-7b-ft"]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_split(num_shards, config=CONFIG, models=MODELS, backend="zoo"):
+    session = Session(backend=backend)
+    plan = session.plan(config, models=models)
+    return plan, ShardPlanner(num_shards).split(plan)
+
+
+def run_shard(shard, backend="zoo"):
+    return SweepExecutor(Session(backend=backend).backend).run(shard.plan)
+
+
+class TestCoordinatorUnit:
+    def test_requires_complete_shard_set(self):
+        _, shards = make_split(3)
+        with pytest.raises(ValueError, match="complete shard set"):
+            ShardCoordinator(shards[:2])
+        with pytest.raises(ValueError, match="empty"):
+            ShardCoordinator([])
+
+    def test_duplicate_shard_indices_rejected(self):
+        _, shards = make_split(2)
+        with pytest.raises(ValueError, match="complete shard set"):
+            ShardCoordinator([shards[0], shards[0], shards[1]])
+
+    def test_lease_seconds_validated(self):
+        _, shards = make_split(1)
+        with pytest.raises(ValueError, match="lease_seconds"):
+            ShardCoordinator(shards, lease_seconds=0)
+
+    def test_leases_each_shard_once_then_waits(self):
+        _, shards = make_split(2)
+        coordinator = ShardCoordinator(shards, lease_seconds=60)
+        first = coordinator.next_shard("w1")
+        second = coordinator.next_shard("w2")
+        assert {first["shard_index"], second["shard_index"]} == {0, 1}
+        assert first["lease_id"] != second["lease_id"]
+        third = coordinator.next_shard("w3")
+        assert third["shard"] is None
+        assert third["done"] is False
+        assert third["retry_after"] > 0
+
+    def test_submit_merges_and_reports_done(self):
+        _, shards = make_split(2)
+        coordinator = ShardCoordinator(shards, lease_seconds=60)
+        for _ in range(2):
+            lease = coordinator.next_shard("w")
+            result = run_shard(shards[lease["shard_index"]])
+            ack = coordinator.submit_result(
+                lease["lease_id"], sweep_result_to_dict(result)
+            )
+            assert ack["accepted"] is True
+        assert coordinator.done
+        assert coordinator.next_shard("w")["done"] is True
+
+    def test_unknown_lease_rejected(self):
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards)
+        with pytest.raises(ValueError, match="unknown lease"):
+            coordinator.submit_result("lease-999-s0", {"records": []})
+
+    def test_mismatched_result_rejected_and_shard_stays_leased(self):
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=60)
+        lease = coordinator.next_shard("w")
+        result = run_shard(shards[0])
+        result.sweep.records.pop()
+        with pytest.raises(ValueError, match="does not match"):
+            coordinator.submit_result(
+                lease["lease_id"], sweep_result_to_dict(result)
+            )
+        status = coordinator.status()
+        assert status["leased"] == 1 and status["done"] == 0
+
+    def test_expired_lease_is_reserved_and_late_submit_ignored(self):
+        clock = FakeClock()
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=30, clock=clock)
+        stale = coordinator.next_shard("slow-worker")
+        clock.advance(31)
+        fresh = coordinator.next_shard("fast-worker")
+        assert fresh["shard_index"] == stale["shard_index"] == 0
+        assert fresh["lease_id"] != stale["lease_id"]
+        assert coordinator.status()["leases_reclaimed"] == 1
+
+        result = sweep_result_to_dict(run_shard(shards[0]))
+        assert coordinator.submit_result(fresh["lease_id"], result)["accepted"]
+        # the slow worker finally reports in: acknowledged, not re-merged
+        late = coordinator.submit_result(stale["lease_id"], result)
+        assert late["accepted"] is False and late["duplicate"] is True
+        assert coordinator.done
+
+    def test_status_reports_progress_and_leases(self):
+        clock = FakeClock()
+        _, shards = make_split(3)
+        coordinator = ShardCoordinator(shards, lease_seconds=60, clock=clock)
+        lease = coordinator.next_shard("w1")
+        coordinator.submit_result(
+            lease["lease_id"],
+            sweep_result_to_dict(run_shard(shards[lease["shard_index"]])),
+        )
+        coordinator.next_shard("w2")
+        status = coordinator.status()
+        assert status["num_shards"] == 3
+        assert (status["done"], status["leased"], status["pending"]) == (1, 1, 1)
+        assert status["complete"] is False
+        assert status["records_merged"] > 0
+        assert status["leases"][0]["worker_id"] == "w2"
+        assert status["leases"][0]["expires_in"] == pytest.approx(60)
+
+    def test_result_requires_completion(self):
+        _, shards = make_split(2)
+        coordinator = ShardCoordinator(shards)
+        with pytest.raises(ValueError, match="incomplete"):
+            coordinator.result()
+
+    def test_checkpoint_round_trip(self):
+        clock = FakeClock()
+        _, shards = make_split(3)
+        coordinator = ShardCoordinator(shards, lease_seconds=60, clock=clock)
+        lease = coordinator.next_shard("w")
+        index = lease["shard_index"]
+        coordinator.submit_result(
+            lease["lease_id"], sweep_result_to_dict(run_shard(shards[index]))
+        )
+        coordinator.next_shard("vanishing-worker")  # in flight at "crash"
+
+        restored = ShardCoordinator.from_state(
+            coordinator.state_to_dict(), clock=clock
+        )
+        status = restored.status()
+        # the completed shard survives; the in-flight lease does not
+        assert status["done"] == 1 and status["pending"] == 2
+        while True:
+            lease = restored.next_shard("w2")
+            if lease["shard"] is None:
+                break
+            restored.submit_result(
+                lease["lease_id"],
+                sweep_result_to_dict(run_shard(shards[lease["shard_index"]])),
+            )
+        assert restored.done
+
+    def test_checkpoint_restores_out_of_order_completed_keys(self):
+        # a checkpoint re-serialized with sort_keys (or hand-edited) may
+        # iterate its completed dict out of index order; restore must
+        # not strand on an already-leased lower index
+        _, shards = make_split(3)
+        coordinator = ShardCoordinator(shards, lease_seconds=60)
+        while not coordinator.done:
+            lease = coordinator.next_shard("w")
+            coordinator.submit_result(
+                lease["lease_id"],
+                sweep_result_to_dict(run_shard(shards[lease["shard_index"]])),
+            )
+        state = coordinator.state_to_dict()
+        state["completed"] = dict(
+            sorted(state["completed"].items(), reverse=True)
+        )
+        restored = ShardCoordinator.from_state(state)
+        assert restored.done
+        assert (
+            restored.result().sweep.records
+            == coordinator.result().sweep.records
+        )
+
+
+class TestStreamingMergeParity:
+    @pytest.mark.parametrize("num_shards", [1, 2, 5])
+    def test_single_worker_parity(self, num_shards):
+        plan, shards = make_split(num_shards)
+        serial = SweepExecutor(Session(backend="zoo").backend).run(plan)
+        coordinator = ShardCoordinator(shards, lease_seconds=60)
+        summary = run_worker(
+            transport=in_process_transport(
+                ServiceApp(Session(backend="zoo"), coordinator=coordinator)
+            ),
+            session=Session(backend="zoo"),
+            max_idle_polls=3,
+        )
+        assert summary["shards"] == num_shards
+        merged = coordinator.result()
+        assert merged.sweep.records == serial.sweep.records
+        assert merged.skipped == serial.skipped
+        assert merged.errors == serial.errors
+        assert merged.stats["executor"] == "coordinated"
+        assert merged.stats["shards"] == num_shards
+
+    def test_concurrent_workers_parity(self):
+        """Acceptance: N pull-based workers, streamed merge == serial."""
+        plan, shards = make_split(4)
+        serial = SweepExecutor(Session(backend="zoo").backend).run(plan)
+        coordinator = ShardCoordinator(shards, lease_seconds=60)
+        app = ServiceApp(Session(backend="zoo"), coordinator=coordinator)
+        summaries = []
+
+        def worker(name):
+            summaries.append(
+                run_worker(
+                    transport=in_process_transport(app),
+                    session=Session(backend="zoo"),
+                    worker_id=name,
+                    max_idle_polls=50,
+                    poll_seconds=0.01,
+                )
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(s["shards"] for s in summaries) == 4
+        merged = coordinator.result()
+        assert merged.sweep.records == serial.sweep.records
+        assert merged.skipped == serial.skipped
+
+    def test_lost_worker_is_reserved_to_another(self):
+        """Acceptance: an injected worker failure re-leases the shard."""
+        clock = FakeClock()
+        plan, shards = make_split(3)
+        serial = SweepExecutor(Session(backend="zoo").backend).run(plan)
+        coordinator = ShardCoordinator(shards, lease_seconds=30, clock=clock)
+        # the doomed worker leases a shard and dies without submitting
+        doomed = coordinator.next_shard("doomed")
+        assert doomed["shard"] is not None
+        clock.advance(31)
+
+        summary = run_worker(
+            transport=in_process_transport(
+                ServiceApp(Session(backend="zoo"), coordinator=coordinator)
+            ),
+            session=Session(backend="zoo"),
+            worker_id="survivor",
+            max_idle_polls=3,
+        )
+        assert summary["shards"] == 3  # including the re-served one
+        merged = coordinator.result()
+        assert merged.sweep.records == serial.sweep.records
+        assert merged.stats["leases_reclaimed"] == 1
+
+    def test_errors_stream_through_the_merge(self):
+        class Flaky(StubBackend):
+            def generate(self, model, prompt, config):
+                from repro.models import match_prompt_to_problem
+
+                matched = match_prompt_to_problem(prompt)
+                if matched is not None and matched[0].number == 2:
+                    raise RuntimeError("boom")
+                return super().generate(model, prompt, config)
+
+        config = SweepConfig(
+            temperatures=(0.1, 0.3),
+            completions_per_prompt=(2,),
+            levels=(PromptLevel.LOW,),
+            problem_numbers=(1, 2, 3),
+        )
+        plan = SweepPlanner(Flaky()).plan(config)
+        serial = SweepExecutor(Flaky()).run(plan)
+        assert serial.errors
+        coordinator = ShardCoordinator(ShardPlanner(2).split(plan))
+        run_worker(
+            transport=in_process_transport(
+                ServiceApp(Session(backend=Flaky()), coordinator=coordinator)
+            ),
+            session=Session(backend=Flaky()),
+            max_idle_polls=3,
+        )
+        merged = coordinator.result()
+        assert merged.errors == serial.errors
+        assert merged.sweep.records == serial.sweep.records
+
+
+class TestWorkerLoop:
+    def test_worker_needs_url_or_transport(self):
+        with pytest.raises(ValueError, match="url or transport"):
+            run_worker()
+
+    def test_shard_routes_require_coordinator(self):
+        app = ServiceApp(Session(backend="stub"))
+        status, body = app.handle("POST", "/shard/next", {"worker_id": "w"})
+        assert status == 400
+        assert "no shard coordinator" in body["error"]
+        status, _ = app.handle("GET", "/shard/status")
+        assert status == 400
+
+    def test_worker_gives_up_after_max_idle_polls(self):
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=1000)
+        coordinator.next_shard("hog")  # everything leased elsewhere
+        naps = []
+        summary = run_worker(
+            transport=in_process_transport(
+                ServiceApp(Session(backend="zoo"), coordinator=coordinator)
+            ),
+            session=Session(backend="zoo"),
+            max_idle_polls=3,
+            sleep=naps.append,
+        )
+        assert summary["shards"] == 0
+        assert summary["idle_polls"] == 3
+        assert len(naps) == 2  # no nap after the give-up poll
+
+
+    def test_idle_worker_survives_vanished_coordinator(self):
+        # once a worker has reached the coordinator, the server going
+        # away mid-poll (done + stopped, or shut down) ends the loop
+        # cleanly instead of raising
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=1000)
+        coordinator.next_shard("hog")  # worker will only ever idle-poll
+        inner = in_process_transport(
+            ServiceApp(Session(backend="zoo"), coordinator=coordinator)
+        )
+        polls = []
+
+        def flaky_transport(method, path, payload=None):
+            polls.append(path)
+            if len(polls) > 1:
+                raise ServiceUnreachableError("cannot reach eval service")
+            return inner(method, path, payload)
+
+        summary = run_worker(
+            transport=flaky_transport,
+            session=Session(backend="zoo"),
+            sleep=lambda _s: None,
+        )
+        assert summary["coordinator_gone"] is True
+        assert summary["shards"] == 0
+
+    def test_answered_errors_still_raise_mid_poll(self):
+        # only connection-class failures mean "gone"; an HTTP error or
+        # malformed body from something answering the port must surface
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=1000)
+        coordinator.next_shard("hog")
+        inner = in_process_transport(
+            ServiceApp(Session(backend="zoo"), coordinator=coordinator)
+        )
+        polls = []
+
+        def wrong_server(method, path, payload=None):
+            polls.append(path)
+            if len(polls) > 1:
+                raise BackendError("eval service 500 on /shard/next: boom")
+            return inner(method, path, payload)
+
+        with pytest.raises(BackendError, match="500"):
+            run_worker(
+                transport=wrong_server,
+                session=Session(backend="zoo"),
+                sleep=lambda _s: None,
+            )
+
+    def test_never_reached_coordinator_still_raises(self):
+        def dead_transport(method, path, payload=None):
+            raise ServiceUnreachableError("cannot reach eval service")
+
+        with pytest.raises(BackendError, match="cannot reach"):
+            run_worker(
+                transport=dead_transport, session=Session(backend="stub")
+            )
+
+    def test_submit_retries_connection_blips(self):
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=1000)
+        inner = in_process_transport(
+            ServiceApp(Session(backend="zoo"), coordinator=coordinator)
+        )
+        blips = []
+
+        def blippy(method, path, payload=None):
+            if path == "/shard/result" and len(blips) < 2:
+                blips.append(path)
+                raise ServiceUnreachableError("connection reset")
+            return inner(method, path, payload)
+
+        naps = []
+        summary = run_worker(
+            transport=blippy,
+            session=Session(backend="zoo"),
+            sleep=naps.append,
+        )
+        # two blips retried, the executed shard was not thrown away
+        assert len(blips) == 2 and len(naps) == 2
+        assert summary["shards"] == 1
+        assert coordinator.done
+
+
+class TestCoordinatorHTTP:
+    def test_session_coordinate_and_work_over_real_http(self):
+        """Acceptance smoke: Session.coordinate + two HTTP workers."""
+        config = SweepConfig(
+            temperatures=(0.1,),
+            completions_per_prompt=(2,),
+            levels=(PromptLevel.LOW,),
+            problem_numbers=(1, 2),
+        )
+        serial = Session(backend="zoo").run_sweep(config, models=MODELS)
+        service = Session(backend="zoo").coordinate(
+            2, config, models=MODELS, port=0
+        )
+        url = service.start()
+        try:
+            summaries = []
+
+            def work():
+                summaries.append(
+                    Session(backend="zoo").work(
+                        url=url, max_idle_polls=50, poll_seconds=0.02
+                    )
+                )
+
+            threads = [threading.Thread(target=work) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            service.stop()
+        assert sum(s["shards"] for s in summaries) == 2
+        merged = service.coordinator.result()
+        assert merged.sweep.records == serial.sweep.records
+        assert merged.skipped == serial.skipped
+
+    def test_work_against_unreachable_coordinator(self):
+        with pytest.raises(BackendError, match="cannot reach"):
+            Session(backend="stub").work(url="http://127.0.0.1:9")

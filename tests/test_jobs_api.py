@@ -331,6 +331,79 @@ class TestRetryPolicy:
         assert all(e.attempts == 1 for e in result.errors)
 
 
+class BatchlessFlaky(CountingFlaky):
+    """generate_batch is down; per-job generate is flaky (CountingFlaky)."""
+
+    def __init__(self, failures=0):
+        super().__init__(failures=failures)
+        self.batch_calls = 0
+
+    def generate_batch(self, model, requests):
+        self.batch_calls += 1
+        raise RuntimeError("batch endpoint down")
+
+
+class TestRetryBatchInterplay:
+    """Satellite: batch failure falls back per job with correct retry
+    accounting on JobError."""
+
+    def test_failed_batch_retries_per_job_to_success(self):
+        backend = BatchlessFlaky(failures=2)
+        plan = SweepPlanner(backend).plan(TINY)
+        delays = []
+        result = SweepExecutor(
+            backend,
+            batch_size=4,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.5),
+            sleep=delays.append,
+        ).run(plan)
+        assert backend.batch_calls == 1  # one doomed batch, then per-job
+        assert result.errors == []
+        assert len(result.sweep) == 2 * 2
+        # per-job fallback kept the retry schedule: 2 jobs x 2 backoffs
+        assert delays == [0.5, 1.0, 0.5, 1.0]
+        assert result.stats["attempts"] == 2 * 3
+
+    def test_failed_batch_exhausted_retries_count_on_job_error(self):
+        backend = BatchlessFlaky(failures=99)
+        plan = SweepPlanner(backend).plan(TINY)
+        result = SweepExecutor(
+            backend,
+            batch_size=4,
+            retry=RetryPolicy(max_attempts=3),
+            sleep=lambda _s: None,
+        ).run(plan)
+        assert backend.batch_calls == 1
+        assert len(result.errors) == 2
+        # the batch attempt is free; each job still gets its own 3 tries
+        assert all(error.attempts == 3 for error in result.errors)
+        assert all("transient" in error.error for error in result.errors)
+        assert result.stats["attempts"] == 2 * 3
+
+    def test_partial_flakiness_isolates_failures_with_attempts(self):
+        class OnlyProblemTwoFails(BatchlessFlaky):
+            def generate(self, model, prompt, config):
+                from repro.models import match_prompt_to_problem
+
+                matched = match_prompt_to_problem(prompt)
+                if matched is not None and matched[0].number == 2:
+                    raise BackendError("transient p2")
+                return StubBackend.generate(self, model, prompt, config)
+
+        backend = OnlyProblemTwoFails()
+        plan = SweepPlanner(backend).plan(TINY)
+        result = SweepExecutor(
+            backend,
+            batch_size=4,
+            retry=RetryPolicy(max_attempts=2),
+            sleep=lambda _s: None,
+        ).run(plan)
+        assert len(result.errors) == 1
+        assert result.errors[0].job.problem == 2
+        assert result.errors[0].attempts == 2
+        assert len(result.sweep) == 2  # problem 1's records survive
+
+
 class TestBatching:
     def test_default_generate_batch_loops_generate(self):
         from repro.models import GenerationConfig

@@ -117,6 +117,46 @@ class TestMergeParity:
         assert merged.errors == serial.errors
         assert merged.sweep.records == serial.sweep.records
 
+    def test_merge_keeps_job_error_attempts_through_files(self, tmp_path):
+        """Shard results carrying JobError entries (with retry attempts)
+        survive the file round-trip and merge in serial plan order."""
+        from repro.backends import BackendError
+        from repro.eval import RetryPolicy
+
+        class Transient(StubBackend):
+            def generate(self, model, prompt, config):
+                matched = match_prompt_to_problem(prompt)
+                if matched is not None and matched[0].number == 2:
+                    raise BackendError("transient")
+                return super().generate(model, prompt, config)
+
+        config = SweepConfig(
+            temperatures=(0.1, 0.3),
+            completions_per_prompt=(2,),
+            levels=(PromptLevel.LOW,),
+            problem_numbers=(1, 2, 3),
+        )
+        plan = SweepPlanner(Transient()).plan(config)
+        shards = ShardPlanner(2).split(plan)
+        paths = []
+        for shard in shards:
+            result = SweepExecutor(
+                Transient(),
+                retry=RetryPolicy(max_attempts=3),
+                sleep=lambda _s: None,
+            ).run(shard.plan)
+            path = str(tmp_path / f"shard{shard.shard_index}.json")
+            save_shard_result(shard, result, path)
+            paths.append(path)
+        merged = merge_shard_files(paths)
+        assert len(merged.errors) == 2  # problem 2 at both temperatures
+        assert all(error.job.problem == 2 for error in merged.errors)
+        assert all(error.attempts == 3 for error in merged.errors)
+        # errors appear in serial plan order despite round-robin shards
+        assert [e.job.temperature for e in merged.errors] == [0.1, 0.3]
+        assert merged.stats["jobs_failed"] == 2
+        assert len(merged.sweep) == 2 * 2 * 2  # problems 1,3 x temps x n
+
     def test_mismatched_lengths_rejected(self):
         backend = StubBackend()
         plan = SweepPlanner(backend).plan(

@@ -1,0 +1,197 @@
+"""Tests for the cross-process verdict store (repro.eval.store) and its
+Evaluator / executor / Session integration."""
+
+import pickle
+
+import pytest
+
+from repro.api import Session
+from repro.backends import create_backend
+from repro.eval import (
+    CompletionEvaluation,
+    Evaluator,
+    SweepConfig,
+    SweepExecutor,
+    SweepPlanner,
+    VerdictStore,
+    resolve_store,
+)
+from repro.models.base import stable_hash
+from repro.problems import PromptLevel, get_problem
+from repro.service import ProcessPoolSweepExecutor
+
+SMALL = SweepConfig(
+    temperatures=(0.1,),
+    completions_per_prompt=(2,),
+    levels=(PromptLevel.LOW,),
+    problem_numbers=(1, 2),
+)
+
+
+class CountingEvaluator(Evaluator):
+    """Evaluator that counts real compile+simulate invocations."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.uncached_calls = 0
+
+    def _evaluate_uncached(self, problem, truncated, level):
+        self.uncached_calls += 1
+        return super()._evaluate_uncached(problem, truncated, level)
+
+
+class TestVerdictStore:
+    def test_round_trip(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        verdict = CompletionEvaluation(
+            compiled=False, passed=False,
+            compile_errors=("syntax error", "unexpected token"),
+        )
+        store.put(3, 12345, verdict)
+        assert store.get(3, 12345) == verdict
+        assert len(store) == 1
+
+    def test_missing_key_is_none(self, tmp_path):
+        store = VerdictStore(str(tmp_path))
+        assert store.get(1, 999) is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = VerdictStore(str(tmp_path))
+        store.put(1, 7, CompletionEvaluation(compiled=True, passed=True))
+        with open(store._entry_path(1, 7), "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert store.get(1, 7) is None
+
+    def test_vanished_directory_degrades_not_raises(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "gone"))
+        import shutil
+
+        shutil.rmtree(store.path)
+        store.put(1, 7, CompletionEvaluation(compiled=True, passed=True))
+        assert store.get(1, 7) is None
+        assert len(store) == 0
+
+    def test_clear(self, tmp_path):
+        store = VerdictStore(str(tmp_path))
+        for key in range(3):
+            store.put(1, key, CompletionEvaluation(compiled=True, passed=True))
+        assert store.clear() == 3
+        assert len(store) == 0
+
+    def test_picklable(self, tmp_path):
+        store = VerdictStore(str(tmp_path))
+        store.put(1, 1, CompletionEvaluation(compiled=True, passed=False))
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.path == store.path
+        assert clone.get(1, 1) == store.get(1, 1)
+
+    def test_resolve_store(self, tmp_path):
+        assert resolve_store(None) is None
+        store = VerdictStore(str(tmp_path))
+        assert resolve_store(store) is store
+        coerced = resolve_store(str(tmp_path))
+        assert isinstance(coerced, VerdictStore)
+        assert coerced.path == str(tmp_path)
+
+
+class TestEvaluatorIntegration:
+    def test_store_hit_skips_recompilation(self, tmp_path):
+        """Acceptance: a warm store avoids compile+simulate entirely."""
+        store = VerdictStore(str(tmp_path))
+        problem = get_problem(1)
+        completion = problem.canonical_body
+
+        first = CountingEvaluator(store=store)
+        verdict = first.evaluate(problem, completion)
+        assert first.uncached_calls == 1
+        assert len(store) == 1
+
+        second = CountingEvaluator(store=store)  # fresh process stand-in
+        assert second.evaluate(problem, completion) == verdict
+        assert second.uncached_calls == 0
+        assert second.store_hits == 1
+        assert second.cache_info["store_hits"] == 1
+        # now in the memory cache: third evaluation touches neither
+        second.evaluate(problem, completion)
+        assert second.cache_hits == 1 and second.store_hits == 1
+
+    def test_cache_info_shape_without_store(self):
+        assert "store_hits" not in Evaluator().cache_info
+
+    def test_sweep_executors_share_store(self, tmp_path):
+        backend = create_backend("zoo")
+        plan = SweepPlanner(backend).plan(SMALL, models=["codegen-6b-ft"])
+        store = VerdictStore(str(tmp_path))
+
+        cold = CountingEvaluator(store=store)
+        baseline = SweepExecutor(backend, evaluator=cold).run(plan)
+        assert cold.uncached_calls > 0
+
+        warm = CountingEvaluator(store=store)
+        rerun = SweepExecutor(backend, evaluator=warm).run(plan)
+        assert warm.uncached_calls == 0
+        assert warm.store_hits == cold.uncached_calls
+        assert rerun.sweep.records == baseline.sweep.records
+
+    def test_process_pool_workers_write_the_shared_store(self, tmp_path):
+        backend = create_backend("zoo")
+        plan = SweepPlanner(backend).plan(SMALL, models=["codegen-6b-ft"])
+        store = VerdictStore(str(tmp_path))
+        result = ProcessPoolSweepExecutor(
+            backend, workers=2, store=store
+        ).run(plan)
+        assert len(result.sweep) > 0
+        assert len(store) > 0
+        # a local evaluator warm-starts from what the workers persisted
+        warm = CountingEvaluator(store=store)
+        SweepExecutor(backend, evaluator=warm).run(plan)
+        assert warm.uncached_calls == 0
+
+    def test_store_key_matches_truncated_completion(self, tmp_path):
+        # the store key is the truncated text's hash: trailing junk after
+        # endmodule must not produce a second entry
+        from repro.eval import truncate_completion
+
+        store = VerdictStore(str(tmp_path))
+        problem = get_problem(1)
+        completion = problem.canonical_body
+        evaluator = Evaluator(store=store)
+        evaluator.evaluate(problem, completion)
+        noisy = completion + "\n// trailing explanation prose"
+        assert truncate_completion(noisy) == truncate_completion(completion)
+        fresh = Evaluator(store=store)
+        fresh.evaluate(problem, noisy)
+        assert fresh.store_hits == 1
+        assert store.get(
+            problem.number, stable_hash(truncate_completion(completion))
+        ) is not None
+
+
+class TestSessionIntegration:
+    def test_session_store_warm_start(self, tmp_path):
+        path = str(tmp_path / "verdicts")
+        first = Session(backend="zoo", store=path)
+        baseline = first.run_sweep(SMALL, models=["codegen-6b-ft"])
+        assert first.evaluator.store_hits == 0
+        assert len(first.store) > 0
+
+        second = Session(backend="zoo", store=path)
+        rerun = second.run_sweep(SMALL, models=["codegen-6b-ft"])
+        assert second.evaluator.store_hits > 0
+        assert second.evaluator.cache_misses == 0
+        assert rerun.sweep.records == baseline.sweep.records
+
+    def test_session_attaches_store_to_existing_evaluator(self, tmp_path):
+        evaluator = Evaluator()
+        session = Session(
+            backend="stub", evaluator=evaluator, store=str(tmp_path)
+        )
+        assert evaluator.store is session.store
+        assert session.store.path == str(tmp_path)
+
+    def test_session_process_executor_gets_store(self, tmp_path):
+        session = Session(
+            backend="zoo", executor="process", workers=2, store=str(tmp_path)
+        )
+        executor = session.make_executor()
+        assert executor.store is session.store
