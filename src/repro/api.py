@@ -36,7 +36,7 @@ from .eval.pipeline import Evaluator
 from .eval.store import resolve_store
 from .models.base import Completion, GenerationConfig, LanguageModel
 
-EXECUTORS = ("thread", "process")
+EXECUTORS = ("thread", "process", "async")
 
 
 class Session:
@@ -54,9 +54,12 @@ class Session:
     workers:
         Worker-pool width for sweep execution (1 = serial).
     executor:
-        ``"thread"`` (default; shared evaluator cache, GIL-bound) or
+        ``"thread"`` (default; shared evaluator cache, GIL-bound),
         ``"process"`` (worker processes — real parallelism for
-        CPU-bound sweeps; the backend must pickle).
+        CPU-bound sweeps; the backend must pickle), or ``"async"``
+        (coroutine concurrency in one thread — the fit for
+        latency-bound remote backends; ``workers`` becomes the
+        in-flight bound).
     retry:
         A :class:`~repro.eval.jobs.RetryPolicy` for transient backend
         failures (``None`` = no retries).
@@ -137,6 +140,17 @@ class Session:
                 progress=self.progress,
                 store=self.store,
             )
+        if self.executor == "async":
+            from .service.aio import AsyncSweepExecutor
+
+            return AsyncSweepExecutor(
+                self.backend,
+                evaluator=self.evaluator,
+                concurrency=self.workers,
+                progress=self.progress,
+                retry=self.retry,
+                batch_size=self.batch_size,
+            )
         return SweepExecutor(
             self.backend,
             evaluator=self.evaluator,
@@ -200,6 +214,55 @@ class Session:
         from .service.server import EvalService
 
         return EvalService(self, host=host, port=port)
+
+    def serve_async(self, host: str = "127.0.0.1", port: int = 8076):
+        """An :class:`~repro.service.aio.server.AsyncEvalService` over
+        this session: the same JSON routes as :meth:`serve` plus the
+        NDJSON streaming ones (``POST /sweep/stream``,
+        ``GET /shard/status/stream``).  Not yet listening — use
+        ``start()``/``stop()`` (daemon thread), ``serve_forever()``
+        (blocking), or ``start_async()`` inside an event loop.
+        """
+        from .service.aio import AsyncEvalService
+
+        return AsyncEvalService(self, host=host, port=port)
+
+    def stream_sweep(
+        self,
+        config: SweepConfig | None = None,
+        models: Sequence[str] | None = None,
+        url: str | None = None,
+        on_event=None,
+        concurrency: int | None = None,
+        timeout: float = 300.0,
+    ) -> SweepResult:
+        """Run a sweep on a remote streaming service, observing it live.
+
+        ``url`` names the :class:`AsyncEvalService` endpoint; when the
+        session's backend is already a service client, its URL is the
+        default.  Every event frame is forwarded to ``on_event`` as it
+        arrives; the return value is the losslessly reassembled
+        :class:`~repro.eval.jobs.SweepResult` (exact record parity with
+        a serial run of the same plan server-side).
+        """
+        if url is None:
+            url = getattr(self.backend, "url", None)
+            if url is None:
+                raise ValueError(
+                    "stream_sweep needs a service url (or a session "
+                    "backend that carries one, e.g. backend='service')"
+                )
+        from .service.aio import stream_sweep
+
+        return stream_sweep(
+            url,
+            config=config,
+            models=models,
+            on_event=on_event,
+            concurrency=concurrency,
+            batch_size=self.batch_size if self.batch_size > 1 else None,
+            timeout=timeout,
+        )
 
     def plan_shards(
         self,

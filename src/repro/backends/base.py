@@ -30,6 +30,19 @@ class ModelCapabilities:
     max_tokens: int = 300
 
 
+def variant_identity(model: str) -> tuple[str, bool]:
+    """(base model name, fine_tuned) from the zoo's variant suffixes.
+
+    Strips a trailing ``-pt``/``-ft``/``-ft-books`` flavour suffix; the
+    default :meth:`Backend.identity` and the async backend layer both
+    follow this naming scheme.
+    """
+    for suffix, fine_tuned in (("-ft-books", True), ("-ft", True), ("-pt", False)):
+        if model.endswith(suffix):
+            return model[: -len(suffix)], fine_tuned
+    return model, False
+
+
 class Backend(abc.ABC):
     """Anything that can complete prompts for a set of named models."""
 
@@ -72,10 +85,7 @@ class Backend(abc.ABC):
         The default strips a trailing ``-pt``/``-ft``/``-ft-books``
         flavour suffix, mirroring the zoo's naming scheme.
         """
-        for suffix, fine_tuned in (("-ft-books", True), ("-ft", True), ("-pt", False)):
-            if model.endswith(suffix):
-                return model[: -len(suffix)], fine_tuned
-        return model, False
+        return variant_identity(model)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

@@ -14,18 +14,26 @@ Commands:
   [--shards K --shard-index I] [--export PATH] ...`` — plan + run a
   configurable sweep through the job service (optionally one shard of
   it); print jobs/skips/errors and optionally export records to
-  JSON/CSV (or a mergeable shard-result file);
+  JSON/CSV (or a mergeable shard-result file); with ``--stream --url``
+  the sweep runs on a remote streaming service and progress renders
+  live as NDJSON events arrive;
 * ``merge SHARD.json ... [--export PATH]`` — recombine executed shard
   files into one serial-order result;
-* ``serve [--backend B] [--host H] [--port P] [--workers W]`` — expose
-  the session over HTTP (the eval service); point other machines at it
-  with ``--backend service --url http://host:port``;
-* ``coordinate --shards K [--lease-seconds S] [--export PATH] ...`` —
-  plan a sweep, split it into K shards, and serve them to pull-based
-  workers over HTTP, merging results as they stream in (no per-worker
-  index bookkeeping; expired leases are re-served);
+* ``serve [--backend B] [--host H] [--port P] [--workers W] [--aio]``
+  — expose the session over HTTP (the eval service); ``--aio`` serves
+  it on the asyncio server with the NDJSON streaming routes; point
+  other machines at it with ``--backend service --url http://host:port``;
+* ``coordinate --shards K [--lease-seconds S] [--checkpoint FILE
+  [--checkpoint-every N]] [--aio] [--export PATH] ...`` — plan a sweep,
+  split it into K shards, and serve them to pull-based workers over
+  HTTP, merging results as they stream in (no per-worker index
+  bookkeeping; expired leases are re-served); ``--checkpoint`` persists
+  state atomically and resumes from the file on restart without
+  re-running merged shards;
 * ``work --url URL [--backend B] [--store DIR] ...`` — run one
   pull-based worker against a coordinator until the sweep is merged;
+* ``store {pack,unpack,info} DIR`` — compact a verdict store's
+  one-file-per-verdict directory into a single JSONL pack (and back);
 * ``tables [--backend B] [--workers W]`` — run the full sweep and print
   Tables III/IV + headlines + executor stats;
 * ``corpus [--repos N] [--books]`` — build the training corpus, print stats.
@@ -248,11 +256,102 @@ def _build_sweep_config(args):
     return config
 
 
+def _render_stream_event(frame: dict) -> None:
+    """One human line per interesting stream frame (the live view)."""
+    event = frame["event"]
+    if event == "job_started":
+        print(f"  > job {frame['job_index']}: {frame['model']} "
+              f"P{frame['problem']}", flush=True)
+    elif event == "job_error":
+        error = frame["error"]
+        print(f"  ! job {frame['job_index']} failed "
+              f"({error['job']['model']} P{error['job']['problem']}): "
+              f"{error['error']}", flush=True)
+    elif event == "progress":
+        print(f"  [{frame['jobs_done']}/{frame['jobs_total']}] "
+              f"{frame['records']} records, {frame['errors']} errors",
+              flush=True)
+
+
+def _cmd_sweep_stream(args, config) -> int:
+    """The ``sweep --stream`` path: consume a remote NDJSON sweep live."""
+    from .backends import BackendError
+    from .eval import save_sweep
+    from .service import StreamProtocolError, stream_sweep
+
+    # the sweep executes on the *server's* session; flags that configure
+    # a local executor do not travel — say so instead of silently
+    # dropping them (concurrency/batch-size do ship in the request)
+    ignored = [
+        flag
+        for flag, is_set in (
+            ("--retries", bool(args.retries)),
+            ("--backoff", bool(getattr(args, "backoff", 0.0))),
+            ("--store", args.store is not None),
+            ("--executor", args.executor != "thread"),
+            ("--backend", args.backend != "zoo"),
+        )
+        if is_set
+    ]
+    if ignored:
+        print(f"-- note: {', '.join(ignored)} configure a local session "
+              f"and are ignored by --stream (the server's session "
+              f"governs retry/store/executor)")
+    models = args.models.split(",") if args.models else None
+    try:
+        result = stream_sweep(
+            args.url,
+            config=config,
+            models=models,
+            on_event=_render_stream_event,
+            concurrency=args.workers if args.workers > 1 else None,
+            batch_size=args.batch_size if args.batch_size > 1 else None,
+        )
+    except (BackendError, StreamProtocolError) as exc:
+        print(f"error: {exc}")
+        return 2
+    for skip in result.skipped:
+        print(
+            f"  skipped {skip.model} P{skip.problem} {skip.level} "
+            f"t={skip.temperature} n={skip.n}: {skip.reason}"
+        )
+    sweep = result.sweep
+    rate = sweep.rate(sweep.records) if sweep.records else 0.0
+    print(f"{len(sweep)} records, overall pass rate {rate:.3f}")
+    stats = result.stats
+    print(
+        f"-- streamed from {args.url} backend={stats.get('backend', '?')} "
+        f"concurrency={stats.get('concurrency', '?')} "
+        f"elapsed={stats.get('elapsed_seconds', 0.0):.2f}s"
+    )
+    if args.export:
+        save_sweep(sweep, args.export)
+        print(f"-- wrote {args.export}")
+    return 1 if result.errors else 0
+
+
 def _cmd_sweep(args) -> int:
     from .backends import BackendError
     from .eval import save_sweep
 
     shard_mode = args.shard_index is not None
+    if args.stream:
+        if not args.url:
+            print("error: --stream needs --url (an AsyncEvalService "
+                  "endpoint from `repro serve --aio`)")
+            return 2
+        if shard_mode or args.shards > 1:
+            print("error: --stream runs the whole plan server-side; "
+                  "it does not combine with --shards")
+            return 2
+        if args.export and not args.export.endswith((".json", ".csv")):
+            print(f"error: --export must end in .json or .csv, "
+                  f"got {args.export!r}")
+            return 2
+        config = _build_sweep_config(args)
+        if config is None:
+            return 2
+        return _cmd_sweep_stream(args, config)
     if args.export:
         if shard_mode and not args.export.endswith(".json"):
             print(f"error: with --shards, --export writes a mergeable "
@@ -358,11 +457,31 @@ def _cmd_merge(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import time as _time
+
+    session = _session(args)
+    backend_name = session.backend.name
+    if args.aio:
+        from .service import AsyncEvalService
+
+        service = AsyncEvalService(session, host=args.host, port=args.port)
+        # the daemon-thread loop resolves port 0 and keeps this thread
+        # free to catch Ctrl-C; streaming routes are live immediately
+        url = service.start()
+        print(f"async eval service on {url} (backend={backend_name}, "
+              f"workers={args.workers}, +/sweep/stream) — Ctrl-C to stop")
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nstopped")
+        finally:
+            service.stop()
+        return 0
     from .service import EvalService
 
-    service = EvalService(_session(args), host=args.host, port=args.port)
+    service = EvalService(session, host=args.host, port=args.port)
     service.bind()  # resolve port 0 before announcing the URL
-    backend_name = service.app.session.backend.name
     print(f"eval service on {service.url} (backend={backend_name}, "
           f"workers={args.workers}) — Ctrl-C to stop")
     try:
@@ -375,6 +494,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_coordinate(args) -> int:
+    import os as _os
     import time as _time
 
     from .eval import save_sweep
@@ -387,23 +507,59 @@ def _cmd_coordinate(args) -> int:
               f"got {args.export!r}")
         return 2
     from .api import Session
+    from .service import save_checkpoint
 
     session = Session(backend=args.backend)
     models = args.models.split(",") if args.models else None
-    service = session.coordinate(
-        args.shards,
-        config,
-        models=models,
-        host=args.host,
-        port=args.port,
-        lease_seconds=args.lease_seconds,
-    )
-    coordinator = service.coordinator
-    service.bind()
-    print(f"shard coordinator on {service.url}: {args.shards} shards, "
-          f"lease {args.lease_seconds:.0f}s — point workers at it with "
-          f"`python -m repro work --url {service.url}`")
-    service.start()
+    coordinator = None
+    if args.checkpoint and _os.path.exists(args.checkpoint):
+        from .service import load_checkpoint
+
+        try:
+            coordinator = load_checkpoint(args.checkpoint)
+        except (OSError, KeyError, TypeError, ValueError) as exc:
+            print(f"error: unreadable checkpoint {args.checkpoint}: {exc}")
+            return 2
+        # the checkpointed split wins over --shards, but lease timing is
+        # a serving knob: the flag on *this* run governs future leases
+        if args.lease_seconds > 0:
+            coordinator.lease_seconds = args.lease_seconds
+        restored = coordinator.status()
+        print(f"resumed from {args.checkpoint}: "
+              f"{restored['done']}/{restored['num_shards']} shards already "
+              f"merged ({restored['records_merged']} records) — the "
+              f"checkpointed split wins over --shards")
+    if coordinator is None:
+        from .service import ShardCoordinator
+
+        coordinator = ShardCoordinator(
+            session.plan_shards(args.shards, config, models=models),
+            lease_seconds=args.lease_seconds,
+        )
+    if args.aio:
+        from .service import AsyncEvalService
+
+        service = AsyncEvalService(
+            session, host=args.host, port=args.port, coordinator=coordinator
+        )
+        service.start()  # daemon-thread loop; resolves port 0
+    else:
+        from .service import EvalService
+
+        service = EvalService(
+            session, host=args.host, port=args.port, coordinator=coordinator
+        )
+        service.bind()
+    print(f"shard coordinator on {service.url}: "
+          f"{coordinator.num_shards} shards, "
+          f"lease {coordinator.lease_seconds:.0f}s — point workers at it with "
+          f"`python -m repro work --url {service.url}`"
+          + (" (live status: GET /shard/status/stream)" if args.aio else ""))
+    if not args.aio:
+        service.start()
+    checkpoint_last = coordinator.status()["done"]
+    if args.checkpoint and not _os.path.exists(args.checkpoint):
+        save_checkpoint(coordinator, args.checkpoint)  # resumable from t=0
     last_done = -1
     try:
         while not coordinator.done:
@@ -414,6 +570,12 @@ def _cmd_coordinate(args) -> int:
                       f"merged, {status['records_merged']} records "
                       f"({status['leased']} leased, {status['pending']} "
                       f"pending)")
+            if (
+                args.checkpoint
+                and status["done"] - checkpoint_last >= args.checkpoint_every
+            ):
+                save_checkpoint(coordinator, args.checkpoint)
+                checkpoint_last = status["done"]
             _time.sleep(args.poll_seconds)
         # keep answering /shard/next with done=true for a grace window,
         # so workers that were idle-polling exit cleanly instead of
@@ -421,11 +583,19 @@ def _cmd_coordinate(args) -> int:
         if args.linger_seconds > 0:
             _time.sleep(args.linger_seconds)
     except KeyboardInterrupt:
-        print("\ninterrupted; shards outstanding:",
-              coordinator.status()["pending"] + coordinator.status()["leased"])
+        if args.checkpoint:
+            save_checkpoint(coordinator, args.checkpoint)
+            print(f"\ninterrupted; checkpoint saved to {args.checkpoint} "
+                  f"— rerun with the same --checkpoint to resume")
+        else:
+            print("\ninterrupted; shards outstanding:",
+                  coordinator.status()["pending"]
+                  + coordinator.status()["leased"])
         return 130
     finally:
         service.stop()
+    if args.checkpoint:
+        save_checkpoint(coordinator, args.checkpoint)  # final: all done
     result = coordinator.result()
     sweep = result.sweep
     rate = sweep.rate(sweep.records) if sweep.records else 0.0
@@ -492,6 +662,33 @@ def _cmd_tables(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    import os as _os
+
+    from .eval import VerdictStore
+
+    if not _os.path.isdir(args.dir):
+        # even `info` must not conjure an empty store out of a typo'd
+        # path (VerdictStore.__init__ creates its directory)
+        print(f"error: {args.dir!r} is not a verdict store directory")
+        return 2
+    store = VerdictStore(args.dir)
+    if args.action == "pack":
+        packed = store.pack()
+        stats = store.stats()
+        print(f"packed {packed} verdict file(s) into {store.pack_path} "
+              f"({stats['entries']} entries total)")
+    elif args.action == "unpack":
+        restored = store.unpack()
+        print(f"unpacked {restored} verdict(s) back into {store.path} "
+              f"({len(store)} entries total)")
+    else:  # info
+        stats = store.stats()
+        print(f"store {store.path}: {stats['entries']} entries "
+              f"({stats['files']} files, {stats['packed']} packed)")
+    return 0
+
+
 def _cmd_corpus(args) -> int:
     from .corpus import CorpusConfig, build_corpus
 
@@ -535,9 +732,11 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
              "(e.g. http://host:8076 from `repro serve`)",
     )
     parser.add_argument(
-        "--executor", choices=("thread", "process"), default="thread",
-        help="worker pool flavour: thread (shared cache) or process "
-             "(GIL-free, for CPU-bound sweeps)",
+        "--executor", choices=("thread", "process", "async"),
+        default="thread",
+        help="worker pool flavour: thread (shared cache), process "
+             "(GIL-free, for CPU-bound sweeps), or async (coroutine "
+             "concurrency, for latency-bound remote backends)",
     )
     parser.add_argument(
         "--retries", type=int, default=0,
@@ -614,6 +813,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="which shard to run (0-based; requires --shards)")
     p.add_argument("--batch-size", type=_positive_int, default=1,
                    help="consecutive same-model jobs per generate_batch call")
+    p.add_argument("--stream", action="store_true",
+                   help="run the sweep on a remote streaming service "
+                        "(--url, from `repro serve --aio`) and render "
+                        "progress live as NDJSON events arrive")
     _add_service_flags(p)
 
     p = sub.add_parser("merge", help="merge executed shard-result files")
@@ -628,6 +831,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8076,
                    help="listening port (0 = pick a free one)")
+    p.add_argument("--aio", action="store_true",
+                   help="serve on the asyncio server, adding the NDJSON "
+                        "streaming routes (POST /sweep/stream, "
+                        "GET /shard/status/stream)")
     _add_service_flags(p)
 
     p = sub.add_parser(
@@ -650,6 +857,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "merge completes so idle workers exit cleanly")
     p.add_argument("--export", default=None,
                    help="write the merged records to .json/.csv")
+    p.add_argument("--checkpoint", default=None,
+                   help="persist coordinator state to this file (atomic) "
+                        "and resume from it if it already exists")
+    p.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                   help="checkpoint after this many newly merged shards "
+                        "(default: every shard)")
+    p.add_argument("--aio", action="store_true",
+                   help="serve the coordinator on the asyncio server so "
+                        "GET /shard/status/stream observes it live")
     # no executor/worker/store flags: the coordinator plans and serves
     # shards but never executes jobs — those belong on `repro work`
     from .backends import available_backends
@@ -684,6 +900,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="give up after this many consecutive empty polls "
                         "(default: wait until done)")
 
+    p = sub.add_parser(
+        "store", help="manage an on-disk verdict store (pack/unpack/info)"
+    )
+    p.add_argument("action", choices=("pack", "unpack", "info"),
+                   help="pack: fold verdict files into one JSONL; unpack: "
+                        "restore files; info: entry counts")
+    p.add_argument("dir", help="verdict store directory (from --store)")
+
     p = sub.add_parser("tables", help="run the full sweep; print Tables III/IV")
     _add_service_flags(p)
 
@@ -706,6 +930,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "coordinate": _cmd_coordinate,
     "work": _cmd_work,
+    "store": _cmd_store,
     "tables": _cmd_tables,
     "corpus": _cmd_corpus,
 }

@@ -306,6 +306,28 @@ def run_job_with_retry(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def chunk_jobs(
+    jobs: Sequence[GenerationJob], batch_size: int
+) -> list[list[GenerationJob]]:
+    """Split jobs into consecutive same-model runs of at most ``batch_size``.
+
+    Shared by every batching executor (thread and async), so both send
+    identical groups through :meth:`Backend.generate_batch` and stay
+    record-for-record comparable.
+    """
+    chunks: list[list[GenerationJob]] = []
+    for job in jobs:
+        if (
+            chunks
+            and chunks[-1][0].model == job.model
+            and len(chunks[-1]) < batch_size
+        ):
+            chunks[-1].append(job)
+        else:
+            chunks.append([job])
+    return chunks
+
+
 def assemble_result(
     plan: SweepPlan, outcomes: Sequence[JobOutcome], stats: dict
 ) -> SweepResult:
@@ -418,17 +440,7 @@ class SweepExecutor(Executor):
 
     def _chunks(self, plan: SweepPlan) -> list[list[GenerationJob]]:
         """Split the plan into consecutive same-model runs of batch_size."""
-        chunks: list[list[GenerationJob]] = []
-        for job in plan.jobs:
-            if (
-                chunks
-                and chunks[-1][0].model == job.model
-                and len(chunks[-1]) < self.batch_size
-            ):
-                chunks[-1].append(job)
-            else:
-                chunks.append([job])
-        return chunks
+        return chunk_jobs(plan.jobs, self.batch_size)
 
     def run(self, plan: SweepPlan) -> SweepResult:
         """Execute every job; capture per-job failures instead of dying."""

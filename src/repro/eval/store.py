@@ -17,6 +17,16 @@ uncached key may both evaluate and both write; evaluation is pure, so
 the duplicate work is bounded and the last rename wins with an
 identical payload.  Corrupt or foreign files read as misses.
 
+One file per verdict is simple but inode-hungry: a million-completion
+sweep leaves a million tiny files behind.  :meth:`VerdictStore.pack`
+compacts the directory into one append-friendly JSONL file
+(``pack.jsonl``, one ``{"key", "verdict"}`` object per line, later
+lines win) that the store reads through transparently — fresh verdicts
+still land as individual files (atomic, contention-free) and shadow the
+pack, so packing is safe on a live store; run it again any time to fold
+the new files in.  :meth:`VerdictStore.unpack` reverses it.  The CLI
+drives both: ``python -m repro store pack DIR`` / ``store unpack DIR``.
+
 The store is picklable (it carries only its path), so
 :class:`~repro.service.process.ProcessPoolSweepExecutor` ships it to
 workers the same way it ships the backend.
@@ -26,8 +36,14 @@ from __future__ import annotations
 
 import json
 import os
+import re
 
 from .export import evaluation_from_dict, evaluation_to_dict
+
+PACK_FILENAME = "pack.jsonl"
+
+#: verdict entry filenames: p<problem>_<16-hex-digit completion hash>
+_ENTRY_RE = re.compile(r"^p\d{2,}_[0-9a-f]{16,}\.json$")
 
 
 class VerdictStore:
@@ -36,24 +52,87 @@ class VerdictStore:
     def __init__(self, path: str):
         self.path = str(path)
         os.makedirs(self.path, exist_ok=True)
+        # packed-index cache: (stat signature, {key -> verdict row})
+        self._packed: "tuple[tuple[int, int], dict[str, dict]] | None" = None
+
+    def __getstate__(self) -> dict:
+        return {"path": self.path}  # the index cache never crosses pickles
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self._packed = None
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _filename(problem: int, completion_hash: int) -> str:
-        return f"p{problem:02d}_{completion_hash:016x}.json"
+    def _key(problem: int, completion_hash: int) -> str:
+        return f"p{problem:02d}_{completion_hash:016x}"
+
+    @classmethod
+    def _filename(cls, problem: int, completion_hash: int) -> str:
+        return f"{cls._key(problem, completion_hash)}.json"
 
     def _entry_path(self, problem: int, completion_hash: int) -> str:
         return os.path.join(self.path, self._filename(problem, completion_hash))
 
+    @property
+    def pack_path(self) -> str:
+        return os.path.join(self.path, PACK_FILENAME)
+
+    # ------------------------------------------------------------------
+    # Packed index (read-through; invalidated when the file changes)
+    # ------------------------------------------------------------------
+    def _packed_index(self) -> dict[str, dict]:
+        """The pack file as key -> verdict row ({} when absent).
+
+        Cached per stat signature (mtime_ns, size), so a pack rewritten
+        by another process — or by :meth:`pack` in this one — is picked
+        up on the next read; corrupt lines read as misses.
+        """
+        try:
+            stat = os.stat(self.pack_path)
+            signature = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            self._packed = None
+            return {}
+        if self._packed is not None and self._packed[0] == signature:
+            return self._packed[1]
+        index: dict[str, dict] = {}
+        try:
+            with open(self.pack_path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        row = json.loads(line)
+                        index[str(row["key"])] = dict(row["verdict"])
+                    except (ValueError, KeyError, TypeError):
+                        continue  # torn/foreign line: skip, keep reading
+        except OSError:
+            return {}
+        self._packed = (signature, index)
+        return index
+
     # ------------------------------------------------------------------
     def get(self, problem: int, completion_hash: int):
-        """The stored verdict, or ``None`` (missing or unreadable)."""
+        """The stored verdict, or ``None`` (missing or unreadable).
+
+        Individual files win over the pack: they are strictly newer
+        (everything packed had its file deleted).
+        """
         try:
             with open(
                 self._entry_path(problem, completion_hash), encoding="utf-8"
             ) as handle:
                 return evaluation_from_dict(json.load(handle))
         except (OSError, ValueError, KeyError, TypeError):
+            pass
+        row = self._packed_index().get(self._key(problem, completion_hash))
+        if row is None:
+            return None
+        try:
+            return evaluation_from_dict(row)
+        except (ValueError, KeyError, TypeError):
             return None
 
     def put(self, problem: int, completion_hash: int, evaluation) -> None:
@@ -73,30 +152,122 @@ class VerdictStore:
                 pass
 
     # ------------------------------------------------------------------
-    def __len__(self) -> int:
+    # Packing (inode hygiene for million-completion sweeps)
+    # ------------------------------------------------------------------
+    def _entry_files(self) -> list[str]:
+        """Store-shaped entry filenames only: foreign ``.json`` files in
+        the directory are invisible — never counted, packed, or
+        deleted."""
         try:
-            return sum(
-                1
+            return sorted(
+                name
                 for name in os.listdir(self.path)
-                if name.endswith(".json")
+                if _ENTRY_RE.match(name)
             )
         except OSError:
-            return 0
+            return []
+
+    def pack(self) -> int:
+        """Fold every individual verdict file into the pack; return count.
+
+        Appends to an existing pack (later lines win on read, and a
+        verdict is immutable anyway), then deletes the folded files —
+        crash-safe in that order: a death between append and unlink
+        leaves both copies, which agree.  Only files that carry the
+        store's key naming *and* decode as verdicts are folded; torn or
+        foreign files are left exactly where they are.
+        """
+        packed = 0
+        with open(self.pack_path, "a", encoding="utf-8") as handle:
+            for name in self._entry_files():
+                entry = os.path.join(self.path, name)
+                try:
+                    with open(entry, encoding="utf-8") as source:
+                        row = json.load(source)
+                    evaluation_from_dict(row)  # must decode as a verdict
+                except (OSError, ValueError, KeyError, TypeError):
+                    continue  # torn or foreign: leave the file alone
+                handle.write(
+                    json.dumps({"key": name[: -len(".json")], "verdict": row})
+                    + "\n"
+                )
+                handle.flush()
+                try:
+                    os.unlink(entry)
+                except OSError:
+                    pass
+                packed += 1
+        self._packed = None
+        return packed
+
+    def unpack(self) -> int:
+        """Materialize packed verdicts back into files; return count.
+
+        Existing files win (they are newer); the pack is removed only
+        once every entry has a file again — a partial restore (disk
+        full, permissions) keeps the pack, so no verdict is ever lost
+        to an interrupted unpack.
+        """
+        index = self._packed_index()
+        restored = 0
+        failed = 0
+        for key, row in index.items():
+            target = os.path.join(self.path, f"{key}.json")
+            if os.path.exists(target):
+                continue
+            temp = f"{target}.tmp-{os.getpid()}"
+            try:
+                with open(temp, "w", encoding="utf-8") as handle:
+                    json.dump(row, handle)
+                os.replace(temp, target)
+                restored += 1
+            except OSError:
+                failed += 1
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+        if failed == 0:
+            try:
+                os.unlink(self.pack_path)
+            except OSError:
+                pass
+        self._packed = None
+        return restored
+
+    # ------------------------------------------------------------------
+    def keys(self) -> set[str]:
+        """Every distinct verdict key (files and pack combined)."""
+        file_keys = {name[: -len(".json")] for name in self._entry_files()}
+        return file_keys | set(self._packed_index())
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def stats(self) -> dict:
+        """Entry counts by storage form (the CLI ``store info`` view)."""
+        files = len(self._entry_files())
+        packed = len(self._packed_index())
+        return {
+            "entries": len(self),
+            "files": files,
+            "packed": packed,
+            "pack_file": self.pack_path if packed else None,
+        }
 
     def clear(self) -> int:
         """Delete every stored verdict; returns how many were removed."""
-        removed = 0
+        removed = len(self.keys())
+        for name in self._entry_files():
+            try:
+                os.unlink(os.path.join(self.path, name))
+            except OSError:
+                removed -= 1
         try:
-            names = os.listdir(self.path)
+            os.unlink(self.pack_path)
         except OSError:
-            return 0
-        for name in names:
-            if name.endswith(".json"):
-                try:
-                    os.unlink(os.path.join(self.path, name))
-                    removed += 1
-                except OSError:
-                    pass
+            pass
+        self._packed = None
         return removed
 
     def __repr__(self) -> str:
@@ -111,4 +282,4 @@ def resolve_store(store: "VerdictStore | str | None") -> "VerdictStore | None":
     return VerdictStore(store)
 
 
-__all__ = ["VerdictStore", "resolve_store"]
+__all__ = ["PACK_FILENAME", "VerdictStore", "resolve_store"]

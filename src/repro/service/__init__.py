@@ -17,9 +17,31 @@ The subsystem that takes the job-based sweep stack of
   and merge results as they stream in, no index bookkeeping required;
 * :mod:`repro.service.process` — :class:`ProcessPoolSweepExecutor`, the
   GIL-free executor variant for CPU-bound sweeps (point it at a shared
-  :class:`~repro.eval.store.VerdictStore` to pool verdicts on disk).
+  :class:`~repro.eval.store.VerdictStore` to pool verdicts on disk);
+* :mod:`repro.service.aio` — the asyncio-native sibling:
+  :class:`AsyncSweepExecutor` (coroutine concurrency behind the same
+  ``Executor`` interface), async backend adapters
+  (:func:`to_async`/:func:`from_async`, :class:`AsyncServiceBackend`),
+  and :class:`AsyncEvalService` with NDJSON streaming routes
+  (``POST /sweep/stream``, ``GET /shard/status/stream``) consumed by
+  :func:`iter_sweep_events`/:func:`stream_sweep`.
 """
 
+from .aio import (
+    AsyncBackend,
+    AsyncEvalService,
+    AsyncHTTPChatBackend,
+    AsyncServiceBackend,
+    AsyncSweepExecutor,
+    StreamProtocolError,
+    assemble_stream_result,
+    from_async,
+    iter_status_events,
+    iter_sweep_events,
+    serve_async,
+    stream_sweep,
+    to_async,
+)
 from .client import (
     DEFAULT_URL,
     ServiceBackend,
@@ -30,7 +52,7 @@ from .client import (
     in_process_transport,
     run_worker,
 )
-from .coordinator import ShardCoordinator
+from .coordinator import ShardCoordinator, load_checkpoint, save_checkpoint
 from .process import ProcessPoolSweepExecutor
 from .server import EvalService, ServiceApp, serve
 from .sharding import (
@@ -49,8 +71,21 @@ from .sharding import (
 )
 
 __all__ = [
+    "AsyncBackend",
+    "AsyncEvalService",
+    "AsyncHTTPChatBackend",
+    "AsyncServiceBackend",
+    "AsyncSweepExecutor",
     "DEFAULT_URL",
     "EvalService",
+    "StreamProtocolError",
+    "assemble_stream_result",
+    "from_async",
+    "iter_status_events",
+    "iter_sweep_events",
+    "serve_async",
+    "stream_sweep",
+    "to_async",
     "PlanShard",
     "ProcessPoolSweepExecutor",
     "ServiceApp",
@@ -64,6 +99,8 @@ __all__ = [
     "http_transport",
     "in_process_transport",
     "run_worker",
+    "load_checkpoint",
+    "save_checkpoint",
     "load_shard_manifest",
     "load_shard_result",
     "merge_shard_files",

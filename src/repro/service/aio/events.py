@@ -1,0 +1,251 @@
+"""NDJSON event frames: the streaming sweep wire protocol.
+
+A streamed sweep is a sequence of newline-delimited JSON objects, one
+frame per line, each carrying an ``"event"`` discriminator:
+
+* ``skip``        — one planner skip record (emitted up front);
+* ``job_started`` — a job entered generation;
+* ``record``      — one evaluated completion of a finished job;
+* ``job_error``   — a job failed after retries (carries the JobError);
+* ``progress``    — running jobs-done / records / errors counters;
+* ``done``        — the lossless terminal frame: result counts + stats.
+
+The payload fields reuse the :mod:`repro.eval.export` codecs (the same
+lossless record/skip/error schema the shard service ships), and every
+``record``/``job_error`` frame carries the job's *global plan index*, so
+:func:`assemble_stream_result` can reassemble an out-of-order concurrent
+stream into a :class:`~repro.eval.jobs.SweepResult` whose records are
+byte-identical (via export) to a serial run of the same plan.
+
+``status`` frames are the second mini-protocol on this codec: the
+``GET /shard/status/stream`` route emits coordinator status snapshots
+with the same framing, terminated by a ``done`` frame.
+
+Anything that is not one well-formed frame per line — broken JSON, an
+unknown event, missing required fields, a stream that ends without its
+terminal frame, or terminal counts that disagree with the frames seen —
+raises :class:`StreamProtocolError` on the consuming side.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from ...eval.export import (
+    error_from_dict,
+    error_to_dict,
+    record_from_dict,
+    record_to_dict,
+    skip_from_dict,
+    skip_to_dict,
+)
+from ...eval.harness import Sweep
+from ...eval.jobs import JobError, SweepResult
+
+
+class StreamProtocolError(ValueError):
+    """A streamed frame (or the whole stream) violated the protocol."""
+
+
+#: event name -> required payload keys (beyond "event" itself)
+FRAME_EVENTS: dict[str, tuple[str, ...]] = {
+    "skip": ("skip_index", "skip"),
+    "job_started": ("job_index", "model", "problem"),
+    "record": ("job_index", "record"),
+    "job_error": ("job_index", "error"),
+    "progress": ("jobs_done", "jobs_total", "records", "errors"),
+    "done": ("jobs", "records", "errors", "skipped", "stats"),
+    "status": (),
+}
+
+
+# ----------------------------------------------------------------------
+# Frame constructors (executor/server side)
+# ----------------------------------------------------------------------
+def skip_frame(skip_index: int, skip) -> dict:
+    return {"event": "skip", "skip_index": skip_index,
+            "skip": skip_to_dict(skip)}
+
+
+def job_started_frame(job_index: int, job) -> dict:
+    return {"event": "job_started", "job_index": job_index,
+            "model": job.model, "problem": job.problem}
+
+
+def record_frame(job_index: int, record) -> dict:
+    return {"event": "record", "job_index": job_index,
+            "record": record_to_dict(record)}
+
+
+def job_error_frame(job_index: int, error: JobError) -> dict:
+    return {"event": "job_error", "job_index": job_index,
+            "error": error_to_dict(error)}
+
+
+def progress_frame(
+    jobs_done: int, jobs_total: int, records: int, errors: int
+) -> dict:
+    return {"event": "progress", "jobs_done": jobs_done,
+            "jobs_total": jobs_total, "records": records, "errors": errors}
+
+
+def done_frame(result: SweepResult) -> dict:
+    return {
+        "event": "done",
+        "jobs": int(result.stats.get("jobs", 0)),
+        "records": len(result.sweep),
+        "errors": len(result.errors),
+        "skipped": len(result.skipped),
+        "stats": dict(result.stats),
+    }
+
+
+def status_frame(status: dict) -> dict:
+    return {"event": "status", **status}
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+def encode_frame(frame: dict) -> bytes:
+    """One frame as an NDJSON line (UTF-8, trailing newline)."""
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: "bytes | str") -> dict:
+    """Parse + validate one NDJSON line; raises StreamProtocolError."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise StreamProtocolError(f"undecodable frame: {exc}") from None
+    try:
+        frame = json.loads(line)
+    except ValueError as exc:
+        snippet = line[:80]
+        raise StreamProtocolError(
+            f"malformed frame (not JSON): {exc} (line starts: {snippet!r})"
+        ) from None
+    if not isinstance(frame, dict):
+        raise StreamProtocolError(
+            f"malformed frame: expected an object, got {type(frame).__name__}"
+        )
+    event = frame.get("event")
+    if event not in FRAME_EVENTS:
+        raise StreamProtocolError(
+            f"unknown frame event {event!r}; expected one of "
+            f"{sorted(FRAME_EVENTS)}"
+        )
+    missing = [key for key in FRAME_EVENTS[event] if key not in frame]
+    if missing:
+        raise StreamProtocolError(
+            f"{event} frame missing required field(s) {missing}"
+        )
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Reassembly (client side)
+# ----------------------------------------------------------------------
+def assemble_stream_result(frames: Iterable[dict]) -> SweepResult:
+    """Rebuild a SweepResult from a complete sweep event stream.
+
+    Frames may arrive with jobs interleaved in any order (the executor
+    runs them concurrently); reassembly orders outcomes by the global
+    ``job_index`` each frame carries, exactly like the shard merge, so
+    the result matches a serial run record-for-record.  The stream must
+    end with a ``done`` frame whose counts agree with the frames seen —
+    a cut or lossy stream raises :class:`StreamProtocolError` instead of
+    silently returning a partial result.
+    """
+    job_records: dict[int, list] = {}
+    job_errors: dict[int, JobError] = {}
+    skips: dict[int, object] = {}
+    terminal: dict | None = None
+    for frame in frames:
+        event = frame.get("event")
+        if event == "record":
+            job_records.setdefault(int(frame["job_index"]), []).append(
+                record_from_dict(frame["record"])
+            )
+        elif event == "job_error":
+            job_errors[int(frame["job_index"])] = error_from_dict(
+                frame["error"]
+            )
+        elif event == "skip":
+            skips[int(frame["skip_index"])] = skip_from_dict(frame["skip"])
+        elif event == "done":
+            terminal = frame
+        # job_started / progress / status are observational only
+    if terminal is None:
+        raise StreamProtocolError(
+            "stream ended without a terminal done frame (connection cut?)"
+        )
+
+    jobs_seen = set(job_records) | set(job_errors)
+    if set(job_records) & set(job_errors):
+        both = sorted(set(job_records) & set(job_errors))
+        raise StreamProtocolError(
+            f"job index(es) {both} carry both records and an error"
+        )
+    expected_jobs = int(terminal["jobs"])
+    if jobs_seen != set(range(expected_jobs)):
+        stray = sorted(jobs_seen - set(range(expected_jobs)))
+        missing = sorted(set(range(expected_jobs)) - jobs_seen)
+        raise StreamProtocolError(
+            f"stream covers {len(jobs_seen)} of {expected_jobs} jobs "
+            f"(missing {missing}, stray {stray})"
+        )
+    sweep = Sweep()
+    errors: list[JobError] = []
+    for index in sorted(jobs_seen):
+        if index in job_errors:
+            errors.append(job_errors[index])
+        else:
+            sweep.extend(job_records[index])
+
+    counts = {
+        "records": len(sweep),
+        "errors": len(errors),
+        "skipped": len(skips),
+    }
+    declared = {key: int(terminal[key]) for key in counts}
+    if counts != declared:
+        raise StreamProtocolError(
+            f"terminal frame disagrees with stream: saw {counts}, "
+            f"done frame declares {declared}"
+        )
+    if sorted(skips) != list(range(len(skips))):
+        raise StreamProtocolError("skip indices are not contiguous from 0")
+    return SweepResult(
+        sweep=sweep,
+        skipped=[skips[i] for i in range(len(skips))],
+        errors=errors,
+        stats=dict(terminal["stats"]),
+    )
+
+
+def decode_stream(lines: Iterable["bytes | str"]) -> Iterable[dict]:
+    """Decode an iterable of NDJSON lines, skipping blank keep-alives."""
+    for line in lines:
+        stripped = line.strip()
+        if stripped:
+            yield decode_frame(stripped)
+
+
+__all__ = [
+    "FRAME_EVENTS",
+    "StreamProtocolError",
+    "assemble_stream_result",
+    "decode_frame",
+    "decode_stream",
+    "done_frame",
+    "encode_frame",
+    "job_error_frame",
+    "job_started_frame",
+    "progress_frame",
+    "record_frame",
+    "skip_frame",
+    "status_frame",
+]

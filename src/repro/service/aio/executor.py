@@ -1,0 +1,347 @@
+"""AsyncSweepExecutor: coroutine-based sweep execution with streaming.
+
+The third :class:`~repro.eval.jobs.Executor` variant.  Where the thread
+executor holds one OS thread per in-flight job and the process executor
+one process, this one holds a *coroutine*: bounded by a semaphore, any
+number of generation requests can be awaited concurrently in a single
+thread — the shape that fits remote backends (HTTP chat endpoints, the
+eval service) whose latency dominates and whose concurrency ceiling is
+far above a sane thread count.
+
+Parity contract: job expansion, batching (consecutive same-model chunks
+through ``generate_batch``), per-job error capture, and the
+:class:`~repro.eval.jobs.RetryPolicy` (BackendError-only, deterministic
+backoff, attempts recorded) all mirror the thread executor exactly, and
+results reassemble in plan order — so an async run is record-for-record
+identical to a serial one.
+
+On top of plain execution it is the event source for the streaming
+service: :meth:`execute` accepts an ``emit`` callback that receives
+:mod:`~repro.service.aio.events` frames as they happen, and
+:meth:`stream` packages that as an async generator which yields every
+frame and finishes with the lossless terminal ``done`` frame.  Closing
+the generator early (a streaming client disconnecting) cooperatively
+cancels every in-flight job — leases, retries and half-generated chunks
+are abandoned, not leaked.
+
+Sync backends run under the loop via :func:`~repro.service.aio.backends
+.to_async` (``run_in_executor``); evaluation — pure CPU — is offloaded
+the same way so the loop keeps serving frames while the simulator runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from typing import AsyncIterator, Awaitable, Callable
+
+from ...backends.base import Backend, BackendError
+from ...eval.jobs import (
+    Executor,
+    GenerationJob,
+    JobError,
+    JobOutcome,
+    ProgressCallback,
+    RetryPolicy,
+    SweepPlan,
+    SweepResult,
+    assemble_result,
+    chunk_jobs,
+    evaluate_completions,
+)
+from ...eval.pipeline import Evaluator
+from ...problems import get_problem
+from .backends import AsyncBackend, ensure_async
+from .events import (
+    done_frame,
+    job_error_frame,
+    job_started_frame,
+    progress_frame,
+    record_frame,
+    skip_frame,
+)
+
+#: frames flow to sync or async consumers; awaitable results are awaited
+EmitCallback = Callable[[dict], "Awaitable[None] | None"]
+
+
+async def _send(emit: "EmitCallback | None", frame: dict) -> None:
+    if emit is None:
+        return
+    result = emit(frame)
+    if result is not None and hasattr(result, "__await__"):
+        await result
+
+
+class AsyncSweepExecutor(Executor):
+    """Run a :class:`SweepPlan` as coroutines under an event loop.
+
+    ``concurrency`` bounds how many job chunks generate at once (the
+    semaphore width — the async analogue of ``workers``).  ``sleep`` is
+    the injectable async backoff (tests assert retry schedules without
+    waiting them out); ``offload`` moves evaluation onto the loop's
+    default thread pool so frames keep flowing during simulation.
+    """
+
+    def __init__(
+        self,
+        backend: "Backend | AsyncBackend",
+        evaluator: Evaluator | None = None,
+        concurrency: int = 8,
+        progress: ProgressCallback | None = None,
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+        batch_size: int = 1,
+        offload: bool = True,
+    ):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.backend = backend
+        self.evaluator = evaluator or Evaluator()
+        self.concurrency = concurrency
+        self.progress = progress
+        self.retry = retry or RetryPolicy()
+        self.sleep = sleep
+        self.batch_size = batch_size
+        self.offload = offload
+
+    # ------------------------------------------------------------------
+    # Executor interface (sync entrypoint)
+    # ------------------------------------------------------------------
+    def run(self, plan: SweepPlan) -> SweepResult:
+        """Execute every job; capture per-job failures instead of dying.
+
+        Spins up a private event loop, so it must be called from sync
+        code; inside a running loop, ``await execute(plan)`` instead.
+        """
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.run(self.execute(plan))
+        raise RuntimeError(
+            "AsyncSweepExecutor.run() inside a running event loop; "
+            "await execute(plan) instead"
+        )
+
+    # ------------------------------------------------------------------
+    # Async core
+    # ------------------------------------------------------------------
+    async def _evaluate(
+        self, job: GenerationJob, completions: list
+    ) -> list:
+        if self.offload:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, evaluate_completions, self.evaluator, job, completions
+            )
+        return evaluate_completions(self.evaluator, job, completions)
+
+    async def _run_job(
+        self, abackend: AsyncBackend, job: GenerationJob
+    ) -> JobOutcome:
+        """One job under the retry policy; never raises (except cancel)."""
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                problem = get_problem(job.problem)
+                completions = await abackend.generate_async(
+                    job.model, problem.prompt(job.level),
+                    job.generation_config(),
+                )
+                return await self._evaluate(job, completions), None, attempt
+            except asyncio.CancelledError:
+                raise
+            except BackendError as exc:  # transient: retry with backoff
+                if attempt < self.retry.max_attempts:
+                    delay = self.retry.delay(attempt)
+                    if delay > 0:
+                        await self.sleep(delay)
+                    continue
+                return [], f"{type(exc).__name__}: {exc}", attempt
+            except Exception as exc:  # noqa: BLE001 — per-job isolation
+                return [], f"{type(exc).__name__}: {exc}", attempt
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _batch_outcomes(
+        self, abackend: AsyncBackend, jobs: list[GenerationJob]
+    ) -> "list[JobOutcome] | None":
+        """Try the chunk through generate_batch; None = fall back."""
+        problems = [get_problem(job.problem) for job in jobs]
+        try:
+            batches = await abackend.generate_batch_async(
+                jobs[0].model,
+                [
+                    (problem.prompt(job.level), job.generation_config())
+                    for job, problem in zip(jobs, problems)
+                ],
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 — retry job by job instead
+            return None
+        if batches is None or len(batches) != len(jobs):
+            return None
+        outcomes: list[JobOutcome] = []
+        for job, completions in zip(jobs, batches):
+            try:
+                records = await self._evaluate(job, completions)
+                outcomes.append((records, None, 1))
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001
+                outcomes.append(([], f"{type(exc).__name__}: {exc}", 1))
+        return outcomes
+
+    async def execute(
+        self, plan: SweepPlan, emit: "EmitCallback | None" = None
+    ) -> SweepResult:
+        """Run the plan concurrently; emit event frames as they happen.
+
+        Frames go out in real time (skips up front, then per-job
+        ``job_started``/``record``/``job_error``/``progress``); the
+        returned result is reassembled in plan order regardless of
+        completion order.  Cancelling this coroutine cancels every
+        in-flight job cooperatively.
+        """
+        started = time.perf_counter()
+        total = len(plan.jobs)
+        state = {"done": 0, "records": 0, "errors": 0}
+
+        for index, skip in enumerate(plan.skipped):
+            await _send(emit, skip_frame(index, skip))
+
+        abackend = ensure_async(self.backend)
+        semaphore = asyncio.Semaphore(self.concurrency)
+
+        async def finish_job(
+            index: int, job: GenerationJob, outcome: JobOutcome
+        ) -> None:
+            records, error, attempts = outcome
+            if error is None:
+                for record in records:
+                    await _send(emit, record_frame(index, record))
+            else:
+                await _send(
+                    emit,
+                    job_error_frame(index, JobError(job, error, attempts)),
+                )
+            state["done"] += 1
+            state["records"] += len(records)
+            state["errors"] += int(error is not None)
+            await _send(
+                emit,
+                progress_frame(
+                    state["done"], total, state["records"], state["errors"]
+                ),
+            )
+            if self.progress is not None:
+                self.progress(state["done"], total, job)
+
+        async def run_chunk(
+            offset: int, jobs: list[GenerationJob]
+        ) -> list[JobOutcome]:
+            async with semaphore:
+                for position, job in enumerate(jobs):
+                    await _send(
+                        emit, job_started_frame(offset + position, job)
+                    )
+                outcomes: "list[JobOutcome] | None" = None
+                if len(jobs) > 1:
+                    outcomes = await self._batch_outcomes(abackend, jobs)
+                if outcomes is None:
+                    outcomes = []
+                    for job in jobs:
+                        outcomes.append(await self._run_job(abackend, job))
+                for position, (job, outcome) in enumerate(
+                    zip(jobs, outcomes)
+                ):
+                    await finish_job(offset + position, job, outcome)
+                return outcomes
+
+        chunks = chunk_jobs(plan.jobs, self.batch_size)
+        tasks = []
+        offset = 0
+        for jobs in chunks:
+            tasks.append(asyncio.create_task(run_chunk(offset, jobs)))
+            offset += len(jobs)
+        try:
+            chunk_outcomes = await asyncio.gather(*tasks)
+        except BaseException:
+            # one chunk failed hard (emit error, cancellation): abandon
+            # every other in-flight chunk cooperatively before leaving
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            raise
+
+        outcomes = [outcome for chunk in chunk_outcomes for outcome in chunk]
+        return assemble_result(
+            plan,
+            outcomes,
+            stats={
+                "backend": abackend.name,
+                "executor": "async",
+                "workers": self.concurrency,
+                "concurrency": self.concurrency,
+                "batch_size": self.batch_size,
+                "evaluator_cache": dict(self.evaluator.cache_info),
+                "elapsed_seconds": time.perf_counter() - started,
+            },
+        )
+
+    async def stream(
+        self, plan: SweepPlan, buffer: int = 256
+    ) -> AsyncIterator[dict]:
+        """Yield event frames live, ending with the terminal ``done``.
+
+        The async-generator face of :meth:`execute`: frames surface in
+        emission order while jobs run concurrently underneath.  The
+        hand-off queue is bounded (``buffer`` frames), so a consumer
+        slower than the sweep backpressures execution instead of the
+        whole serialized result piling up in memory.  Closing the
+        generator early (``aclose()`` — e.g. a streaming client hung
+        up) cancels all in-flight jobs before returning.
+        """
+        queue: asyncio.Queue = asyncio.Queue(maxsize=max(buffer, 1))
+        task = asyncio.create_task(self.execute(plan, emit=queue.put))
+        getter: "asyncio.Task | None" = None
+        try:
+            while True:
+                getter = asyncio.create_task(queue.get())
+                await asyncio.wait(
+                    {getter, task}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if getter.done():
+                    frame = getter.result()
+                    getter = None
+                    yield frame
+                    continue
+                # execute() finished (or died): no more puts are coming,
+                # so drain what is buffered and stop waiting
+                getter.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await getter
+                getter = None
+                while True:
+                    try:
+                        yield queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                break
+            result = task.result()  # re-raises execute() failures
+            yield done_frame(result)
+        finally:
+            # reap the helper tasks even when close arrives via an
+            # injected CancelledError rather than a polite aclose()
+            if getter is not None and not getter.done():
+                getter.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await getter
+            if not task.done():
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+
+
+__all__ = ["AsyncSweepExecutor", "EmitCallback"]

@@ -1,0 +1,441 @@
+"""Asyncio eval service: the ServiceApp routes plus NDJSON streaming.
+
+:class:`AsyncEvalService` is the ``asyncio.start_server`` sibling of
+:class:`~repro.service.server.EvalService`.  Routing, validation and
+serialization are the *same* :class:`~repro.service.server.ServiceApp`
+— every JSON route (``/health`` … ``/shard/status``) answers identically
+— but blocking handlers run on the loop's thread pool so one process
+keeps answering health checks mid-sweep, and two routes exist only
+here because they need a connection that stays open:
+
+* ``POST /sweep/stream``        — plan server-side, execute on an
+  :class:`~repro.service.aio.executor.AsyncSweepExecutor`, and emit
+  :mod:`~repro.service.aio.events` frames as NDJSON while jobs run.
+  A client that hangs up mid-stream cancels every in-flight job.
+* ``GET /shard/status/stream``  — live coordinator observation: a
+  ``status`` frame whenever progress changes, a ``done`` frame when the
+  sweep is fully merged (404-equivalent error if no coordinator).
+
+The HTTP dialect is deliberately minimal: one request per connection,
+``Connection: close``, JSON responses carry ``Content-Length``, streamed
+responses are close-delimited ``application/x-ndjson``.  Both the sync
+``urllib`` client and the asyncio transport speak it.
+
+Lifecycle mirrors ``EvalService``: ``start()``/``stop()`` bridge the
+loop onto a daemon thread for sync callers and tests (``port=0`` picks
+a free port), ``serve_forever()`` blocks (the CLI ``serve --aio``
+path), and ``start_async()``/``stop_async()`` embed in a caller's loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from urllib.parse import parse_qs
+
+from ..server import ServiceApp
+from ...backends.base import BackendError
+from ...eval.export import config_from_dict
+from .events import encode_frame, status_frame
+from .executor import AsyncSweepExecutor
+from .transport import close_writer
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+             500: "Internal Server Error"}
+
+
+class AsyncEvalService:
+    """A Session served over asyncio; ``port=0`` picks a free port."""
+
+    def __init__(
+        self,
+        session,
+        host: str = "127.0.0.1",
+        port: int = 8076,
+        coordinator=None,
+        status_poll_seconds: float = 0.2,
+    ):
+        self.app = ServiceApp(session, coordinator=coordinator)
+        self.host = host
+        self.port = port
+        self.status_poll_seconds = status_poll_seconds
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def coordinator(self):
+        return self.app.coordinator
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # In-loop lifecycle
+    # ------------------------------------------------------------------
+    async def start_async(self) -> str:
+        """Bind and serve inside the caller's event loop."""
+        if self._server is None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self.url
+
+    async def stop_async(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "AsyncEvalService":
+        await self.start_async()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop_async()
+
+    # ------------------------------------------------------------------
+    # Thread-bridged lifecycle (sync callers: tests, CLI, coordinate)
+    # ------------------------------------------------------------------
+    async def _run_until_stopped(self, started: threading.Event) -> None:
+        try:
+            await self.start_async()
+        except BaseException as exc:  # surface bind failures in start()
+            self._thread_error = exc
+            started.set()
+            raise
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.stop_async()
+
+    def start(self) -> str:
+        """Serve on a daemon thread (own event loop); returns the URL."""
+        if self._thread is not None:
+            return self.url
+        started = threading.Event()
+        self._thread_error = None
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._run_until_stopped(started)),
+            name="aio-eval-service",
+            daemon=True,
+        )
+        self._thread.start()
+        started.wait(timeout=10)
+        if self._thread_error is not None:
+            error, self._thread_error = self._thread_error, None
+            self._thread = None
+            raise error
+        return self.url
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            with contextlib.suppress(RuntimeError):  # loop already gone
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._loop = None
+        self._stop_event = None
+
+    def __enter__(self) -> "AsyncEvalService":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI path)."""
+
+        async def main() -> None:
+            await self.start_async()
+            try:
+                await asyncio.Event().wait()  # until cancelled/interrupted
+            finally:
+                await self.stop_async()
+
+        asyncio.run(main())
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, query, payload = request
+            route = (method, path.rstrip("/") or "/")
+            if route == ("POST", "/sweep/stream"):
+                await self._stream_sweep(reader, writer, payload or {})
+            elif route == ("GET", "/shard/status/stream"):
+                await self._stream_status(reader, writer, query)
+            else:
+                # ServiceApp handlers can block for a whole sweep; keep
+                # the loop free to answer health checks and streams
+                status, body = await asyncio.get_running_loop(
+                ).run_in_executor(None, self.app.handle, method, path, payload)
+                await self._respond_json(writer, status, body)
+        except _BadRequest as exc:
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._respond_json(writer, 400, {"error": str(exc)})
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except asyncio.CancelledError:
+            # server torn down with this connection mid-request: the
+            # streaming helpers were asked to cancel and loop teardown
+            # settles them — ending this handler quietly keeps shutdown
+            # free of spurious "unhandled CancelledError" callbacks
+            pass
+        finally:
+            await close_writer(writer)
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _version = (
+                request_line.decode("ascii").split(None, 2)
+            )
+        except (UnicodeDecodeError, ValueError):
+            raise _BadRequest(
+                f"malformed request line: {request_line[:80]!r}"
+            ) from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            raise _BadRequest(
+                f"bad Content-Length {headers.get('content-length')!r}"
+            ) from None
+        body = await reader.readexactly(length) if length else b""
+        payload = None
+        if body:
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise _BadRequest(f"invalid JSON body: {exc}") from None
+        path, _, query_text = target.partition("?")
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(query_text).items()
+        }
+        return method.upper(), path, query, payload
+
+    @staticmethod
+    async def _respond_json(
+        writer: asyncio.StreamWriter, status: int, body: dict
+    ) -> None:
+        data = json.dumps(body).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("ascii") + data)
+        await writer.drain()
+
+    @staticmethod
+    async def _start_ndjson(writer: asyncio.StreamWriter) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        await writer.drain()
+
+    async def _write_frame(
+        self, writer: asyncio.StreamWriter, frame: dict
+    ) -> None:
+        if writer.transport.is_closing():
+            raise ConnectionResetError("stream client disconnected")
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+    async def _pump_frames(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        frames,
+    ) -> None:
+        """Write an async frame iterator to the client, watching for
+        hang-ups.
+
+        Writes only surface a dead peer on the *next* write, which may
+        be a slow job away — so a watcher task waits for EOF on the
+        connection's read side (our protocol never sends anything after
+        the request, so any read completion means the client is gone)
+        and aborts the stream immediately.  The caller's ``finally``
+        closes the frame generator, cancelling in-flight jobs.
+        """
+        watcher = asyncio.create_task(reader.read(1))
+        iterator = frames.__aiter__()
+        step: "asyncio.Task | None" = None
+        cancelled = False
+        try:
+            while True:
+                step = asyncio.create_task(iterator.__anext__())
+                await asyncio.wait(
+                    {step, watcher}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not step.done():
+                    raise ConnectionResetError("stream client disconnected")
+                try:
+                    frame = step.result()
+                except StopAsyncIteration:
+                    break
+                finally:
+                    step = None  # consumed: nothing to clean up
+                await self._write_frame(writer, frame)
+        except asyncio.CancelledError:
+            cancelled = True
+            raise
+        finally:
+            # reap both helper tasks; a still-pending __anext__ leaves
+            # the generator "running" and its aclose() would fail.  When
+            # this handler is itself being cancelled (server shutdown),
+            # only *request* their cancellation — awaiting here would
+            # swallow the re-delivered CancelledError and leave the task
+            # in a not-cancelled limbo; teardown settles them instead.
+            for task in (step, watcher):
+                if task is not None and not task.done():
+                    task.cancel()
+                if task is not None and not cancelled:
+                    with contextlib.suppress(
+                        asyncio.CancelledError, StopAsyncIteration
+                    ):
+                        await task
+
+    # ------------------------------------------------------------------
+    # Streaming routes
+    # ------------------------------------------------------------------
+    def _stream_executor(self, payload: dict) -> AsyncSweepExecutor:
+        session = self.app.session
+        return AsyncSweepExecutor(
+            session.backend,
+            evaluator=session.evaluator,
+            concurrency=int(
+                payload.get("concurrency") or max(session.workers, 1)
+            ),
+            retry=session.retry,
+            batch_size=int(payload.get("batch_size") or session.batch_size),
+        )
+
+    async def _stream_sweep(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        payload: dict,
+    ) -> None:
+        try:
+            config = (
+                config_from_dict(payload["config"])
+                if payload.get("config") is not None
+                else None
+            )
+            # planning interrogates backend.models()/capabilities() —
+            # blocking I/O on remote backends, so off the loop it goes
+            plan = await asyncio.get_running_loop().run_in_executor(
+                None, self.app.session.plan, config, payload.get("models")
+            )
+            executor = self._stream_executor(payload)
+        except (BackendError, KeyError, TypeError, ValueError) as exc:
+            raise _BadRequest(f"bad sweep request: {exc}") from None
+        await self._start_ndjson(writer)
+        stream = executor.stream(plan)
+        try:
+            await self._pump_frames(reader, writer, stream)
+        finally:
+            # client hang-ups land here as ConnectionError; closing the
+            # generator cancels every in-flight job before we return.
+            # During server shutdown the generator may still be settling
+            # inside its cancelled __anext__ — then aclose() refuses
+            # ("already running") and teardown finishes the job instead.
+            with contextlib.suppress(RuntimeError):
+                await stream.aclose()
+
+    async def _status_frames(self, coordinator, poll: float):
+        last = None
+        while True:
+            status = coordinator.status()
+            # leases carry live expiry countdowns; only re-emit when the
+            # actual progress shape changes
+            key = (status["pending"], status["leased"], status["done"],
+                   status["records_merged"], status.get("store_hits", 0))
+            if key != last:
+                last = key
+                yield status_frame(status)
+            if status["complete"]:
+                return  # the complete=true status frame is the terminal
+            await asyncio.sleep(poll)
+
+    async def _stream_status(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        query: dict,
+    ) -> None:
+        coordinator = self.app.coordinator
+        if coordinator is None:
+            raise _BadRequest(
+                "no shard coordinator attached to this service "
+                "(start one with Session.coordinate / `repro coordinate`)"
+            )
+        try:
+            poll = float(query.get("poll") or self.status_poll_seconds)
+        except ValueError:
+            raise _BadRequest(f"bad poll value {query.get('poll')!r}") from None
+        poll = min(max(poll, 0.02), 10.0)
+        await self._start_ndjson(writer)
+        frames = self._status_frames(coordinator, poll)
+        try:
+            await self._pump_frames(reader, writer, frames)
+        finally:
+            with contextlib.suppress(RuntimeError):
+                await frames.aclose()
+
+
+class _BadRequest(ValueError):
+    """Route-level 400 with a client-visible message."""
+
+
+def serve_async(
+    backend=None,
+    workers: int = 1,
+    host: str = "127.0.0.1",
+    port: int = 8076,
+) -> AsyncEvalService:
+    """Build an AsyncEvalService over a fresh Session (not yet started)."""
+    from ...api import Session
+
+    return AsyncEvalService(
+        Session(backend=backend, workers=workers), host, port
+    )
+
+
+__all__ = ["AsyncEvalService", "serve_async"]

@@ -96,6 +96,7 @@ class ShardCoordinator:
         self._live_lease: dict[int, str] = {}
         self._lease_counter = 0
         self._results: dict[int, SweepResult] = {}
+        self._submitted_by: dict[int, str] = {}
         self._job_slots: dict[int, object] = {}
         self._skip_slots: dict[int, object] = {}
         self._reclaimed = 0
@@ -187,6 +188,7 @@ class ShardCoordinator:
             ):
                 self._skip_slots[global_index] = skip
             self._results[index] = shard_result
+            self._submitted_by[index] = worker_id
             self._state[index] = DONE
             self._live_lease.pop(index, None)
             return {
@@ -198,8 +200,26 @@ class ShardCoordinator:
                 "remaining": self._remaining_locked(),
             }
 
+    @staticmethod
+    def _stats_store_hits(stats: dict) -> int:
+        """store_hits buried in an executor's stats dict (0 if absent)."""
+        cache = stats.get("evaluator_cache")
+        if isinstance(cache, dict):
+            try:
+                return int(cache.get("store_hits", 0))
+            except (TypeError, ValueError):
+                return 0
+        return 0
+
     def status(self) -> dict:
-        """Progress snapshot: shard states, merged record count, leases."""
+        """Progress snapshot: per-shard progress, merged records, leases.
+
+        Beyond lease states, each shard row reports its job/record/error
+        counts once submitted, and ``store_hits`` aggregates the verdict
+        -store hits every submitted shard's executor reported — the
+        fleet-wide measure of how much simulation the shared cache
+        saved.
+        """
         with self._lock:
             self._reclaim_expired()
             states = {
@@ -217,6 +237,27 @@ class ShardCoordinator:
                 for index, lease_id in sorted(self._live_lease.items())
                 if self._state[index] is LEASED
             ]
+            shard_rows = []
+            jobs_done = 0
+            store_hits = 0
+            for index in sorted(self.shards):
+                shard = self.shards[index]
+                row = {
+                    "shard_index": index,
+                    "state": self._state[index],
+                    "jobs": len(shard.plan.jobs),
+                    "skips": len(shard.plan.skipped),
+                }
+                result = self._results.get(index)
+                if result is not None:
+                    jobs_done += len(shard.plan.jobs)
+                    store_hits += self._stats_store_hits(result.stats)
+                    row.update(
+                        records=len(result.sweep),
+                        errors=len(result.errors),
+                        worker_id=self._submitted_by.get(index),
+                    )
+                shard_rows.append(row)
             return {
                 "num_shards": self.num_shards,
                 "pending": states[PENDING],
@@ -228,6 +269,12 @@ class ShardCoordinator:
                     for outcome in self._job_slots.values()
                     if isinstance(outcome, list)
                 ),
+                "jobs_total": sum(
+                    len(shard.plan.jobs) for shard in self.shards.values()
+                ),
+                "jobs_done": jobs_done,
+                "store_hits": store_hits,
+                "shards": shard_rows,
                 "leases": leases,
                 "leases_reclaimed": self._reclaimed,
             }
@@ -340,4 +387,48 @@ class ShardCoordinator:
         )
 
 
-__all__ = ["ShardCoordinator"]
+# ----------------------------------------------------------------------
+# Checkpoint files (restart `repro coordinate` without losing shards)
+# ----------------------------------------------------------------------
+def save_checkpoint(coordinator: ShardCoordinator, path: str) -> None:
+    """Write the coordinator state to ``path`` atomically.
+
+    Temp-file + ``os.replace``, so a coordinator killed mid-write leaves
+    the previous checkpoint intact — a restart never reads a torn file.
+    """
+    import json
+    import os
+
+    payload = json.dumps(coordinator.state_to_dict())
+    temp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(temp, path)
+    except OSError:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(
+    path: str,
+    clock: Callable[[], float] = time.monotonic,
+) -> ShardCoordinator:
+    """Rebuild a coordinator from a :func:`save_checkpoint` file.
+
+    Completed shards come back merged (their submissions replay through
+    the normal validation path); shards that were pending or leased at
+    save time come back pending — an in-flight lease does not survive a
+    restart, it is simply re-served.
+    """
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        state = json.load(handle)
+    return ShardCoordinator.from_state(state, clock=clock)
+
+
+__all__ = ["ShardCoordinator", "load_checkpoint", "save_checkpoint"]

@@ -1,0 +1,290 @@
+"""Socket-level tests for the asyncio eval service: plain routes,
+NDJSON sweep streaming, live status streams, disconnect cancellation."""
+
+import asyncio
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.api import Session
+from repro.backends import BackendError, StubBackend
+from repro.eval import Evaluator, SweepConfig
+from repro.eval.export import sweep_result_to_dict, sweep_to_json
+from repro.models import GenerationConfig
+from repro.problems import PromptLevel
+from repro.service import (
+    AsyncEvalService,
+    ServiceBackend,
+    ShardCoordinator,
+    iter_status_events,
+    iter_sweep_events,
+    stream_sweep,
+)
+from repro.service.aio import AsyncBackend, astream_sweep, request_json
+from repro.service.sharding import shard_from_dict
+
+SMALL = SweepConfig(
+    temperatures=(0.1, 0.5),
+    completions_per_prompt=(2,),
+    levels=(PromptLevel.LOW,),
+    problem_numbers=(1, 2),
+)
+
+
+@pytest.fixture()
+def service():
+    with AsyncEvalService(Session(backend="stub-canonical"), port=0) as svc:
+        yield svc
+
+
+class TestPlainRoutesOverAsyncServer:
+    def test_health_and_models(self, service):
+        backend = ServiceBackend(url=service.url)
+        assert backend.health()["status"] == "ok"
+        assert backend.models() == ["stub"]
+
+    def test_generate_roundtrip(self, service):
+        backend = ServiceBackend(url=service.url)
+        completions = backend.generate(
+            "stub", "module m;", GenerationConfig(temperature=0.1, n=3)
+        )
+        assert len(completions) == 3
+
+    def test_unknown_route_404(self, service):
+        with pytest.raises(BackendError, match="404"):
+            ServiceBackend(url=service.url)._transport("GET", "/teapot", None)
+
+    def test_bad_json_body_400(self, service):
+        request = urllib.request.Request(
+            service.url + "/generate",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_async_transport_against_real_socket(self, service):
+        async def scenario():
+            body = await request_json("GET", service.url + "/health")
+            assert body["status"] == "ok"
+
+        asyncio.run(scenario())
+
+
+class TestSweepStream:
+    def test_streamed_records_byte_identical_to_serial(self, service):
+        serial = Session(backend="stub-canonical").run_sweep(SMALL)
+        events = []
+        result = stream_sweep(
+            service.url, config=SMALL,
+            on_event=lambda f: events.append(f["event"]),
+        )
+        assert sweep_to_json(result.sweep) == sweep_to_json(serial.sweep)
+        assert result.skipped == serial.skipped
+        assert result.errors == serial.errors
+        assert events[-1] == "done"
+        assert events.count("record") == len(serial.sweep)
+
+    def test_stream_with_models_and_concurrency(self, service):
+        serial = Session(backend="stub-canonical").run_sweep(
+            SMALL, models=["stub"]
+        )
+        result = stream_sweep(
+            service.url, config=SMALL, models=["stub"], concurrency=4
+        )
+        assert sweep_to_json(result.sweep) == sweep_to_json(serial.sweep)
+        assert result.stats["concurrency"] == 4
+
+    def test_async_client_parity(self, service):
+        serial = Session(backend="stub-canonical").run_sweep(SMALL)
+
+        async def scenario():
+            return await astream_sweep(service.url, config=SMALL)
+
+        result = asyncio.run(scenario())
+        assert sweep_to_json(result.sweep) == sweep_to_json(serial.sweep)
+
+    def test_bad_sweep_request_is_answered_not_streamed(self, service):
+        request = urllib.request.Request(
+            service.url + "/sweep/stream",
+            data=json.dumps(
+                {"config": {"temperatures": ["hot"]}}  # undecodable config
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+        assert "bad sweep request" in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_model_streams_job_errors_not_half_a_stream(self, service):
+        # stub capabilities are permissive, so an unknown model plans
+        # fine and fails at generation: the stream must still terminate
+        # losslessly, with every job as an explicit job_error frame
+        result = stream_sweep(service.url, config=SMALL,
+                              models=["no-such-model"])
+        assert len(result.sweep) == 0
+        assert result.errors
+        assert all("no-such-model" in e.error or "serves" in e.error
+                   for e in result.errors)
+
+    def test_disconnect_cancels_in_flight_jobs(self):
+        class SlowAsyncStub(AsyncBackend):
+            name = "slow-stub"
+
+            def __init__(self):
+                self.stub = StubBackend()
+                self.calls = 0
+                self.completed = 0
+                self.cancelled = 0
+
+            def models(self):
+                return self.stub.models()
+
+            def capabilities(self, model):
+                return self.stub.capabilities(model)
+
+            async def generate_async(self, model, prompt, config):
+                self.calls += 1
+                call = self.calls
+                try:
+                    await asyncio.sleep(0.01 if call == 1 else 30.0)
+                    result = self.stub.generate(model, prompt, config)
+                    self.completed += 1
+                    return result
+                except asyncio.CancelledError:
+                    self.cancelled += 1
+                    raise
+
+        backend = SlowAsyncStub()
+        session = Session(backend=backend)
+        with AsyncEvalService(session, port=0) as svc:
+            events = iter_sweep_events(svc.url, config=SMALL, concurrency=2)
+            for frame in events:
+                if frame["event"] == "record":
+                    break
+            events.close()  # closes the HTTP connection mid-stream
+            deadline = time.monotonic() + 10
+            while backend.cancelled == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+        assert backend.cancelled >= 1
+        assert backend.completed == 1
+
+
+class TestStatusStream:
+    @staticmethod
+    def _coordinated_service(num_shards=3):
+        session = Session(backend="stub-canonical")
+        coordinator = ShardCoordinator(
+            session.plan_shards(num_shards, SMALL), lease_seconds=60
+        )
+        return session, AsyncEvalService(
+            session, port=0, coordinator=coordinator
+        )
+
+    def test_enriched_status_route(self):
+        session, svc = self._coordinated_service()
+        with svc:
+            status = ServiceBackend(url=svc.url)._transport(
+                "GET", "/shard/status", None
+            )
+            assert status["jobs_total"] == sum(
+                row["jobs"] for row in status["shards"]
+            )
+            assert status["store_hits"] == 0
+            assert [row["state"] for row in status["shards"]] == [
+                "pending"
+            ] * 3
+            lease = svc.coordinator.next_shard("w1")
+            shard = shard_from_dict(lease["shard"])
+            result = session.run_plan(shard.plan)
+            payload = sweep_result_to_dict(result)
+            payload["stats"]["evaluator_cache"] = {"store_hits": 7}
+            svc.coordinator.submit_result(lease["lease_id"], payload)
+            status = ServiceBackend(url=svc.url)._transport(
+                "GET", "/shard/status", None
+            )
+            row = status["shards"][shard.shard_index]
+            assert row["state"] == "done"
+            assert row["records"] == len(result.sweep)
+            assert row["worker_id"] == "w1"
+            assert status["store_hits"] == 7
+            assert status["jobs_done"] == len(shard.plan.jobs)
+
+    def test_status_stream_observes_progress_to_done(self):
+        session, svc = self._coordinated_service(num_shards=2)
+        frames = []
+        with svc:
+            consumer_error = []
+            first_frame = threading.Event()
+
+            def consume():
+                try:
+                    for frame in iter_status_events(svc.url, poll=0.02):
+                        frames.append(frame)
+                        first_frame.set()
+                except Exception as exc:  # noqa: BLE001 — assert later
+                    consumer_error.append(exc)
+                    first_frame.set()
+
+            thread = threading.Thread(target=consume)
+            thread.start()
+            # observe the idle coordinator before any work lands, so the
+            # stream provably captures the progression, not just the end
+            assert first_frame.wait(timeout=10)
+            summary = session.work(url=svc.url, worker_id="streamer")
+            thread.join(timeout=10)
+            assert not thread.is_alive(), "status stream never terminated"
+        assert not consumer_error
+        assert summary["shards"] == 2
+        assert frames and frames[-1]["event"] == "status"
+        assert frames[-1]["complete"] is True
+        assert frames[-1]["done"] == 2
+        assert frames[0]["done"] < 2  # we watched it progress
+        assert all("shards" in f for f in frames)
+
+    def test_status_stream_without_coordinator_is_400(self, service):
+        with pytest.raises(BackendError, match="no shard coordinator"):
+            list(iter_status_events(service.url))
+
+    def test_malformed_stream_lines_raise_protocol_error(self, service):
+        from repro.service import StreamProtocolError
+        from repro.service.aio import decode_stream
+
+        with pytest.raises(StreamProtocolError):
+            list(decode_stream([b'{"event": "record"}']))
+
+
+class TestRequestHygiene:
+    def test_bad_content_length_gets_400(self, service):
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=5
+        ) as sock:
+            sock.sendall(
+                b"POST /generate HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: abc\r\n\r\n"
+            )
+            response = sock.recv(4096)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+        assert b"Content-Length" in response
+
+    def test_stream_cli_notes_ignored_local_flags(self, service, capsys):
+        from repro.cli import main
+
+        code = main([
+            "sweep", "--stream", "--url", service.url,
+            "--problems", "1", "--temperatures", "0.1", "--n", "2",
+            "--levels", "L", "--retries", "3", "--executor", "process",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--retries" in out and "--executor" in out
+        assert "ignored by --stream" in out

@@ -449,3 +449,162 @@ class TestCoordinateAndWorkCommands:
             "--export", str(serial_path),
         ]) == 0
         assert records == json.loads(serial_path.read_text())
+
+
+class TestStreamingAndStoreCLI:
+    """PR 4 surfaces: sweep --stream, serve --aio, coordinate
+    --checkpoint, and the store pack/unpack command."""
+
+    def test_new_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--stream", "--url", "http://h:1"]
+        )
+        assert args.stream and args.url == "http://h:1"
+        args = build_parser().parse_args(["serve", "--aio"])
+        assert args.aio
+        args = build_parser().parse_args([
+            "coordinate", "--shards", "2",
+            "--checkpoint", "state.json", "--checkpoint-every", "3",
+        ])
+        assert args.checkpoint == "state.json"
+        assert args.checkpoint_every == 3
+        assert args.aio is False
+        args = build_parser().parse_args(["store", "pack", "dir"])
+        assert args.action == "pack" and args.dir == "dir"
+        args = build_parser().parse_args(
+            ["sweep", "--executor", "async", "--workers", "8"]
+        )
+        assert args.executor == "async"
+
+    def test_stream_requires_url(self, capsys):
+        code = main(["sweep", "--stream"])
+        assert code == 2
+        assert "--url" in capsys.readouterr().out
+
+    def test_stream_rejects_shards(self, capsys):
+        code = main(["sweep", "--stream", "--url", "http://h:1",
+                     "--shards", "2", "--shard-index", "0"])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().out
+
+    def test_sweep_executor_async_matches_serial(self, capsys, tmp_path):
+        import json
+
+        serial_path = tmp_path / "serial.json"
+        async_path = tmp_path / "async.json"
+        base = ["sweep", "--backend", "stub-canonical",
+                "--problems", "1,2", "--temperatures", "0.1",
+                "--n", "2", "--levels", "L"]
+        assert main(base + ["--export", str(serial_path)]) == 0
+        assert main(base + ["--executor", "async", "--workers", "4",
+                            "--export", str(async_path)]) == 0
+        assert json.load(open(serial_path)) == json.load(open(async_path))
+
+    def test_streamed_sweep_parity_over_live_service(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        from repro.api import Session
+
+        service = Session(backend="stub-canonical").serve_async(port=0)
+        url = service.start()
+        streamed_path = tmp_path / "streamed.json"
+        serial_path = tmp_path / "serial.json"
+        try:
+            code = main([
+                "sweep", "--stream", "--url", url,
+                "--problems", "1,2", "--temperatures", "0.1",
+                "--n", "2", "--levels", "L",
+                "--export", str(streamed_path),
+            ])
+        finally:
+            service.stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "pass rate" in out
+        assert main([
+            "sweep", "--backend", "stub-canonical",
+            "--problems", "1,2", "--temperatures", "0.1",
+            "--n", "2", "--levels", "L",
+            "--export", str(serial_path),
+        ]) == 0
+        assert json.load(open(streamed_path)) == json.load(open(serial_path))
+
+    def test_coordinate_resumes_from_complete_checkpoint(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        from repro.api import Session
+        from repro.eval import SweepConfig
+        from repro.eval.export import sweep_result_to_dict
+        from repro.problems import PromptLevel
+        from repro.service import ShardCoordinator, save_checkpoint
+        from repro.service.sharding import shard_from_dict
+
+        config = SweepConfig(
+            temperatures=(0.1,), completions_per_prompt=(2,),
+            levels=(PromptLevel.LOW,), problem_numbers=(1, 2),
+        )
+        session = Session(backend="stub-canonical")
+        coordinator = ShardCoordinator(session.plan_shards(2, config))
+        while not coordinator.done:
+            lease = coordinator.next_shard("pre-crash-worker")
+            shard = shard_from_dict(lease["shard"])
+            coordinator.submit_result(
+                lease["lease_id"],
+                sweep_result_to_dict(session.run_plan(shard.plan)),
+            )
+        checkpoint = tmp_path / "coordinator.json"
+        save_checkpoint(coordinator, str(checkpoint))
+
+        # a restarted coordinate run needs no workers at all: every
+        # shard is already merged in the checkpoint
+        merged_path = tmp_path / "merged.json"
+        code = main([
+            "coordinate", "--shards", "2",
+            "--backend", "stub-canonical",
+            "--problems", "1,2", "--temperatures", "0.1",
+            "--n", "2", "--levels", "L",
+            "--port", "0", "--linger-seconds", "0",
+            "--checkpoint", str(checkpoint),
+            "--export", str(merged_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        serial = session.run_sweep(config)
+        from repro.eval.export import sweep_to_json
+
+        assert json.load(open(merged_path)) == json.loads(
+            sweep_to_json(serial.sweep)
+        )
+
+    def test_store_pack_unpack_info(self, capsys, tmp_path):
+        store_dir = tmp_path / "verdicts"
+        assert main([
+            "sweep", "--backend", "stub-canonical", "--problems", "1",
+            "--temperatures", "0.1", "--n", "2", "--levels", "L",
+            "--store", str(store_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["store", "info", str(store_dir)]) == 0
+        assert "entries" in capsys.readouterr().out
+        assert main(["store", "pack", str(store_dir)]) == 0
+        assert "packed" in capsys.readouterr().out
+        assert not list(store_dir.glob("*.json"))  # files folded away
+        # a packed store still serves a warm start
+        assert main([
+            "sweep", "--backend", "stub-canonical", "--problems", "1",
+            "--temperatures", "0.1", "--n", "2", "--levels", "L",
+            "--store", str(store_dir),
+        ]) == 0
+        assert main(["store", "unpack", str(store_dir)]) == 0
+        capsys.readouterr()
+        assert list(store_dir.glob("*.json"))
+
+    def test_store_missing_dir_exits_two(self, capsys, tmp_path):
+        code = main(["store", "pack", str(tmp_path / "absent")])
+        assert code == 2
+        assert "not a verdict store" in capsys.readouterr().out

@@ -467,3 +467,128 @@ class TestCoordinatorHTTP:
     def test_work_against_unreachable_coordinator(self):
         with pytest.raises(BackendError, match="cannot reach"):
             Session(backend="stub").work(url="http://127.0.0.1:9")
+
+
+class TestCheckpointPersistence:
+    """Satellite: kill a coordinator mid-sweep, restore from its
+    checkpoint file, and finish without re-running merged shards."""
+
+    @staticmethod
+    def _complete_one(coordinator, worker_id="w1"):
+        from repro.service.sharding import shard_from_dict
+
+        lease = coordinator.next_shard(worker_id)
+        shard = shard_from_dict(lease["shard"])
+        result = run_shard(shard)
+        coordinator.submit_result(
+            lease["lease_id"], sweep_result_to_dict(result)
+        )
+        return shard.shard_index
+
+    def test_kill_and_resume_skips_completed_shards(self, tmp_path):
+        from repro.service import load_checkpoint, save_checkpoint
+
+        checkpoint = str(tmp_path / "coordinator.json")
+        plan, shards = make_split(4)
+        serial = SweepExecutor(Session(backend="zoo").backend).run(plan)
+
+        coordinator = ShardCoordinator(shards)
+        finished = {self._complete_one(coordinator) for _ in range(2)}
+        save_checkpoint(coordinator, checkpoint)
+        del coordinator  # the "kill": nothing survives but the file
+
+        restored = load_checkpoint(checkpoint)
+        status = restored.status()
+        assert status["done"] == 2 and status["pending"] == 2
+        resumed = set()
+        while not restored.done:
+            resumed.add(self._complete_one(restored, "w2"))
+        assert resumed == set(range(4)) - finished  # no re-runs
+        merged = restored.result()
+        assert merged.sweep.records == serial.sweep.records
+        assert merged.skipped == serial.skipped
+
+    def test_checkpoint_write_is_atomic(self, tmp_path):
+        import json
+        import os
+
+        from repro.service import save_checkpoint
+
+        checkpoint = str(tmp_path / "coordinator.json")
+        _, shards = make_split(2)
+        coordinator = ShardCoordinator(shards)
+        save_checkpoint(coordinator, checkpoint)
+        assert json.load(open(checkpoint))["shards"]
+        assert not [
+            name for name in os.listdir(tmp_path) if ".tmp-" in name
+        ], "temp file left behind"
+
+    def test_leased_shards_restore_as_pending(self, tmp_path):
+        from repro.service import load_checkpoint, save_checkpoint
+
+        checkpoint = str(tmp_path / "coordinator.json")
+        _, shards = make_split(3)
+        coordinator = ShardCoordinator(shards)
+        self._complete_one(coordinator)
+        coordinator.next_shard("doomed-worker")  # leased, never submitted
+        save_checkpoint(coordinator, checkpoint)
+
+        restored = load_checkpoint(checkpoint)
+        status = restored.status()
+        assert status["done"] == 1
+        assert status["leased"] == 0  # the in-flight lease did not survive
+        assert status["pending"] == 2
+
+    def test_unreadable_checkpoint_raises(self, tmp_path):
+        from repro.service import load_checkpoint
+
+        path = tmp_path / "broken.json"
+        path.write_text("{torn")
+        with pytest.raises(ValueError):
+            load_checkpoint(str(path))
+
+
+class TestEnrichedStatus:
+    def test_per_shard_rows_and_totals(self):
+        from repro.service.sharding import shard_from_dict
+
+        _, shards = make_split(3)
+        coordinator = ShardCoordinator(shards)
+        status = coordinator.status()
+        assert status["jobs_total"] == sum(len(s.plan.jobs) for s in shards)
+        assert status["jobs_done"] == 0
+        assert status["store_hits"] == 0
+        assert [row["state"] for row in status["shards"]] == ["pending"] * 3
+        assert [row["jobs"] for row in status["shards"]] == [
+            len(s.plan.jobs) for s in shards
+        ]
+
+        lease = coordinator.next_shard("worker-9")
+        shard = shard_from_dict(lease["shard"])
+        result = run_shard(shard)
+        payload = sweep_result_to_dict(result)
+        payload["stats"]["evaluator_cache"] = {
+            "hits": 1, "misses": 2, "store_hits": 5,
+        }
+        coordinator.submit_result(lease["lease_id"], payload)
+
+        status = coordinator.status()
+        row = status["shards"][shard.shard_index]
+        assert row["state"] == "done"
+        assert row["records"] == len(result.sweep)
+        assert row["errors"] == len(result.errors)
+        assert row["worker_id"] == "worker-9"
+        assert status["jobs_done"] == len(shard.plan.jobs)
+        assert status["store_hits"] == 5
+
+    def test_store_hits_tolerates_foreign_stats(self):
+        from repro.service.sharding import shard_from_dict
+
+        _, shards = make_split(2)
+        coordinator = ShardCoordinator(shards)
+        lease = coordinator.next_shard("w")
+        shard = shard_from_dict(lease["shard"])
+        payload = sweep_result_to_dict(run_shard(shard))
+        payload["stats"]["evaluator_cache"] = "not-a-dict"
+        coordinator.submit_result(lease["lease_id"], payload)
+        assert coordinator.status()["store_hits"] == 0

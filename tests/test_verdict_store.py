@@ -195,3 +195,158 @@ class TestSessionIntegration:
         )
         executor = session.make_executor()
         assert executor.store is session.store
+
+
+class TestPackedFormat:
+    """Satellite: fold the one-file-per-verdict directory into a single
+    append-friendly JSONL the store reads through (inode hygiene)."""
+
+    @staticmethod
+    def _seed(store, count=6, problem=1):
+        verdicts = {}
+        for index in range(count):
+            verdict = CompletionEvaluation(
+                compiled=True, passed=bool(index % 2)
+            )
+            store.put(problem, index, verdict)
+            verdicts[index] = verdict
+        return verdicts
+
+    def test_pack_reads_through_and_drops_files(self, tmp_path):
+        import os
+
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        verdicts = self._seed(store)
+        packed = store.pack()
+        assert packed == 6
+        names = os.listdir(store.path)
+        assert names == ["pack.jsonl"]  # every entry file folded in
+        assert len(store) == 6
+        for index, verdict in verdicts.items():
+            assert store.get(1, index) == verdict
+        assert store.get(1, 999) is None
+
+    def test_fresh_writes_shadow_the_pack(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        self._seed(store, count=3)
+        store.pack()
+        newer = CompletionEvaluation(compiled=False, passed=False)
+        store.put(1, 0, newer)  # individual file again: strictly newer
+        assert store.get(1, 0) == newer
+        assert len(store) == 3  # same key, counted once
+        assert store.pack() == 1  # folds the fresh file back in
+        assert store.get(1, 0) == newer  # later pack lines win
+
+    def test_unpack_restores_files_and_removes_pack(self, tmp_path):
+        import os
+
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        verdicts = self._seed(store, count=4)
+        store.pack()
+        restored = store.unpack()
+        assert restored == 4
+        assert "pack.jsonl" not in os.listdir(store.path)
+        assert len(store) == 4
+        for index, verdict in verdicts.items():
+            assert store.get(1, index) == verdict
+
+    def test_corrupt_pack_lines_read_as_misses(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        self._seed(store, count=2)
+        store.pack()
+        with open(store.pack_path, "a", encoding="utf-8") as handle:
+            handle.write("{torn line\n")
+        good = CompletionEvaluation(compiled=True, passed=True)
+        store.put(2, 7, good)
+        store.pack()
+        assert store.get(1, 0) is not None  # pre-corruption entries fine
+        assert store.get(2, 7) == good      # post-corruption appends fine
+
+    def test_another_process_sees_a_new_pack(self, tmp_path):
+        path = str(tmp_path / "verdicts")
+        writer = VerdictStore(path)
+        reader = VerdictStore(path)
+        self._seed(writer, count=2)
+        assert reader.get(1, 0) is not None  # via the entry file
+        writer.pack()
+        assert reader.get(1, 1) is not None  # via the (new) pack file
+
+    def test_clear_removes_packed_entries_too(self, tmp_path):
+        import os
+
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        self._seed(store, count=5)
+        store.pack()
+        self._seed(store, count=2, problem=3)
+        assert store.clear() == 7
+        assert len(store) == 0
+        assert os.listdir(store.path) == []
+
+    def test_packed_store_still_pickles(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        self._seed(store, count=2)
+        store.pack()
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.get(1, 1) is not None
+
+    def test_stats_counts_both_forms(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        self._seed(store, count=3)
+        store.pack()
+        self._seed(store, count=1, problem=5)
+        stats = store.stats()
+        assert stats == {
+            "entries": 4,
+            "files": 1,
+            "packed": 3,
+            "pack_file": store.pack_path,
+        }
+
+    def test_evaluator_reads_through_packed_store(self, tmp_path):
+        problem = get_problem(1)
+        completion = problem.canonical_body
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        warm = CountingEvaluator(store=store)
+        warm.evaluate(problem, completion)
+        assert warm.uncached_calls == 1
+        store.pack()
+        cold = CountingEvaluator(store=VerdictStore(store.path))
+        cold.evaluate(problem, completion)
+        assert cold.uncached_calls == 0  # verdict came from the pack
+        assert cold.store_hits == 1
+
+    def test_pack_spares_foreign_files(self, tmp_path):
+        import json
+        import os
+
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        self._seed(store, count=2)
+        foreign = os.path.join(store.path, "notes.json")
+        with open(foreign, "w", encoding="utf-8") as handle:
+            json.dump({"todo": "not a verdict"}, handle)
+        assert store.pack() == 2  # only the real verdicts folded
+        assert os.path.exists(foreign)  # foreign file left untouched
+        assert "notes" not in store.keys()
+
+    def test_unpack_keeps_pack_on_partial_failure(self, tmp_path, monkeypatch):
+        import os
+
+        store = VerdictStore(str(tmp_path / "verdicts"))
+        self._seed(store, count=3)
+        store.pack()
+        real_replace = os.replace
+        calls = {"n": 0}
+
+        def flaky_replace(src, dst):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("disk full")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", flaky_replace)
+        assert store.unpack() == 2  # one restore failed
+        monkeypatch.undo()
+        assert os.path.exists(store.pack_path)  # verdicts not lost
+        assert len(store) == 3
+        assert store.unpack() == 1  # second attempt finishes the job
+        assert not os.path.exists(store.pack_path)
