@@ -286,6 +286,7 @@ class Session:
         host: str = "127.0.0.1",
         port: int = 8076,
         lease_seconds: float = 300.0,
+        lease_jobs: int | None = None,
     ):
         """Plan a sweep, split it, and serve the shards to pull workers.
 
@@ -296,6 +297,10 @@ class Session:
         with :meth:`work` (or ``python -m repro work --url ...``), and
         read the streamed-merge result from
         ``service.coordinator.result()`` once ``coordinator.done``.
+
+        ``lease_jobs=N`` switches to job-granular leasing: workers
+        lease consecutive ranges of at most N jobs instead of whole
+        shards, so one straggler re-balances finely.
         """
         from .service.coordinator import ShardCoordinator
         from .service.server import EvalService
@@ -303,6 +308,7 @@ class Session:
         coordinator = ShardCoordinator(
             self.plan_shards(num_shards, config, models=models),
             lease_seconds=lease_seconds,
+            lease_jobs=lease_jobs,
         )
         return EvalService(self, host=host, port=port, coordinator=coordinator)
 
@@ -313,14 +319,41 @@ class Session:
         worker_id: str | None = None,
         poll_seconds: float = 0.5,
         max_idle_polls: int | None = None,
+        aio: bool = False,
+        max_leases: int = 2,
     ) -> dict:
         """Serve a coordinator as a pull-based worker until it is done.
 
-        Shards execute on *this* session's configuration (backend,
+        Work units execute on *this* session's configuration (backend,
         executor, workers, retry, batch size, verdict store); returns
         the worker summary dict from
         :func:`~repro.service.client.run_worker`.
+
+        ``aio=True`` runs the asyncio worker instead
+        (:func:`~repro.service.aio.client.run_worker_async`): up to
+        ``max_leases`` units in flight on an async executor (the
+        session's ``workers`` bounds in-flight jobs per unit), each
+        submitted over the streamed-upload route when the coordinator
+        supports it.  Must be called from sync code — inside a running
+        event loop, await ``run_worker_async`` directly.
         """
+        if aio:
+            import asyncio
+
+            from .service.aio.client import run_worker_async
+
+            if url is None:
+                raise ValueError("work(aio=True) needs a coordinator url")
+            return asyncio.run(
+                run_worker_async(
+                    url,
+                    session=self,
+                    worker_id=worker_id,
+                    max_leases=max_leases,
+                    poll_seconds=poll_seconds,
+                    max_idle_polls=max_idle_polls,
+                )
+            )
         from .service.client import run_worker
 
         return run_worker(

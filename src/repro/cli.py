@@ -23,17 +23,23 @@ Commands:
   — expose the session over HTTP (the eval service); ``--aio`` serves
   it on the asyncio server with the NDJSON streaming routes; point
   other machines at it with ``--backend service --url http://host:port``;
-* ``coordinate --shards K [--lease-seconds S] [--checkpoint FILE
-  [--checkpoint-every N]] [--aio] [--export PATH] ...`` — plan a sweep,
-  split it into K shards, and serve them to pull-based workers over
-  HTTP, merging results as they stream in (no per-worker index
-  bookkeeping; expired leases are re-served); ``--checkpoint`` persists
-  state atomically and resumes from the file on restart without
-  re-running merged shards;
-* ``work --url URL [--backend B] [--store DIR] ...`` — run one
-  pull-based worker against a coordinator until the sweep is merged;
-* ``store {pack,unpack,info} DIR`` — compact a verdict store's
+* ``coordinate --shards K [--lease-jobs N] [--lease-seconds S]
+  [--checkpoint FILE [--checkpoint-every N]] [--aio] [--export PATH]
+  ...`` — plan a sweep, split it, and serve work units to pull-based
+  workers over HTTP, merging results as they stream in (no per-worker
+  index bookkeeping; expired leases are re-served); ``--lease-jobs N``
+  leases job ranges of at most N jobs instead of whole shards so one
+  straggler re-balances finely; ``--checkpoint`` persists state
+  atomically and resumes from the file on restart without re-running
+  merged units;
+* ``work --url URL [--backend B] [--store DIR] [--aio --max-leases M]
+  ...`` — run one pull-based worker against a coordinator until the
+  sweep is merged; ``--aio`` holds several leases in flight on an
+  asyncio executor and streams each unit's records to the coordinator
+  as jobs finish;
+* ``store {pack,compact,unpack,info} DIR`` — compact a verdict store's
   one-file-per-verdict directory into a single JSONL pack (and back);
+  ``compact`` rewrites the pack without shadowed duplicate lines;
 * ``tables [--backend B] [--workers W]`` — run the full sweep and print
   Tables III/IV + headlines + executor stats;
 * ``corpus [--repos N] [--books]`` — build the training corpus, print stats.
@@ -206,8 +212,9 @@ def _cmd_evaluate(args) -> int:
         print(f"-- overall {total_pass}/{total} = {total_pass / total:.3f}")
     stats = result.stats
     print(
-        f"-- backend={stats['backend']} workers={stats['workers']} "
-        f"cache={stats['evaluator_cache']}"
+        f"-- backend={stats.get('backend', '?')} "
+        f"workers={stats.get('workers', '?')} "
+        f"cache={stats.get('evaluator_cache', {})}"
     )
     return 1 if result.errors else 0
 
@@ -406,9 +413,10 @@ def _cmd_sweep(args) -> int:
     print(f"{len(sweep)} records, overall pass rate {rate:.3f}")
     stats = result.stats
     print(
-        f"-- backend={stats['backend']} workers={stats['workers']} "
-        f"elapsed={stats['elapsed_seconds']:.2f}s "
-        f"cache={stats['evaluator_cache']}"
+        f"-- backend={stats.get('backend', '?')} "
+        f"workers={stats.get('workers', '?')} "
+        f"elapsed={stats.get('elapsed_seconds', 0.0):.2f}s "
+        f"cache={stats.get('evaluator_cache', {})}"
     )
     if args.export:
         if shard is not None:
@@ -502,6 +510,9 @@ def _cmd_coordinate(args) -> int:
     config = _build_sweep_config(args)
     if config is None:
         return 2
+    if args.shards is None and args.lease_jobs is None:
+        print("error: coordinate needs --shards K and/or --lease-jobs N")
+        return 2
     if args.export and not args.export.endswith((".json", ".csv")):
         print(f"error: --export must end in .json or .csv, "
               f"got {args.export!r}")
@@ -526,15 +537,16 @@ def _cmd_coordinate(args) -> int:
             coordinator.lease_seconds = args.lease_seconds
         restored = coordinator.status()
         print(f"resumed from {args.checkpoint}: "
-              f"{restored['done']}/{restored['num_shards']} shards already "
+              f"{restored['done']}/{restored['num_units']} units already "
               f"merged ({restored['records_merged']} records) — the "
-              f"checkpointed split wins over --shards")
+              f"checkpointed split wins over --shards/--lease-jobs")
     if coordinator is None:
         from .service import ShardCoordinator
 
         coordinator = ShardCoordinator(
-            session.plan_shards(args.shards, config, models=models),
+            session.plan_shards(args.shards or 1, config, models=models),
             lease_seconds=args.lease_seconds,
+            lease_jobs=args.lease_jobs,
         )
     if args.aio:
         from .service import AsyncEvalService
@@ -550,11 +562,17 @@ def _cmd_coordinate(args) -> int:
             session, host=args.host, port=args.port, coordinator=coordinator
         )
         service.bind()
-    print(f"shard coordinator on {service.url}: "
-          f"{coordinator.num_shards} shards, "
+    granularity = (
+        f"{coordinator.num_units} job-range units "
+        f"(<= {coordinator.lease_jobs} jobs each)"
+        if coordinator.lease_jobs is not None
+        else f"{coordinator.num_shards} shards"
+    )
+    print(f"shard coordinator on {service.url}: {granularity}, "
           f"lease {coordinator.lease_seconds:.0f}s — point workers at it with "
           f"`python -m repro work --url {service.url}`"
-          + (" (live status: GET /shard/status/stream)" if args.aio else ""))
+          + (" (live status: GET /shard/status/stream, streamed submit: "
+             "POST /shard/result/stream)" if args.aio else ""))
     if not args.aio:
         service.start()
     checkpoint_last = coordinator.status()["done"]
@@ -566,10 +584,14 @@ def _cmd_coordinate(args) -> int:
             status = coordinator.status()
             if status["done"] != last_done:
                 last_done = status["done"]
-                print(f"  {status['done']}/{status['num_shards']} shards "
-                      f"merged, {status['records_merged']} records "
-                      f"({status['leased']} leased, {status['pending']} "
-                      f"pending)")
+                streaming = (
+                    f", {status['records_streaming']} streaming in"
+                    if status.get("records_streaming") else ""
+                )
+                print(f"  {status['done']}/{status['num_units']} units "
+                      f"merged, {status['records_merged']} records"
+                      f"{streaming} ({status['leased']} leased, "
+                      f"{status['pending']} pending)")
             if (
                 args.checkpoint
                 and status["done"] - checkpoint_last >= args.checkpoint_every
@@ -620,6 +642,8 @@ def _cmd_work(args) -> int:
             worker_id=args.worker_id,
             poll_seconds=args.poll_seconds,
             max_idle_polls=args.max_idle_polls,
+            aio=args.aio,
+            max_leases=args.max_leases,
         )
     except BackendError as exc:
         print(f"error: {exc}")
@@ -629,9 +653,11 @@ def _cmd_work(args) -> int:
         return 130
     if summary["coordinator_gone"]:
         print("-- coordinator went away mid-poll (finished or shut down)")
-    print(f"worker {summary['worker_id']}: {summary['shards']} shards, "
+    streamed = (f", {summary['streamed']} streamed submits"
+                if summary.get("streamed") else "")
+    print(f"worker {summary['worker_id']}: {summary['shards']} units, "
           f"{summary['jobs']} jobs, {summary['records']} records, "
-          f"{summary['errors']} job errors")
+          f"{summary['errors']} job errors{streamed}")
     return 0
 
 
@@ -655,9 +681,11 @@ def _cmd_tables(args) -> int:
     print(render_headline(headline_numbers(sweep)))
     stats = result.stats
     print(
-        f"-- backend={stats['backend']} workers={stats['workers']} "
-        f"jobs={stats['jobs']} skipped={stats['jobs_skipped']} "
-        f"cache={stats['evaluator_cache']}"
+        f"-- backend={stats.get('backend', '?')} "
+        f"workers={stats.get('workers', '?')} "
+        f"jobs={stats.get('jobs', '?')} "
+        f"skipped={stats.get('jobs_skipped', '?')} "
+        f"cache={stats.get('evaluator_cache', {})}"
     )
     return 0
 
@@ -678,6 +706,11 @@ def _cmd_store(args) -> int:
         stats = store.stats()
         print(f"packed {packed} verdict file(s) into {store.pack_path} "
               f"({stats['entries']} entries total)")
+    elif args.action == "compact":
+        removed = store.compact()
+        stats = store.stats()
+        print(f"compacted {store.pack_path}: dropped {removed} dead "
+              f"line(s) ({stats['packed']} packed entries remain)")
     elif args.action == "unpack":
         restored = store.unpack()
         print(f"unpacked {restored} verdict(s) back into {store.path} "
@@ -842,8 +875,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve sweep shards to pull-based workers; merge as they land",
     )
     _add_sweep_config_flags(p)
-    p.add_argument("--shards", type=_positive_int, required=True,
-                   help="how many shards to split the plan into")
+    p.add_argument("--shards", type=_positive_int, default=None,
+                   help="how many shards to split the plan into "
+                        "(optional when --lease-jobs carves job ranges)")
+    p.add_argument("--lease-jobs", type=_positive_int, default=None,
+                   help="lease job ranges of at most N jobs instead of "
+                        "whole shards — a straggling worker holds at "
+                        "most N jobs hostage")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8076,
                    help="listening port (0 = pick a free one)")
@@ -899,13 +937,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-idle-polls", type=int, default=None,
                    help="give up after this many consecutive empty polls "
                         "(default: wait until done)")
+    p.add_argument("--aio", action="store_true",
+                   help="run the asyncio worker: up to --max-leases units "
+                        "in flight on an async executor (--workers bounds "
+                        "in-flight jobs per unit; --executor is ignored), "
+                        "submitting over POST /shard/result/stream as jobs "
+                        "finish when the coordinator supports it")
+    p.add_argument("--max-leases", type=_positive_int, default=2,
+                   help="leases held concurrently with --aio (default: 2)")
 
     p = sub.add_parser(
-        "store", help="manage an on-disk verdict store (pack/unpack/info)"
+        "store",
+        help="manage an on-disk verdict store (pack/compact/unpack/info)",
     )
-    p.add_argument("action", choices=("pack", "unpack", "info"),
-                   help="pack: fold verdict files into one JSONL; unpack: "
-                        "restore files; info: entry counts")
+    p.add_argument("action", choices=("pack", "compact", "unpack", "info"),
+                   help="pack: fold verdict files into one JSONL; compact: "
+                        "rewrite the pack without shadowed duplicate lines; "
+                        "unpack: restore files; info: entry counts")
     p.add_argument("dir", help="verdict store directory (from --store)")
 
     p = sub.add_parser("tables", help="run the full sweep; print Tables III/IV")

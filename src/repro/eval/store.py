@@ -24,8 +24,13 @@ compacts the directory into one append-friendly JSONL file
 lines win) that the store reads through transparently — fresh verdicts
 still land as individual files (atomic, contention-free) and shadow the
 pack, so packing is safe on a live store; run it again any time to fold
-the new files in.  :meth:`VerdictStore.unpack` reverses it.  The CLI
-drives both: ``python -m repro store pack DIR`` / ``store unpack DIR``.
+the new files in.  Because packing only appends, repeated cycles leave
+shadowed duplicate lines behind — :meth:`VerdictStore.compact` rewrites
+the pack with one line per live key (atomic replace, idempotent; safe
+against readers and file writers, but do not run it while another
+process is packing the same store).
+:meth:`VerdictStore.unpack` reverses packing.  The CLI drives all
+three: ``python -m repro store {pack,compact,unpack} DIR``.
 
 The store is picklable (it carries only its path), so
 :class:`~repro.service.process.ProcessPoolSweepExecutor` ships it to
@@ -200,6 +205,53 @@ class VerdictStore:
         self._packed = None
         return packed
 
+    def compact(self) -> int:
+        """Rewrite the pack without dead lines; return how many died.
+
+        :meth:`pack` only ever appends (later lines win on read), so a
+        key re-packed across cycles leaves its shadowed older lines in
+        the file forever — harmless for correctness, but the pack grows
+        without bound under repeated pack cycles.  Compaction rewrites
+        the pack with exactly one line per live key (torn/foreign lines
+        are dropped too — the reader already ignores them) through a
+        temp file + atomic replace, so a crash mid-compact leaves the
+        previous pack intact.  Idempotent: a second run removes 0.
+
+        Unlike :meth:`pack`, compaction is a maintenance operation: it
+        is safe against concurrent *readers and file writers* (they
+        never touch the pack), but must not race another process's
+        ``pack()`` on the same store — lines pack appends after the
+        compaction snapshot is read would be discarded by the replace,
+        and pack has already unlinked their source files.  Run compact
+        when nothing is packing.
+        """
+        index = self._packed_index()
+        total_lines = 0
+        try:
+            with open(self.pack_path, encoding="utf-8") as handle:
+                total_lines = sum(1 for line in handle if line.strip())
+        except OSError:
+            return 0  # no pack: nothing to compact
+        removed = total_lines - len(index)
+        if removed <= 0:
+            return 0
+        temp = f"{self.pack_path}.tmp-{os.getpid()}"
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                for key, row in index.items():
+                    handle.write(
+                        json.dumps({"key": key, "verdict": row}) + "\n"
+                    )
+            os.replace(temp, self.pack_path)
+        except OSError:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
+        self._packed = None
+        return removed
+
     def unpack(self) -> int:
         """Materialize packed verdicts back into files; return count.
 
@@ -256,19 +308,28 @@ class VerdictStore:
         }
 
     def clear(self) -> int:
-        """Delete every stored verdict; returns how many were removed."""
-        removed = len(self.keys())
-        for name in self._entry_files():
+        """Delete every stored verdict; returns how many were removed.
+
+        The count reflects what actually disappeared: a key that
+        survives — its file would not unlink, or it lives in a pack
+        that would not unlink — is not counted as removed.
+        """
+        file_keys = {name[: -len(".json")] for name in self._entry_files()}
+        packed_keys = set(self._packed_index())
+        surviving: set[str] = set()
+        for key in file_keys:
             try:
-                os.unlink(os.path.join(self.path, name))
+                os.unlink(os.path.join(self.path, f"{key}.json"))
             except OSError:
-                removed -= 1
+                surviving.add(key)
         try:
             os.unlink(self.pack_path)
-        except OSError:
+        except FileNotFoundError:
             pass
+        except OSError:
+            surviving |= packed_keys  # the pack (and its keys) remain
         self._packed = None
-        return removed
+        return len(file_keys | packed_keys) - len(surviving)
 
     def __repr__(self) -> str:
         return f"VerdictStore({self.path!r}, entries={len(self)})"

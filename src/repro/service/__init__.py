@@ -38,8 +38,11 @@ from .aio import (
     from_async,
     iter_status_events,
     iter_sweep_events,
+    result_to_frames,
+    run_worker_async,
     serve_async,
     stream_sweep,
+    submit_result_stream,
     to_async,
 )
 from .client import (
@@ -52,7 +55,12 @@ from .client import (
     in_process_transport,
     run_worker,
 )
-from .coordinator import ShardCoordinator, load_checkpoint, save_checkpoint
+from .coordinator import (
+    ShardCoordinator,
+    ShardSubmissionStream,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .process import ProcessPoolSweepExecutor
 from .server import EvalService, ServiceApp, serve
 from .sharding import (
@@ -83,8 +91,11 @@ __all__ = [
     "from_async",
     "iter_status_events",
     "iter_sweep_events",
+    "result_to_frames",
+    "run_worker_async",
     "serve_async",
     "stream_sweep",
+    "submit_result_stream",
     "to_async",
     "PlanShard",
     "ProcessPoolSweepExecutor",
@@ -93,6 +104,7 @@ __all__ = [
     "ServiceUnreachableError",
     "ShardCoordinator",
     "ShardPlanner",
+    "ShardSubmissionStream",
     "Transport",
     "assemble_slots",
     "default_worker_id",

@@ -39,7 +39,9 @@ from .client import (
     astream_sweep,
     iter_status_events,
     iter_sweep_events,
+    run_worker_async,
     stream_sweep,
+    submit_result_stream,
 )
 from .events import (
     FRAME_EVENTS,
@@ -48,6 +50,7 @@ from .events import (
     decode_frame,
     decode_stream,
     encode_frame,
+    result_to_frames,
 )
 from .executor import AsyncSweepExecutor
 from .server import AsyncEvalService, serve_async
@@ -55,6 +58,8 @@ from .transport import (
     AsyncTransport,
     async_chat_transport,
     async_json_transport,
+    open_upload,
+    read_upload_response,
     request_json,
 )
 
@@ -80,8 +85,13 @@ __all__ = [
     "from_async",
     "iter_status_events",
     "iter_sweep_events",
+    "open_upload",
+    "read_upload_response",
     "request_json",
+    "result_to_frames",
+    "run_worker_async",
     "serve_async",
     "stream_sweep",
+    "submit_result_stream",
     "to_async",
 ]

@@ -105,6 +105,55 @@ def status_frame(status: dict) -> dict:
     return {"event": "status", **status}
 
 
+def result_to_frames(plan, result: SweepResult) -> list[dict]:
+    """The frame sequence a live stream of ``result`` would have emitted.
+
+    For workers that executed a plan to completion (thread/process
+    executors have no frame source) but submit over the streamed route:
+    the frames replay the executor emission order — skips up front,
+    then per-job ``job_started``/``record``/``job_error`` + ``progress``
+    in plan order, ending with the lossless ``done`` terminal — so
+    :func:`assemble_stream_result` rebuilds the identical result.
+    Raises ``ValueError`` when the result does not match the plan (the
+    same invariant the shard merge enforces).
+    """
+    frames = [
+        skip_frame(index, skip) for index, skip in enumerate(result.skipped)
+    ]
+    errors = list(result.errors)
+    records = result.sweep.records
+    position = 0
+    records_sent = errors_sent = 0
+    for index, job in enumerate(plan.jobs):
+        frames.append(job_started_frame(index, job))
+        if errors and errors[0].job == job:
+            frames.append(job_error_frame(index, errors.pop(0)))
+            errors_sent += 1
+        else:
+            chunk = records[position : position + job.n]
+            if len(chunk) != job.n:
+                raise ValueError(
+                    f"result does not match plan: job {job} expected "
+                    f"{job.n} records, found {len(chunk)}"
+                )
+            position += job.n
+            frames.extend(record_frame(index, record) for record in chunk)
+            records_sent += len(chunk)
+        frames.append(
+            progress_frame(
+                index + 1, len(plan.jobs), records_sent, errors_sent
+            )
+        )
+    if errors or position != len(records):
+        raise ValueError(
+            "result does not match plan: "
+            f"{len(errors)} unmatched errors, "
+            f"{len(records) - position} unmatched records"
+        )
+    frames.append(done_frame(result))
+    return frames
+
+
 # ----------------------------------------------------------------------
 # Wire codec
 # ----------------------------------------------------------------------
@@ -246,6 +295,7 @@ __all__ = [
     "job_started_frame",
     "progress_frame",
     "record_frame",
+    "result_to_frames",
     "skip_frame",
     "status_frame",
 ]

@@ -34,6 +34,12 @@ from ...backends.base import BackendError
 #: async twin of :data:`repro.service.client.Transport`
 AsyncTransport = Callable[[str, str, "dict | None"], Awaitable[dict]]
 
+#: per-line buffer limit for NDJSON streams, shared by client connections
+#: and the server (asyncio's default 64 KiB readline limit would reject
+#: any event frame larger than one socket buffer — a big record or a
+#: stats-heavy done frame must not kill the stream)
+STREAM_LIMIT = 16 * 1024 * 1024
+
 
 def _split_url(url: str) -> tuple[str, int, str]:
     """(host, port, path+query) from an http:// URL."""
@@ -129,7 +135,7 @@ async def _connect(
 ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
     try:
         return await asyncio.wait_for(
-            asyncio.open_connection(host, port), timeout
+            asyncio.open_connection(host, port, limit=STREAM_LIMIT), timeout
         )
     except (OSError, asyncio.TimeoutError) as exc:
         raise ServiceUnreachableError(
@@ -204,6 +210,65 @@ async def open_stream(
     return reader, writer
 
 
+async def open_upload(
+    method: str,
+    url: str,
+    timeout: float = 30.0,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Send request headers for a body the caller streams afterwards.
+
+    The upload twin of :func:`open_stream`: no ``Content-Length`` is
+    sent — the body is NDJSON whose terminal frame tells the server
+    where it ends (the minimal HTTP dialect our own services speak).
+    The caller writes encoded lines to the returned writer, then reads
+    the server's answer with :func:`read_upload_response`, and must
+    close the writer (:func:`close_writer`) either way.
+    """
+    host, port, target = _split_url(url)
+    reader, writer = await _connect(host, port, timeout, url)
+    head = (
+        f"{method.upper()} {target} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/x-ndjson\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    try:
+        writer.write(head.encode("ascii"))
+        await writer.drain()
+    except (OSError, asyncio.TimeoutError) as exc:
+        await close_writer(writer)
+        raise ServiceUnreachableError(
+            f"cannot reach eval service at {url}: {exc or type(exc).__name__}"
+        ) from None
+    return reader, writer
+
+
+async def read_upload_response(
+    reader: asyncio.StreamReader,
+    url: str,
+    timeout: float = 30.0,
+) -> dict:
+    """Read the JSON answer after an :func:`open_upload` body is sent.
+
+    Same failure taxonomy as :func:`request_json`: an error status
+    raises ``BackendError`` with the server's detail, a dead connection
+    raises :class:`ServiceUnreachableError`.
+    """
+    try:
+        status, headers = await asyncio.wait_for(_read_head(reader), timeout)
+        body = await asyncio.wait_for(_read_body(reader, headers), timeout)
+    except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
+        raise ServiceUnreachableError(
+            f"cannot reach eval service at {url}: {exc or type(exc).__name__}"
+        ) from None
+    if status >= 400:
+        raise BackendError(
+            f"eval service {status} on {url}: {_error_detail(body)}"
+        )
+    return _decode_json_body(body, url)
+
+
 def async_json_transport(
     base_url: str, timeout: float = 30.0
 ) -> AsyncTransport:
@@ -233,10 +298,13 @@ def async_chat_transport(
 
 
 __all__ = [
+    "STREAM_LIMIT",
     "AsyncTransport",
     "async_chat_transport",
     "async_json_transport",
     "close_writer",
     "open_stream",
+    "open_upload",
+    "read_upload_response",
     "request_json",
 ]

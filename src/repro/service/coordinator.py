@@ -4,12 +4,24 @@ PR 2's sharding made a sweep distributable, but each worker had to be
 told its ``--shard-index`` by hand and results were merged offline from
 files.  :class:`ShardCoordinator` removes both: one process owns the
 full :class:`~repro.service.sharding.ShardPlanner` split and serves it
-to *pull-based* workers over three wire routes (mounted on
-:class:`~repro.service.server.ServiceApp`):
+to *pull-based* workers over the wire routes (mounted on
+:class:`~repro.service.server.ServiceApp` and the asyncio server):
 
-* ``POST /shard/next``   — lease the next pending shard to a worker;
-* ``POST /shard/result`` — submit one executed shard's result;
-* ``GET  /shard/status`` — progress: shard states, records merged.
+* ``POST /shard/next``          — lease the next pending work unit;
+* ``POST /shard/result``        — submit one executed unit's result;
+* ``POST /shard/result/stream`` — the NDJSON streamed-upload twin
+  (asyncio server only): the worker ships event frames as jobs finish
+  and the coordinator tracks partial progress live;
+* ``GET  /shard/status``        — progress: unit states, records merged.
+
+Work units come in two granularities.  By default a unit is a whole
+shard of the split.  With ``lease_jobs=N`` the coordinator re-carves
+the same plan into consecutive *job ranges* of at most N jobs — so one
+straggling worker holds at most N jobs hostage instead of a whole
+shard, and an expired lease re-balances just that range to the next
+``/shard/next`` caller.  Either way the unit manifests are ordinary
+:class:`~repro.service.sharding.PlanShard`s, so workers need no
+awareness of the granularity at all.
 
 Results are merged *as they stream in*, using the exact semantics of
 :func:`~repro.service.sharding.merge_shard_results` (each submission is
@@ -17,15 +29,19 @@ attributed back to global plan positions via
 :func:`~repro.service.sharding.split_result_by_job`; assembly goes
 through :func:`~repro.service.sharding.assemble_slots`), so the final
 :class:`~repro.eval.jobs.SweepResult` is record-for-record identical to
-a serial run — the PR 2 merge invariant, now incremental.
+a serial run — the PR 2 merge invariant, now incremental.  A streamed
+upload commits through the same path once its terminal frame validates,
+so it is byte-identical to a blocking submit of the same result.
 
 Fault tolerance is lease-based: every handout carries a deadline; a
 worker that vanishes simply never submits, and once its lease expires
-the shard is re-served to the next ``/shard/next`` caller.  Submissions
-are validated against the plan before they are merged, and a stale
-lease's late submission for an already-completed shard is acknowledged
-but ignored (evaluation is deterministic, so whichever copy landed
-first is canonical).
+the unit is re-served to the next ``/shard/next`` caller.  Submissions
+are validated against the plan before they are merged.  Lease records
+are pruned rather than kept forever: live leases plus a bounded tail of
+superseded (expired) ones are remembered exactly, and any other
+well-formed lease id naming an already-DONE unit is still acknowledged
+as a duplicate — a long-lived fleet's lease churn cannot grow the
+coordinator without bound.
 
 All methods speak wire-native dicts (the :mod:`repro.eval.export`
 codecs), so the HTTP layer stays a dumb JSON shim and in-process tests
@@ -34,12 +50,14 @@ drive the identical schema.
 
 from __future__ import annotations
 
+import collections
+import re
 import threading
 import time
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..eval.export import sweep_result_from_dict, sweep_result_to_dict
-from ..eval.jobs import SweepResult
+from ..eval.jobs import SweepPlan, SweepResult
 from .sharding import (
     PlanShard,
     assemble_slots,
@@ -52,13 +70,63 @@ PENDING = "pending"
 LEASED = "leased"
 DONE = "done"
 
+#: how many superseded (expired) leases are remembered *per unit*; a
+#: lease that sat through this many further expiries of its own unit is
+#: forgotten (its submit becomes "unknown lease"), while a DONE unit's
+#: leases are dropped entirely and late submits fall back to the
+#: well-formed-id duplicate path.  Per-unit (not global) so churn on
+#: one unit can never evict another unit's still-salvageable lease;
+#: total lease memory stays bounded by cap x incomplete units.
+SUPERSEDED_LEASE_CAP = 4
+
+_LEASE_ID_RE = re.compile(r"^lease-\d+-s(\d+)$")
+
+
+def _carve_job_units(
+    shards: Sequence[PlanShard], lease_jobs: int
+) -> tuple[dict[int, PlanShard], dict[int, object]]:
+    """Re-partition a complete shard set into consecutive job ranges.
+
+    Each unit is an ad-hoc :class:`PlanShard` of at most ``lease_jobs``
+    jobs, covering every global plan position exactly once in serial
+    order.  Skips never travel with job leases (they are plan facts,
+    not work), so they come back pre-filled against their global
+    positions for :func:`~repro.service.sharding.assemble_slots`.
+    """
+    jobs: dict[int, object] = {}
+    skips: dict[int, object] = {}
+    for shard in shards:
+        for index, job in zip(shard.job_indices, shard.plan.jobs):
+            jobs[index] = job
+        for index, skip in zip(shard.skip_indices, shard.plan.skipped):
+            skips[index] = skip
+    config = shards[0].plan.config
+    order = sorted(jobs)
+    num_units = -(-len(order) // lease_jobs)
+    units: dict[int, PlanShard] = {}
+    for start in range(0, len(order), lease_jobs):
+        indices = tuple(order[start : start + lease_jobs])
+        unit_index = len(units)
+        units[unit_index] = PlanShard(
+            shard_index=unit_index,
+            num_shards=num_units,
+            job_indices=indices,
+            skip_indices=(),
+            plan=SweepPlan(
+                jobs=[jobs[i] for i in indices], skipped=[], config=config
+            ),
+        )
+    return units, skips
+
 
 class ShardCoordinator:
     """Serve a complete shard set to pull-based workers; merge inline.
 
-    ``lease_seconds`` bounds how long a handed-out shard may stay
+    ``lease_seconds`` bounds how long a handed-out unit may stay
     unsubmitted before it is re-served; ``clock`` is injectable
     (monotonic seconds) so tests can expire leases without waiting.
+    ``lease_jobs=N`` switches from shard-granular to job-granular
+    leasing: units become consecutive ranges of at most N jobs.
     """
 
     def __init__(
@@ -66,6 +134,7 @@ class ShardCoordinator:
         shards: Sequence[PlanShard],
         lease_seconds: float = 300.0,
         clock: Callable[[], float] = time.monotonic,
+        lease_jobs: int | None = None,
     ):
         if not shards:
             raise ValueError("nothing to coordinate: empty shard set")
@@ -83,35 +152,54 @@ class ShardCoordinator:
             )
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be > 0")
+        if lease_jobs is not None and lease_jobs < 1:
+            raise ValueError(
+                "lease_jobs must be >= 1 (or None for shard-level leases)"
+            )
         self.lease_seconds = lease_seconds
         self.clock = clock
         self.shards = {shard.shard_index: shard for shard in shards}
         self.num_shards = num_shards
+        self.lease_jobs = lease_jobs
         self._lock = threading.Lock()
-        self._state = {index: PENDING for index in self.shards}
-        # lease_id -> (shard_index, worker_id, deadline); only the most
-        # recent lease per shard is live, older ones are kept so a slow
-        # worker's submission can still be recognised (and ignored)
+        self._job_slots: dict[int, object] = {}
+        self._skip_slots: dict[int, object] = {}
+        if lease_jobs is None:
+            self._units: dict[int, PlanShard] = dict(self.shards)
+        else:
+            self._units, prefilled = _carve_job_units(shards, lease_jobs)
+            self._skip_slots.update(prefilled)
+        self.num_units = len(self._units)
+        self._state = {index: PENDING for index in self._units}
+        # live leases only (one per LEASED unit): lease_id -> (unit
+        # index, worker_id, deadline); expired leases move to the
+        # bounded _superseded tail so a slow worker's late submission
+        # is still recognised, and a DONE unit's leases are dropped
+        # entirely (late submits resolve via the well-formed-id path)
         self._leases: dict[str, tuple[int, str, float]] = {}
+        self._superseded: "collections.OrderedDict[str, tuple[int, str, float]]" = (
+            collections.OrderedDict()
+        )
         self._live_lease: dict[int, str] = {}
         self._lease_counter = 0
         self._results: dict[int, SweepResult] = {}
         self._submitted_by: dict[int, str] = {}
-        self._job_slots: dict[int, object] = {}
-        self._skip_slots: dict[int, object] = {}
+        # lease_id -> live partial-progress counters of an in-flight
+        # streamed upload (cleared when the stream commits or aborts)
+        self._streaming: dict[str, dict] = {}
         self._reclaimed = 0
 
     # ------------------------------------------------------------------
     # Wire API (dict in, dict out — ServiceApp routes call these)
     # ------------------------------------------------------------------
     def next_shard(self, worker_id: str = "anonymous") -> dict:
-        """Lease the next pending shard to ``worker_id``.
+        """Lease the next pending work unit to ``worker_id``.
 
         Returns ``{"shard": <manifest>, "lease_id", "shard_index",
         "lease_seconds"}`` when work is available; otherwise ``{"shard":
         None, "done": <bool>, "retry_after": <seconds>}`` — ``done``
         means the whole sweep is merged and the worker can exit, a
-        ``retry_after`` hint means every remaining shard is leased to
+        ``retry_after`` hint means every remaining unit is leased to
         someone else right now.
         """
         with self._lock:
@@ -126,7 +214,7 @@ class ShardCoordinator:
                 self._live_lease[index] = lease_id
                 self._state[index] = LEASED
                 return {
-                    "shard": shard_to_dict(self.shards[index]),
+                    "shard": shard_to_dict(self._units[index]),
                     "shard_index": index,
                     "lease_id": lease_id,
                     "lease_seconds": self.lease_seconds,
@@ -148,58 +236,60 @@ class ShardCoordinator:
             }
 
     def submit_result(self, lease_id: str, result: dict) -> dict:
-        """Merge one executed shard submitted under ``lease_id``.
+        """Merge one executed unit submitted under ``lease_id``.
 
         The result payload is :func:`sweep_result_to_dict` output for
-        the leased shard's plan.  A submission that does not match the
+        the leased unit's plan.  A submission that does not match the
         plan (wrong record counts, unmatched errors) is rejected with
-        ``ValueError`` and the shard stays leased — the worker is
+        ``ValueError`` and the unit stays leased — the worker is
         broken, and the lease clock is already running.
         """
-        def duplicate_response(index):
-            return {
-                "accepted": False,
-                "duplicate": True,
-                "shard_index": index,
-                "done": self._done_locked(),
-                "remaining": self._remaining_locked(),
-            }
-
         with self._lock:
-            lease = self._leases.get(lease_id)
-            if lease is None:
-                raise ValueError(f"unknown lease {lease_id!r}")
-            index, worker_id, _deadline = lease
+            index, _worker = self._resolve_lease_locked(lease_id)
             if self._state[index] is DONE:
-                return duplicate_response(index)
-            shard = self.shards[index]
+                return self._duplicate_locked(index)
         # decode + validate outside the lock: this is CPU work
-        # proportional to shard size, and holding the lock through it
+        # proportional to unit size, and holding the lock through it
         # would stall every /shard/next poll in the fleet
         shard_result = sweep_result_from_dict(result)
-        outcomes = split_result_by_job(shard.plan, shard_result)
-        with self._lock:
-            if self._state[index] is DONE:  # raced a concurrent submit
-                return duplicate_response(index)
-            for global_index, outcome in zip(shard.job_indices, outcomes):
-                self._job_slots[global_index] = outcome
-            for global_index, skip in zip(
-                shard.skip_indices, shard_result.skipped
-            ):
-                self._skip_slots[global_index] = skip
-            self._results[index] = shard_result
-            self._submitted_by[index] = worker_id
-            self._state[index] = DONE
-            self._live_lease.pop(index, None)
-            return {
-                "accepted": True,
-                "duplicate": False,
-                "shard_index": index,
-                "worker_id": worker_id,
-                "done": self._done_locked(),
-                "remaining": self._remaining_locked(),
-            }
+        return self._merge_submission(lease_id, index, shard_result)
 
+    # ------------------------------------------------------------------
+    # Streamed submission (POST /shard/result/stream)
+    # ------------------------------------------------------------------
+    def begin_stream(self, lease_id: str) -> "ShardSubmissionStream":
+        """Open a streamed upload for ``lease_id``.
+
+        Raises ``ValueError`` for an unknown lease, exactly like
+        :meth:`submit_result`.  A lease whose unit is already DONE
+        returns a stream whose :meth:`~ShardSubmissionStream.finish`
+        acks as a duplicate — the uploader's body must still be read
+        (it needs its answer), but nothing is merged.
+        """
+        with self._lock:
+            index, _worker = self._resolve_lease_locked(lease_id)
+            duplicate = self._state[index] is DONE
+        return ShardSubmissionStream(self, str(lease_id), index, duplicate)
+
+    def submit_stream(self, lease_id: str, frames: Iterable[dict]) -> dict:
+        """Merge one unit submitted as a stream of event frames.
+
+        Convenience over :meth:`begin_stream` for in-process callers
+        and tests: feeds every frame (partial progress becomes visible
+        in :meth:`status` as it goes), then commits the assembled
+        result through the blocking-submit path — byte-identical to
+        ``submit_result(lease_id, sweep_result_to_dict(result))``.
+        """
+        stream = self.begin_stream(lease_id)
+        try:
+            for frame in frames:
+                stream.feed(frame)
+            return stream.finish()
+        except BaseException:
+            stream.abort()
+            raise
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _stats_store_hits(stats: dict) -> int:
         """store_hits buried in an executor's stats dict (0 if absent)."""
@@ -212,13 +302,15 @@ class ShardCoordinator:
         return 0
 
     def status(self) -> dict:
-        """Progress snapshot: per-shard progress, merged records, leases.
+        """Progress snapshot: per-unit progress, merged records, leases.
 
-        Beyond lease states, each shard row reports its job/record/error
-        counts once submitted, and ``store_hits`` aggregates the verdict
-        -store hits every submitted shard's executor reported — the
+        Beyond lease states, each unit row reports its job/record/error
+        counts once submitted; ``store_hits`` aggregates the verdict
+        -store hits every submitted unit's executor reported — the
         fleet-wide measure of how much simulation the shared cache
-        saved.
+        saved — and ``records_streaming`` counts records received on
+        in-flight streamed uploads that have not committed yet (each
+        streaming lease row also carries its own ``records_streamed``).
         """
         with self._lock:
             self._reclaim_expired()
@@ -227,30 +319,36 @@ class ShardCoordinator:
                 for state in (PENDING, LEASED, DONE)
             }
             now = self.clock()
-            leases = [
-                {
+            leases = []
+            for index, lease_id in sorted(self._live_lease.items()):
+                if self._state[index] is not LEASED:
+                    continue
+                _, worker_id, deadline = self._leases[lease_id]
+                row = {
                     "lease_id": lease_id,
                     "shard_index": index,
-                    "worker_id": self._leases[lease_id][1],
-                    "expires_in": round(self._leases[lease_id][2] - now, 3),
+                    "worker_id": worker_id,
+                    "expires_in": round(deadline - now, 3),
                 }
-                for index, lease_id in sorted(self._live_lease.items())
-                if self._state[index] is LEASED
-            ]
+                partial = self._streaming.get(lease_id)
+                if partial is not None:
+                    row["records_streamed"] = partial["records"]
+                    row["jobs_streamed"] = partial["jobs_done"]
+                leases.append(row)
             shard_rows = []
             jobs_done = 0
             store_hits = 0
-            for index in sorted(self.shards):
-                shard = self.shards[index]
+            for index in sorted(self._units):
+                unit = self._units[index]
                 row = {
                     "shard_index": index,
                     "state": self._state[index],
-                    "jobs": len(shard.plan.jobs),
-                    "skips": len(shard.plan.skipped),
+                    "jobs": len(unit.plan.jobs),
+                    "skips": len(unit.plan.skipped),
                 }
                 result = self._results.get(index)
                 if result is not None:
-                    jobs_done += len(shard.plan.jobs)
+                    jobs_done += len(unit.plan.jobs)
                     store_hits += self._stats_store_hits(result.stats)
                     row.update(
                         records=len(result.sweep),
@@ -260,6 +358,8 @@ class ShardCoordinator:
                 shard_rows.append(row)
             return {
                 "num_shards": self.num_shards,
+                "num_units": self.num_units,
+                "lease_jobs": self.lease_jobs,
                 "pending": states[PENDING],
                 "leased": states[LEASED],
                 "done": states[DONE],
@@ -269,8 +369,12 @@ class ShardCoordinator:
                     for outcome in self._job_slots.values()
                     if isinstance(outcome, list)
                 ),
+                "records_streaming": sum(
+                    partial["records"]
+                    for partial in self._streaming.values()
+                ),
                 "jobs_total": sum(
-                    len(shard.plan.jobs) for shard in self.shards.values()
+                    len(unit.plan.jobs) for unit in self._units.values()
                 ),
                 "jobs_done": jobs_done,
                 "store_hits": store_hits,
@@ -288,12 +392,12 @@ class ShardCoordinator:
             return self._done_locked()
 
     def result(self) -> SweepResult:
-        """The streamed-merge SweepResult (requires every shard done)."""
+        """The streamed-merge SweepResult (requires every unit done)."""
         with self._lock:
             if not self._done_locked():
                 raise ValueError(
                     f"coordinator incomplete: {self._remaining_locked()} "
-                    f"of {self.num_shards} shards outstanding"
+                    f"of {self.num_units} units outstanding"
                 )
             shard_stats = [
                 dict(self._results[index].stats)
@@ -303,20 +407,22 @@ class ShardCoordinator:
                 dict(self._job_slots),
                 dict(self._skip_slots),
                 shard_stats,
-                self.num_shards,
+                self.num_units,
                 executor="coordinated",
             )
             merged.stats["leases_reclaimed"] = self._reclaimed
+            if self.lease_jobs is not None:
+                merged.stats["lease_jobs"] = self.lease_jobs
             return merged
 
     # ------------------------------------------------------------------
-    # Checkpointing (restart a coordinator without re-running shards)
+    # Checkpointing (restart a coordinator without re-running units)
     # ------------------------------------------------------------------
     def state_to_dict(self) -> dict:
         """Serialize shards + completed results (leases do not survive:
         an in-flight lease on restart just expires into a re-serve)."""
         with self._lock:
-            return {
+            state = {
                 "lease_seconds": self.lease_seconds,
                 "shards": [
                     shard_to_dict(self.shards[index])
@@ -327,6 +433,9 @@ class ShardCoordinator:
                     for index, result in sorted(self._results.items())
                 },
             }
+            if self.lease_jobs is not None:
+                state["lease_jobs"] = self.lease_jobs
+            return state
 
     @classmethod
     def from_state(
@@ -334,15 +443,17 @@ class ShardCoordinator:
         state: dict,
         clock: Callable[[], float] = time.monotonic,
     ) -> "ShardCoordinator":
+        lease_jobs = state.get("lease_jobs")
         coordinator = cls(
             [shard_from_dict(row) for row in state["shards"]],
             lease_seconds=float(state.get("lease_seconds", 300.0)),
             clock=clock,
+            lease_jobs=None if lease_jobs is None else int(lease_jobs),
         )
         # restore in ascending index order: leases are handed out
         # lowest-pending-first, so hunting for the target index always
         # terminates (a checkpoint whose dict iterates out of order —
-        # e.g. re-serialized with sort_keys and 10+ shards — must not
+        # e.g. re-serialized with sort_keys and 10+ units — must not
         # strand the hunt on an already-leased lower index)
         for index, result in sorted(
             state.get("completed", {}).items(), key=lambda kv: int(kv[0])
@@ -351,7 +462,7 @@ class ShardCoordinator:
             while lease["shard_index"] != int(index):
                 lease = coordinator.next_shard("restore")
             coordinator.submit_result(lease["lease_id"], result)
-        # forget the placeholder leases for shards we did not restore
+        # forget the placeholder leases for units we did not restore
         with coordinator._lock:
             for lease_id, (idx, _, _) in list(coordinator._leases.items()):
                 if coordinator._state[idx] is LEASED:
@@ -361,15 +472,106 @@ class ShardCoordinator:
         return coordinator
 
     # ------------------------------------------------------------------
+    def _resolve_lease_locked(self, lease_id: str) -> tuple[int, str]:
+        """(unit index, worker_id) that ``lease_id`` submits for.
+
+        Live and recently-superseded leases resolve exactly.  A pruned
+        lease — its unit completed, or it aged off the superseded tail
+        — is still honoured when it is well-formed and names a DONE
+        unit: the late worker only needs a duplicate ack to move on.
+        Anything else is an unknown lease.
+        """
+        lease_id = str(lease_id)
+        entry = self._leases.get(lease_id) or self._superseded.get(lease_id)
+        if entry is not None:
+            return entry[0], entry[1]
+        match = _LEASE_ID_RE.match(lease_id)
+        if match:
+            index = int(match.group(1))
+            if index in self._units and self._state[index] is DONE:
+                return index, "unknown"
+        raise ValueError(f"unknown lease {lease_id!r}")
+
+    def _merge_submission(
+        self, lease_id: str, index: int, shard_result: SweepResult
+    ) -> dict:
+        """Validate a decoded unit result against its plan; commit it."""
+        unit = self._units[index]
+        outcomes = split_result_by_job(unit.plan, shard_result)
+        with self._lock:
+            if self._state[index] is DONE:  # raced a concurrent submit
+                return self._duplicate_locked(index)
+            entry = self._leases.get(lease_id) or self._superseded.get(
+                lease_id
+            )
+            worker_id = entry[1] if entry is not None else "unknown"
+            for global_index, outcome in zip(unit.job_indices, outcomes):
+                self._job_slots[global_index] = outcome
+            for global_index, skip in zip(
+                unit.skip_indices, shard_result.skipped
+            ):
+                self._skip_slots[global_index] = skip
+            self._results[index] = shard_result
+            self._submitted_by[index] = worker_id
+            self._state[index] = DONE
+            self._retire_unit_leases_locked(index)
+            self._streaming.pop(lease_id, None)
+            return {
+                "accepted": True,
+                "duplicate": False,
+                "shard_index": index,
+                "worker_id": worker_id,
+                "done": self._done_locked(),
+                "remaining": self._remaining_locked(),
+            }
+
+    def _retire_unit_leases_locked(self, index: int) -> None:
+        """Drop every lease record for a DONE unit — late submits for
+        it resolve through the well-formed-id duplicate path instead of
+        a dictionary that grows with lease churn."""
+        live = self._live_lease.pop(index, None)
+        if live is not None:
+            self._leases.pop(live, None)
+        for lease_id in [
+            lid for lid, entry in self._leases.items() if entry[0] == index
+        ]:
+            del self._leases[lease_id]
+        for lease_id in [
+            lid
+            for lid, entry in self._superseded.items()
+            if entry[0] == index
+        ]:
+            del self._superseded[lease_id]
+
+    def _duplicate_locked(self, index: int) -> dict:
+        return {
+            "accepted": False,
+            "duplicate": True,
+            "shard_index": index,
+            "done": self._done_locked(),
+            "remaining": self._remaining_locked(),
+        }
+
     def _reclaim_expired(self) -> None:
         now = self.clock()
         for index, lease_id in list(self._live_lease.items()):
             if self._state[index] is not LEASED:
                 continue
-            _, _, deadline = self._leases[lease_id]
-            if deadline <= now:
+            entry = self._leases[lease_id]
+            if entry[2] <= now:
                 self._state[index] = PENDING
                 self._live_lease.pop(index, None)
+                # remember the superseded lease (bounded per unit) so
+                # the slow worker's eventual submission is recognised
+                del self._leases[lease_id]
+                self._superseded[lease_id] = entry
+                unit_leases = [
+                    lid
+                    for lid, e in self._superseded.items()
+                    if e[0] == index
+                ]
+                for lid in unit_leases[:-SUPERSEDED_LEASE_CAP]:
+                    del self._superseded[lid]
                 self._reclaimed += 1
 
     def _done_locked(self) -> bool:
@@ -381,10 +583,89 @@ class ShardCoordinator:
     def __repr__(self) -> str:
         status = self.status()
         return (
-            f"ShardCoordinator(shards={self.num_shards}, "
+            f"ShardCoordinator(units={self.num_units}, "
             f"done={status['done']}, leased={status['leased']}, "
             f"pending={status['pending']})"
         )
+
+
+class ShardSubmissionStream:
+    """One in-flight streamed upload for a lease (see ``begin_stream``).
+
+    :meth:`feed` absorbs decoded event frames as they arrive off the
+    wire and keeps live partial-progress counters that ``/shard/status``
+    reports; :meth:`finish` validates the complete stream and commits it
+    through the exact blocking-submit path (so a streamed submission is
+    byte-identical to a blocking one); :meth:`abort` clears the partial
+    counters when the uploader dies mid-stream.
+    """
+
+    def __init__(
+        self,
+        coordinator: ShardCoordinator,
+        lease_id: str,
+        shard_index: int,
+        duplicate: bool,
+    ):
+        self._coordinator = coordinator
+        self.lease_id = lease_id
+        self.shard_index = shard_index
+        self.duplicate = duplicate
+        self._frames: list[dict] = []
+        self._closed = False
+
+    def feed(self, frame: dict) -> None:
+        """Absorb one decoded event frame; update partial progress."""
+        if self.duplicate or self._closed:
+            return
+        self._frames.append(frame)
+        event = frame.get("event")
+        if event not in ("record", "job_error", "progress"):
+            return
+        coordinator = self._coordinator
+        with coordinator._lock:
+            partial = coordinator._streaming.setdefault(
+                self.lease_id, {"records": 0, "errors": 0, "jobs_done": 0}
+            )
+            if event == "record":
+                partial["records"] += 1
+            elif event == "job_error":
+                partial["errors"] += 1
+            else:  # progress
+                try:
+                    partial["jobs_done"] = int(frame.get("jobs_done", 0))
+                except (TypeError, ValueError):
+                    pass
+
+    def finish(self) -> dict:
+        """Assemble + commit the stream; returns the submit ack.
+
+        Raises :class:`~repro.service.aio.events.StreamProtocolError`
+        on a cut or inconsistent stream and ``ValueError`` when the
+        assembled result does not match the unit's plan — in both cases
+        the unit stays leased, exactly like a rejected blocking submit.
+        """
+        from .aio.events import assemble_stream_result
+
+        self._closed = True
+        coordinator = self._coordinator
+        if self.duplicate:
+            with coordinator._lock:
+                return coordinator._duplicate_locked(self.shard_index)
+        try:
+            shard_result = assemble_stream_result(self._frames)
+        finally:
+            with coordinator._lock:
+                coordinator._streaming.pop(self.lease_id, None)
+        return coordinator._merge_submission(
+            self.lease_id, self.shard_index, shard_result
+        )
+
+    def abort(self) -> None:
+        """Drop the partial upload (client vanished mid-stream)."""
+        self._closed = True
+        with self._coordinator._lock:
+            self._coordinator._streaming.pop(self.lease_id, None)
 
 
 # ----------------------------------------------------------------------
@@ -419,8 +700,8 @@ def load_checkpoint(
 ) -> ShardCoordinator:
     """Rebuild a coordinator from a :func:`save_checkpoint` file.
 
-    Completed shards come back merged (their submissions replay through
-    the normal validation path); shards that were pending or leased at
+    Completed units come back merged (their submissions replay through
+    the normal validation path); units that were pending or leased at
     save time come back pending — an in-flight lease does not survive a
     restart, it is simply re-served.
     """
@@ -431,4 +712,10 @@ def load_checkpoint(
     return ShardCoordinator.from_state(state, clock=clock)
 
 
-__all__ = ["ShardCoordinator", "load_checkpoint", "save_checkpoint"]
+__all__ = [
+    "SUPERSEDED_LEASE_CAP",
+    "ShardCoordinator",
+    "ShardSubmissionStream",
+    "load_checkpoint",
+    "save_checkpoint",
+]

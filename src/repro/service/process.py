@@ -36,6 +36,7 @@ from ..eval.jobs import (
     run_job_with_retry,
 )
 from ..eval.pipeline import Evaluator
+from .sharding import merge_cache_counters
 
 # Per-worker state, installed once by the pool initializer.
 _WORKER_BACKEND: Backend | None = None
@@ -49,10 +50,18 @@ def _init_worker(payload: bytes) -> None:
     _WORKER_EVALUATOR = Evaluator(store=store)
 
 
-def _run_job(job: GenerationJob) -> JobOutcome:
-    return run_job_with_retry(
+def _run_job(job: GenerationJob) -> tuple[JobOutcome, int, dict]:
+    """One job plus this worker's identity and running cache counters.
+
+    The cache_info snapshot rides back with every outcome so the
+    coordinating process can report fleet-wide totals: counters are
+    monotonic, so the *last* snapshot seen from each worker pid is that
+    worker's final tally.
+    """
+    outcome = run_job_with_retry(
         _WORKER_BACKEND, _WORKER_EVALUATOR, job, _WORKER_RETRY
     )
+    return outcome, os.getpid(), dict(_WORKER_EVALUATOR.cache_info)
 
 
 class ProcessPoolSweepExecutor(Executor):
@@ -92,6 +101,8 @@ class ProcessPoolSweepExecutor(Executor):
         started = time.perf_counter()
         total = len(plan.jobs)
         outcomes: list[JobOutcome] = []
+        # worker pid -> last cache_info snapshot seen (== final tally)
+        worker_caches: dict[int, dict] = {}
         if total:
             chunksize = max(1, total // (self.workers * 4))
             with ProcessPoolExecutor(
@@ -99,10 +110,11 @@ class ProcessPoolSweepExecutor(Executor):
                 initializer=_init_worker,
                 initargs=(self._payload,),
             ) as pool:
-                for index, outcome in enumerate(
+                for index, (outcome, pid, cache_info) in enumerate(
                     pool.map(_run_job, plan.jobs, chunksize=chunksize)
                 ):
                     outcomes.append(outcome)
+                    worker_caches[pid] = cache_info
                     if self.progress is not None:
                         self.progress(index + 1, total, plan.jobs[index])
         return assemble_result(
@@ -112,8 +124,9 @@ class ProcessPoolSweepExecutor(Executor):
                 "backend": self.backend.name,
                 "executor": "process",
                 "workers": self.workers,
-                # caches live in the workers; nothing to report here
-                "evaluator_cache": {},
+                "evaluator_cache": merge_cache_counters(
+                    worker_caches.values()
+                ),
                 "elapsed_seconds": time.perf_counter() - started,
             },
         )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..eval.export import (
     config_from_dict,
@@ -158,6 +158,33 @@ def merge_shard_results(
     return assemble_slots(job_slots, skip_slots, shard_stats, num_shards)
 
 
+def merge_cache_counters(caches: "Sequence[dict] | Iterable[dict]") -> dict:
+    """Sum numeric counters across evaluator-cache dicts (fleet totals).
+
+    Non-numeric (and bool) values are skipped, so a foreign executor's
+    decorated stats cannot break a merge.  Shared by the shard merge
+    and :class:`~repro.service.process.ProcessPoolSweepExecutor`'s
+    per-worker aggregation — one definition of "how cache counters
+    combine".
+    """
+    merged: dict = {}
+    for cache in caches:
+        if not isinstance(cache, dict):
+            continue
+        for key, value in cache.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def _sum_cache_stats(shard_stats: Sequence[dict]) -> dict:
+    """Fleet-wide evaluator-cache totals across shard stats dicts."""
+    return merge_cache_counters(
+        stats.get("evaluator_cache") for stats in shard_stats
+    )
+
+
 def assemble_slots(
     job_slots: dict,
     skip_slots: dict,
@@ -172,6 +199,12 @@ def assemble_slots(
     time as results stream in) and assemble with identical semantics:
     positions must be gapless, records land in serial-plan order, and
     :class:`JobError` outcomes become the merged error list.
+
+    The merged stats carry every key a single-executor result carries —
+    ``workers`` (the widest pool any shard ran with) and
+    ``evaluator_cache`` (numeric totals across shards) included — so
+    code that prints either never has to care whether a result was
+    merged or ran in one process.
     """
     for name, slots in (("job", job_slots), ("skip", skip_slots)):
         if set(slots) != set(range(len(slots))):
@@ -203,6 +236,15 @@ def assemble_slots(
             "jobs_failed": len(errors),
             "jobs_skipped": len(skipped),
             "records": len(sweep),
+            "workers": max(
+                (
+                    int(s.get("workers", 0))
+                    for s in shard_stats
+                    if isinstance(s.get("workers"), (int, float))
+                ),
+                default=0,
+            ),
+            "evaluator_cache": _sum_cache_stats(shard_stats),
             "elapsed_seconds": sum(
                 s.get("elapsed_seconds", 0.0) for s in shard_stats
             ),
@@ -287,6 +329,7 @@ __all__ = [
     "assemble_slots",
     "load_shard_manifest",
     "load_shard_result",
+    "merge_cache_counters",
     "merge_shard_files",
     "merge_shard_results",
     "save_shard_result",

@@ -345,9 +345,14 @@ class TestCoordinateAndWorkCommands:
         assert args.poll_seconds == 0.5
         assert args.max_idle_polls is None
 
-    def test_coordinate_requires_shards(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["coordinate"])
+    def test_coordinate_requires_shards_or_lease_jobs(self, capsys):
+        code = main(["coordinate"])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().out
+        # either granularity flag alone satisfies the parser; the
+        # lease-jobs path defaults the split to one shard
+        args = build_parser().parse_args(["coordinate", "--lease-jobs", "5"])
+        assert args.shards is None and args.lease_jobs == 5
 
     def test_work_requires_url(self):
         with pytest.raises(SystemExit):
@@ -390,7 +395,7 @@ class TestCoordinateAndWorkCommands:
             service.stop()
         assert code == 0
         out = capsys.readouterr().out
-        assert "2 shards" in out
+        assert "2 units" in out
         assert service.coordinator.done
         assert len(service.coordinator.result().sweep) == 2 * 2
 

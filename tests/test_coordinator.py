@@ -592,3 +592,320 @@ class TestEnrichedStatus:
         payload["stats"]["evaluator_cache"] = "not-a-dict"
         coordinator.submit_result(lease["lease_id"], payload)
         assert coordinator.status()["store_hits"] == 0
+
+
+class TestJobLeasing:
+    """Tentpole: job-granular units — a straggler holds at most
+    lease_jobs jobs, and expired job leases re-balance individually."""
+
+    def test_units_cover_the_plan_in_ranges(self):
+        plan, shards = make_split(3)
+        coordinator = ShardCoordinator(shards, lease_jobs=4)
+        status = coordinator.status()
+        expected_units = -(-len(plan.jobs) // 4)
+        assert coordinator.num_units == expected_units
+        assert status["num_units"] == expected_units
+        assert status["lease_jobs"] == 4
+        assert status["jobs_total"] == len(plan.jobs)
+        # every global job position exactly once, in consecutive ranges
+        covered = []
+        for index in sorted(coordinator._units):
+            unit = coordinator._units[index]
+            assert len(unit.plan.jobs) <= 4
+            assert unit.plan.skipped == []  # skips never travel with jobs
+            covered.extend(unit.job_indices)
+        assert covered == list(range(len(plan.jobs)))
+        # units serve the global plan's jobs in serial order
+        assert [
+            job
+            for index in sorted(coordinator._units)
+            for job in coordinator._units[index].plan.jobs
+        ] == plan.jobs
+
+    def test_lease_jobs_validated(self):
+        _, shards = make_split(1)
+        with pytest.raises(ValueError, match="lease_jobs"):
+            ShardCoordinator(shards, lease_jobs=0)
+
+    @pytest.mark.parametrize("lease_jobs", [1, 4, 100])
+    def test_worker_parity_with_job_leases(self, lease_jobs):
+        plan, shards = make_split(2)
+        serial = SweepExecutor(Session(backend="zoo").backend).run(plan)
+        coordinator = ShardCoordinator(
+            shards, lease_seconds=60, lease_jobs=lease_jobs
+        )
+        summary = run_worker(
+            transport=in_process_transport(
+                ServiceApp(Session(backend="zoo"), coordinator=coordinator)
+            ),
+            session=Session(backend="zoo"),
+            max_idle_polls=3,
+        )
+        assert summary["shards"] == coordinator.num_units
+        merged = coordinator.result()
+        assert merged.sweep.records == serial.sweep.records
+        assert merged.skipped == serial.skipped
+        assert merged.errors == serial.errors
+        assert merged.stats["lease_jobs"] == lease_jobs
+
+    def test_straggler_reserves_only_its_unfinished_jobs(self):
+        """Acceptance: a stalled worker's expired lease re-serves just
+        its job range — the rest of the sweep never waits for it."""
+        clock = FakeClock()
+        plan, shards = make_split(2)
+        serial = SweepExecutor(Session(backend="zoo").backend).run(plan)
+        coordinator = ShardCoordinator(
+            shards, lease_seconds=30, clock=clock, lease_jobs=3
+        )
+        stalled = coordinator.next_shard("straggler")
+        stalled_jobs = tuple(stalled["shard"]["job_indices"])
+        assert len(stalled_jobs) <= 3
+
+        # a healthy worker drains everything else while the straggler
+        # holds its lease; only the stalled range stays un-merged
+        survivor_app = ServiceApp(
+            Session(backend="zoo"), coordinator=coordinator
+        )
+        run_worker(
+            transport=in_process_transport(survivor_app),
+            session=Session(backend="zoo"),
+            worker_id="healthy",
+            max_idle_polls=3,
+        )
+        status = coordinator.status()
+        assert status["done"] == coordinator.num_units - 1
+        assert status["pending"] + status["leased"] == 1
+
+        # the lease expires: exactly the stalled range is re-served
+        clock.advance(31)
+        reserved = coordinator.next_shard("rescuer")
+        assert tuple(reserved["shard"]["job_indices"]) == stalled_jobs
+        assert reserved["lease_id"] != stalled["lease_id"]
+        assert coordinator.status()["leases_reclaimed"] == 1
+        from repro.service.sharding import shard_from_dict
+
+        result = run_shard(shard_from_dict(reserved["shard"]))
+        coordinator.submit_result(
+            reserved["lease_id"], sweep_result_to_dict(result)
+        )
+        merged = coordinator.result()
+        assert merged.sweep.records == serial.sweep.records
+        assert merged.skipped == serial.skipped
+
+    def test_checkpoint_round_trip_in_job_mode(self, tmp_path):
+        from repro.service import load_checkpoint, save_checkpoint
+        from repro.service.sharding import shard_from_dict
+
+        checkpoint = str(tmp_path / "coordinator.json")
+        plan, shards = make_split(2)
+        serial = SweepExecutor(Session(backend="zoo").backend).run(plan)
+        coordinator = ShardCoordinator(shards, lease_jobs=5)
+        lease = coordinator.next_shard("w")
+        coordinator.submit_result(
+            lease["lease_id"],
+            sweep_result_to_dict(run_shard(shard_from_dict(lease["shard"]))),
+        )
+        save_checkpoint(coordinator, checkpoint)
+
+        restored = load_checkpoint(checkpoint)
+        assert restored.lease_jobs == 5
+        assert restored.status()["done"] == 1
+        while not restored.done:
+            lease = restored.next_shard("w2")
+            restored.submit_result(
+                lease["lease_id"],
+                sweep_result_to_dict(
+                    run_shard(shard_from_dict(lease["shard"]))
+                ),
+            )
+        merged = restored.result()
+        assert merged.sweep.records == serial.sweep.records
+        assert merged.skipped == serial.skipped
+
+
+class TestLeasePruning:
+    """Satellite: _leases must not grow without bound under churn."""
+
+    def test_lease_churn_is_bounded(self):
+        from repro.service.coordinator import SUPERSEDED_LEASE_CAP
+
+        clock = FakeClock()
+        _, shards = make_split(2)
+        coordinator = ShardCoordinator(shards, lease_seconds=10, clock=clock)
+        for _ in range(SUPERSEDED_LEASE_CAP * 30):
+            coordinator.next_shard("churner")
+            clock.advance(11)
+        coordinator.next_shard("final")  # trigger one more reclaim
+        assert len(coordinator._leases) <= coordinator.num_units
+        assert (
+            len(coordinator._superseded)
+            <= SUPERSEDED_LEASE_CAP * coordinator.num_units
+        )
+
+    def test_churn_on_one_unit_never_evicts_anothers_lease(self):
+        # the superseded bound is per unit: heavy expiry churn on unit 0
+        # must not forget unit 1's single superseded lease, whose slow
+        # worker can still submit salvageable work
+        from repro.service.coordinator import SUPERSEDED_LEASE_CAP
+
+        clock = FakeClock()
+        _, shards = make_split(2)
+        coordinator = ShardCoordinator(shards, lease_seconds=10, clock=clock)
+        first = coordinator.next_shard("slow")  # lowest pending: unit 0
+        other = coordinator.next_shard("slow-too")  # unit 1
+        clock.advance(11)  # both expire into the superseded tail
+        for _ in range(SUPERSEDED_LEASE_CAP * 10):
+            lease = coordinator.next_shard("churner")
+            assert lease["shard_index"] == first["shard_index"]
+            clock.advance(11)
+        ack = coordinator.submit_result(
+            other["lease_id"],
+            sweep_result_to_dict(run_shard(shards[other["shard_index"]])),
+        )
+        assert ack["accepted"] is True
+        assert ack["worker_id"] == "slow-too"
+
+    def test_done_unit_leases_are_pruned(self):
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=60)
+        lease = coordinator.next_shard("w")
+        result = sweep_result_to_dict(run_shard(shards[0]))
+        coordinator.submit_result(lease["lease_id"], result)
+        assert coordinator._leases == {}
+        assert coordinator._superseded == {}
+        # a retry of the same (now pruned) lease still gets its ack
+        late = coordinator.submit_result(lease["lease_id"], result)
+        assert late["duplicate"] is True
+
+    def test_well_formed_unknown_lease_for_done_unit_is_duplicate(self):
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=60)
+        lease = coordinator.next_shard("w")
+        result = sweep_result_to_dict(run_shard(shards[0]))
+        coordinator.submit_result(lease["lease_id"], result)
+        # never-issued but well-formed id naming the DONE unit: a very
+        # late worker whose lease aged out just needs the duplicate ack
+        late = coordinator.submit_result("lease-999-s0", result)
+        assert late["accepted"] is False and late["duplicate"] is True
+        # ...but for a unit that is NOT done, it stays unknown
+        with pytest.raises(ValueError, match="unknown lease"):
+            ShardCoordinator(shards).submit_result("lease-999-s0", result)
+
+    def test_superseded_lease_still_submits_before_done(self):
+        # the pre-prune behaviour survives: an expired (superseded)
+        # lease's late submission for a not-yet-done unit is salvaged
+        clock = FakeClock()
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=30, clock=clock)
+        stale = coordinator.next_shard("slow")
+        clock.advance(31)
+        coordinator.next_shard("fast")  # re-leased to someone else
+        ack = coordinator.submit_result(
+            stale["lease_id"], sweep_result_to_dict(run_shard(shards[0]))
+        )
+        assert ack["accepted"] is True
+        assert ack["worker_id"] == "slow"
+        assert coordinator.done
+
+
+class TestStreamedSubmission:
+    """Tentpole: NDJSON streamed upload == blocking submit, with live
+    partial progress while the stream is in flight."""
+
+    @staticmethod
+    def _frames_for(shard, result):
+        from repro.service.aio.events import result_to_frames
+
+        return result_to_frames(shard.plan, result)
+
+    def test_streamed_submit_byte_identical_to_blocking(self):
+        import json
+
+        from repro.eval.export import sweep_result_to_dict as to_dict
+
+        plan, shards = make_split(2)
+        blocking = ShardCoordinator(shards, lease_seconds=60, lease_jobs=4)
+        streamed = ShardCoordinator(shards, lease_seconds=60, lease_jobs=4)
+        from repro.service.sharding import shard_from_dict
+
+        while not blocking.done:
+            lease_b = blocking.next_shard("wb")
+            lease_s = streamed.next_shard("ws")
+            shard = shard_from_dict(lease_b["shard"])
+            result = run_shard(shard)
+            ack_b = blocking.submit_result(
+                lease_b["lease_id"], to_dict(result)
+            )
+            ack_s = streamed.submit_stream(
+                lease_s["lease_id"], self._frames_for(shard, result)
+            )
+            assert ack_s["accepted"] is ack_b["accepted"] is True
+        assert json.dumps(to_dict(blocking.result())) == json.dumps(
+            to_dict(streamed.result())
+        )
+
+    def test_partial_progress_visible_mid_stream(self):
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=60, lease_jobs=2)
+        lease = coordinator.next_shard("streamer")
+        from repro.service.sharding import shard_from_dict
+
+        shard = shard_from_dict(lease["shard"])
+        frames = self._frames_for(shard, run_shard(shard))
+        stream = coordinator.begin_stream(lease["lease_id"])
+        records_fed = 0
+        for frame in frames[: len(frames) // 2]:
+            stream.feed(frame)
+            records_fed += frame["event"] == "record"
+        assert records_fed > 0
+        status = coordinator.status()
+        assert status["records_streaming"] == records_fed
+        assert status["records_merged"] == 0  # nothing committed yet
+        lease_row = status["leases"][0]
+        assert lease_row["records_streamed"] == records_fed
+        for frame in frames[len(frames) // 2 :]:
+            stream.feed(frame)
+        ack = stream.finish()
+        assert ack["accepted"] is True
+        status = coordinator.status()
+        assert status["records_streaming"] == 0  # counters cleared
+        assert status["records_merged"] > 0
+
+    def test_bad_stream_rejected_and_unit_stays_leased(self):
+        from repro.service import StreamProtocolError
+
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=60)
+        lease = coordinator.next_shard("w")
+        from repro.service.sharding import shard_from_dict
+
+        shard = shard_from_dict(lease["shard"])
+        frames = self._frames_for(shard, run_shard(shard))
+        truncated = frames[: len(frames) // 2]  # no terminal done frame
+        with pytest.raises(StreamProtocolError, match="done frame"):
+            coordinator.submit_stream(lease["lease_id"], truncated)
+        status = coordinator.status()
+        assert status["leased"] == 1 and status["done"] == 0
+        assert status["records_streaming"] == 0  # aborted counters gone
+
+    def test_stream_for_done_unit_is_duplicate(self):
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards, lease_seconds=60)
+        lease = coordinator.next_shard("w")
+        from repro.service.sharding import shard_from_dict
+
+        shard = shard_from_dict(lease["shard"])
+        result = run_shard(shard)
+        coordinator.submit_result(
+            lease["lease_id"], sweep_result_to_dict(result)
+        )
+        ack = coordinator.submit_stream(
+            lease["lease_id"], self._frames_for(shard, result)
+        )
+        assert ack["accepted"] is False and ack["duplicate"] is True
+
+    def test_unknown_lease_rejected_for_streams(self):
+        _, shards = make_split(1)
+        coordinator = ShardCoordinator(shards)
+        with pytest.raises(ValueError, match="unknown lease"):
+            coordinator.begin_stream("lease-7-s0")

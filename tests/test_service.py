@@ -445,3 +445,67 @@ class TestSessionServiceEntrypoints:
         )
         assert len(shards) == 3
         assert sum(len(s.plan.jobs) for s in shards) == 2 * 2  # problems x temps
+
+
+class TestProcessPoolCacheStats:
+    """Satellite regression: ProcessPoolSweepExecutor used to hardcode
+    ``evaluator_cache: {}``, so store_hits from worker processes were
+    invisible to the coordinator and /shard/status reported 0."""
+
+    def test_worker_cache_stats_are_collected(self):
+        backend = create_backend("stub-canonical")
+        plan = SweepPlanner(backend).plan(SMALL)
+        result = ProcessPoolSweepExecutor(backend, workers=2).run(plan)
+        cache = result.stats["evaluator_cache"]
+        assert cache, "evaluator_cache must not be the hardcoded {}"
+        assert cache["misses"] > 0  # cold caches really did evaluate
+
+    def test_warm_store_hits_surface_in_stats(self, tmp_path):
+        from repro.eval import VerdictStore
+
+        store = VerdictStore(str(tmp_path))
+        backend = create_backend("stub-canonical")
+        plan = SweepPlanner(backend).plan(SMALL)
+        cold = ProcessPoolSweepExecutor(
+            backend, workers=2, store=store
+        ).run(plan)
+        assert cold.stats["evaluator_cache"]["misses"] > 0
+        warm = ProcessPoolSweepExecutor(
+            backend, workers=2, store=store
+        ).run(plan)
+        assert warm.stats["evaluator_cache"]["store_hits"] > 0
+        assert warm.stats["evaluator_cache"]["misses"] == 0
+        assert warm.sweep.records == cold.sweep.records
+
+    def test_coordinator_status_store_hits_for_process_fleet(self, tmp_path):
+        """Acceptance: /shard/status store_hits is nonzero for a
+        warm-store --executor process worker fleet."""
+        from repro.service import ShardCoordinator, run_worker
+
+        store_dir = str(tmp_path / "verdicts")
+        # warm the shared store with one serial run
+        Session(backend="stub-canonical", store=store_dir).run_sweep(SMALL)
+
+        worker_session = Session(
+            backend="stub-canonical",
+            executor="process",
+            workers=2,
+            store=store_dir,
+        )
+        coordinator = ShardCoordinator(
+            worker_session.plan_shards(2, SMALL), lease_seconds=60
+        )
+        run_worker(
+            transport=in_process_transport(
+                ServiceApp(worker_session, coordinator=coordinator)
+            ),
+            session=worker_session,
+            max_idle_polls=3,
+        )
+        status = ServiceApp(
+            worker_session, coordinator=coordinator
+        ).handle("GET", "/shard/status")[1]
+        assert status["store_hits"] > 0
+        assert coordinator.result().stats["evaluator_cache"][
+            "store_hits"
+        ] > 0

@@ -350,3 +350,113 @@ class TestPackedFormat:
         assert len(store) == 3
         assert store.unpack() == 1  # second attempt finishes the job
         assert not os.path.exists(store.pack_path)
+
+
+class TestPackCompaction:
+    """Satellite: pack() appends forever; compact() rewrites the pack
+    with one line per live key, atomically and idempotently."""
+
+    @staticmethod
+    def _pack_lines(store):
+        with open(store.pack_path, encoding="utf-8") as handle:
+            return [line for line in handle if line.strip()]
+
+    def test_repeated_pack_cycles_leave_duplicates_compact_removes(
+        self, tmp_path
+    ):
+        store = VerdictStore(str(tmp_path))
+        verdicts = {
+            key: CompletionEvaluation(compiled=True, passed=bool(key % 2))
+            for key in range(4)
+        }
+        for cycle in range(3):
+            for key, verdict in verdicts.items():
+                store.put(1, key, verdict)
+            store.pack()
+        assert len(self._pack_lines(store)) == 12  # 3 cycles x 4 keys
+        removed = store.compact()
+        assert removed == 8
+        assert len(self._pack_lines(store)) == 4
+        for key, verdict in verdicts.items():
+            assert store.get(1, key) == verdict
+        assert store.compact() == 0  # idempotent
+        assert len(store) == 4
+
+    def test_compact_without_pack_is_noop(self, tmp_path):
+        store = VerdictStore(str(tmp_path))
+        assert store.compact() == 0
+        store.put(1, 1, CompletionEvaluation(compiled=True, passed=True))
+        assert store.compact() == 0  # files only, still no pack
+
+    def test_compact_drops_corrupt_lines(self, tmp_path):
+        store = VerdictStore(str(tmp_path))
+        store.put(1, 1, CompletionEvaluation(compiled=True, passed=True))
+        store.pack()
+        with open(store.pack_path, "a", encoding="utf-8") as handle:
+            handle.write("{torn line\n")
+        assert store.compact() == 1
+        assert store.get(1, 1) is not None
+
+    def test_compact_is_atomic_no_temp_left(self, tmp_path):
+        import os
+
+        store = VerdictStore(str(tmp_path))
+        for key in range(3):
+            store.put(1, key, CompletionEvaluation(compiled=True, passed=True))
+            store.pack()  # one pack per put -> no duplicates yet
+            store.put(1, key, CompletionEvaluation(compiled=True, passed=True))
+        store.pack()
+        store.compact()
+        assert not [n for n in os.listdir(tmp_path) if ".tmp-" in n]
+
+    def test_cli_store_compact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = VerdictStore(str(tmp_path))
+        for _ in range(2):
+            store.put(2, 9, CompletionEvaluation(compiled=True, passed=True))
+            store.pack()
+        code = main(["store", "compact", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dropped 1 dead line" in out
+        assert main(["store", "compact", str(tmp_path)]) == 0
+        assert "dropped 0 dead line" in capsys.readouterr().out
+
+
+class TestClearAccounting:
+    """Satellite regression: clear() must not count keys that survive a
+    failed pack unlink as removed."""
+
+    def test_clear_counts_packed_keys_once(self, tmp_path):
+        store = VerdictStore(str(tmp_path))
+        for key in range(3):
+            store.put(1, key, CompletionEvaluation(compiled=True, passed=True))
+        store.pack()
+        store.put(1, 99, CompletionEvaluation(compiled=True, passed=False))
+        assert store.clear() == 4
+        assert len(store) == 0
+
+    def test_failed_pack_unlink_not_counted_as_removed(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        store = VerdictStore(str(tmp_path))
+        for key in range(3):
+            store.put(1, key, CompletionEvaluation(compiled=True, passed=True))
+        store.pack()  # all three keys now live only in the pack
+        store.put(1, 99, CompletionEvaluation(compiled=True, passed=False))
+
+        real_unlink = os.unlink
+
+        def stubborn_pack(path, *args, **kwargs):
+            if str(path) == store.pack_path:
+                raise PermissionError("pack is read-only")
+            return real_unlink(path, *args, **kwargs)
+
+        monkeypatch.setattr(os, "unlink", stubborn_pack)
+        removed = store.clear()
+        assert removed == 1  # only the un-packed file actually went away
+        assert len(store) == 3  # packed verdicts still readable
+        assert store.get(1, 0) is not None
