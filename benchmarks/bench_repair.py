@@ -1,0 +1,97 @@
+"""Agentic repair benchmark: pass@1 versus repair budget.
+
+The agentic workload's headline curve: run the same sweep over the
+repairable zoo (``zoo-repair`` — calibrated models that fix a tunable
+fraction of their own failures when re-prompted with the structured
+error) at a range of repair budgets and report how pass@1 climbs as
+each failing sample is granted more error-conditioned repair rounds.
+
+Passing samples are never re-prompted, so the curve is provably
+monotone; the interesting numbers are the *lift per budget unit* (how
+much each extra round buys) and the diminishing returns past the first
+round.  Run it standalone::
+
+    PYTHONPATH=src python benchmarks/bench_repair.py
+    PYTHONPATH=src python benchmarks/bench_repair.py \
+        --budgets 0,1,2,3 --repair-rate 0.5 --min-lift 0.1
+
+``--min-lift X`` exits non-zero unless the highest budget improves
+pass@1 over budget 0 by at least X (absolute) — the CI gate that the
+repair loop actually repairs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api import Session
+from repro.backends import LocalZooBackend
+from repro.eval import SweepConfig
+from repro.models import make_model
+from repro.problems import PromptLevel
+
+
+def build_config(args) -> SweepConfig:
+    return SweepConfig(
+        temperatures=(args.temperature,),
+        completions_per_prompt=(args.n,),
+        levels=(PromptLevel.MEDIUM,),
+        problem_numbers=tuple(range(1, args.problems + 1)),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budgets", default="0,1,2",
+                        help="comma-separated repair budgets (default 0,1,2)")
+    parser.add_argument("--model", default="megatron-355m",
+                        help="zoo model (Table-I name; default: the "
+                             "weakest, so repairs have room to work)")
+    parser.add_argument("--repair-rate", type=float, default=0.5,
+                        help="probability an error-conditioned re-query "
+                             "fixes the failure (default 0.5)")
+    parser.add_argument("--temperature", type=float, default=0.5)
+    parser.add_argument("--n", type=int, default=5,
+                        help="completions per prompt (default 5)")
+    parser.add_argument("--problems", type=int, default=8,
+                        help="benchmark problems 1..N (default 8)")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--min-lift", type=float, default=None,
+                        help="fail unless max-budget pass@1 beats budget-0 "
+                             "pass@1 by at least this much (absolute)")
+    args = parser.parse_args(argv)
+
+    budgets = sorted(int(b) for b in args.budgets.split(","))
+    backend = LocalZooBackend(
+        [make_model(args.model, repair_rate=args.repair_rate)]
+    )
+    session = Session(backend=backend, workers=args.workers)
+    config = build_config(args)
+
+    started = time.perf_counter()
+    out = session.repair_curve(budgets=budgets, config=config)
+    elapsed = time.perf_counter() - started
+
+    print(f"model={args.model} repair_rate={args.repair_rate} "
+          f"t={args.temperature} n={args.n} "
+          f"problems=1..{args.problems} ({elapsed:.2f}s total)")
+    print(f"{'budget':>6} {'records':>8} {'compile':>8} {'pass':>8} "
+          f"{'pass@1':>8} {'lift':>8} {'lift/rd':>8}")
+    for row in out["curve"]:
+        print(f"{row['budget']:>6} {row['records']:>8} "
+              f"{row['compile_rate']:>8.3f} {row['pass_rate']:>8.3f} "
+              f"{row['pass_at_k']:>8.3f} {row['lift']:>+8.3f} "
+              f"{row['lift_per_budget']:>+8.3f}")
+
+    top = out["curve"][-1]
+    if args.min_lift is not None and top["lift"] < args.min_lift:
+        print(f"FAIL: budget-{top['budget']} lift {top['lift']:.3f} "
+              f"< required {args.min_lift}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

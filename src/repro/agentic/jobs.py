@@ -1,0 +1,159 @@
+"""Repair-sweep planning: RepairJobs over the existing job machinery.
+
+A :class:`RepairJob` pairs one
+:class:`~repro.eval.jobs.GenerationJob` with its repair budget; a
+:class:`RepairPlanner` expands a sweep config the same way the plain
+:class:`~repro.eval.jobs.SweepPlanner` does (identical nesting order,
+identical skips), so repair plans keep the serial-order parity
+invariant.  Execution goes through the standard executors with the
+backend wrapped in a :class:`~repro.agentic.backend.RepairingBackend`
+— :func:`execute_repair_sweep` is the one-call path, and
+:func:`run_repair_job` drives a single job's chains directly (tests,
+notebooks, the CLI ``repair`` command's detail view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..backends.base import Backend
+from ..eval.harness import CompletionRecord, SweepConfig
+from ..eval.jobs import (
+    GenerationJob,
+    SkippedJob,
+    SweepPlan,
+    SweepPlanner,
+    SweepResult,
+    evaluate_completions,
+    execute_sweep,
+)
+from ..eval.pipeline import Evaluator
+from ..problems import get_problem
+from .backend import RepairingBackend
+from .loop import AttemptCallback, RepairConfig, RepairOutcome, \
+    repair_completion
+
+
+@dataclass(frozen=True)
+class RepairJob:
+    """One generation unit plus its bounded repair budget."""
+
+    job: GenerationJob
+    budget: int
+
+    @property
+    def model(self) -> str:
+        return self.job.model
+
+    @property
+    def problem(self) -> int:
+        return self.job.problem
+
+
+@dataclass
+class RepairPlan:
+    """Planner output: repair jobs, skips, and the underlying plan."""
+
+    jobs: list[RepairJob] = field(default_factory=list)
+    skipped: list[SkippedJob] = field(default_factory=list)
+    config: SweepConfig = field(default_factory=SweepConfig)
+    repair: RepairConfig = field(default_factory=RepairConfig)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def plan(self) -> SweepPlan:
+        """The plain :class:`SweepPlan` this repair plan decorates."""
+        return SweepPlan(
+            jobs=[rjob.job for rjob in self.jobs],
+            skipped=list(self.skipped),
+            config=self.config,
+        )
+
+
+class RepairPlanner:
+    """Expand a sweep config into budgeted :class:`RepairJob` units."""
+
+    def __init__(self, backend: Backend, repair: RepairConfig | None = None):
+        self.backend = backend
+        self.repair = repair or RepairConfig()
+
+    def plan(
+        self,
+        config: SweepConfig | None = None,
+        models: Sequence[str] | None = None,
+    ) -> RepairPlan:
+        base = SweepPlanner(self.backend).plan(config, models=models)
+        return RepairPlan(
+            jobs=[RepairJob(job=job, budget=self.repair.budget)
+                  for job in base.jobs],
+            skipped=list(base.skipped),
+            config=base.config,
+            repair=self.repair,
+        )
+
+
+def run_repair_job(
+    backend: Backend,
+    evaluator: Evaluator,
+    repair_job: RepairJob,
+    repair: RepairConfig | None = None,
+    store=None,
+    on_attempt: "AttemptCallback | None" = None,
+) -> tuple[list[CompletionRecord], list[RepairOutcome]]:
+    """Drive one RepairJob's chains; records reflect the final attempts.
+
+    ``backend`` is the *raw* generation backend (not a
+    :class:`RepairingBackend` — wrapping happens here), so the per-chain
+    :class:`RepairOutcome` histories stay visible to the caller.
+    """
+    repair = repair or RepairConfig(budget=repair_job.budget)
+    job = repair_job.job
+    problem = get_problem(job.problem)
+    prompt = problem.prompt(job.level)
+    config = job.generation_config()
+    completions = backend.generate(job.model, prompt, config)
+    outcomes = [
+        repair_completion(
+            backend, job.model, problem, job.level, prompt, completion,
+            config, repair, evaluator, store=store, on_attempt=on_attempt,
+        )
+        for completion in completions
+    ]
+    records = evaluate_completions(
+        evaluator, job, [outcome.completion for outcome in outcomes]
+    )
+    return records, outcomes
+
+
+def execute_repair_sweep(
+    backend: "Backend | str | None",
+    repair: RepairConfig | None = None,
+    config: SweepConfig | None = None,
+    models: Sequence[str] | None = None,
+    evaluator: Evaluator | None = None,
+    workers: int = 1,
+    store=None,
+) -> SweepResult:
+    """Plan + execute a repair sweep through the standard executors."""
+    repairing = RepairingBackend(
+        backend, repair=repair, evaluator=evaluator, store=store
+    )
+    return execute_sweep(
+        repairing,
+        config=config,
+        models=models,
+        evaluator=repairing.evaluator,
+        workers=workers,
+    )
+
+
+__all__ = [
+    "RepairJob",
+    "RepairPlan",
+    "RepairPlanner",
+    "execute_repair_sweep",
+    "run_repair_job",
+]

@@ -1,0 +1,213 @@
+"""The generate → evaluate → format-error → re-prompt repair loop.
+
+One repair chain per sample: the initial completion is evaluated with
+the shared :class:`~repro.eval.pipeline.Evaluator`; while it fails and
+budget remains, the structured failure is formatted into a feedback
+turn (:mod:`repro.agentic.feedback`), the grown transcript goes back
+through the :class:`~repro.backends.base.Backend` chat surface for one
+re-sample, and the new attempt is evaluated in turn.  The loop stops on
+the first pass or on budget exhaustion and returns the *final*
+completion plus the full per-attempt history.
+
+Every attempt's verdict is persisted in the
+:class:`~repro.eval.store.VerdictStore` under the **transcript hash**
+(the conversation so far, attempt included) — not just the completion
+hash — so a warm store replays whole repair chains without
+re-simulating, and identical completions reached through different
+repair histories stay distinguishable.
+
+Everything here is deterministic given a deterministic backend, which
+is what makes sharded repair sweeps merge byte-identically with serial
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..backends.base import Backend
+from ..eval.pipeline import CompletionEvaluation, Evaluator
+from ..models.base import Completion, GenerationConfig
+from ..problems import Problem, PromptLevel
+from .feedback import format_feedback, lint_findings
+from .transcript import Transcript
+
+
+@dataclass(frozen=True)
+class RepairConfig:
+    """Knobs of one repair loop.
+
+    ``budget`` is the maximum number of *repair rounds* after the
+    initial attempt (0 disables repair entirely); ``max_feedback_errors``
+    bounds how many diagnostics each re-prompt quotes;
+    ``include_lint`` adds static-lint findings to the feedback when the
+    failed attempt still parses.
+    """
+
+    budget: int = 1
+    max_feedback_errors: int = 3
+    include_lint: bool = True
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError("budget must be >= 0")
+        if self.max_feedback_errors < 0:
+            raise ValueError("max_feedback_errors must be >= 0")
+
+
+@dataclass(frozen=True)
+class RepairAttempt:
+    """One evaluated attempt in a repair chain (round 0 = initial)."""
+
+    round: int
+    verdict: str
+    stage: str
+    compiled: bool
+    passed: bool
+    transcript_hash: int
+    inference_seconds: float = 0.0
+
+
+@dataclass
+class RepairOutcome:
+    """What one repair chain produced.
+
+    ``completion`` is the final attempt with ``inference_seconds``
+    accumulated over the whole chain (repair spend is real inference
+    spend); ``attempts`` is the full history, oldest first.
+    """
+
+    completion: Completion
+    transcript: Transcript
+    attempts: list[RepairAttempt] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.attempts) and self.attempts[-1].passed
+
+    @property
+    def rounds_used(self) -> int:
+        """Repair rounds consumed (0 = the initial attempt sufficed)."""
+        return max(0, len(self.attempts) - 1)
+
+
+#: Per-attempt observer (the NDJSON ``attempt`` event source).
+AttemptCallback = Callable[[RepairAttempt], None]
+
+
+def evaluate_attempt(
+    evaluator: Evaluator,
+    problem: Problem,
+    level: PromptLevel,
+    completion_text: str,
+    transcript: Transcript,
+    store=None,
+) -> tuple[CompletionEvaluation, int]:
+    """Evaluate one attempt, keyed in the store by transcript hash.
+
+    The store is consulted first: a previously-seen repair chain skips
+    compile+simulate entirely (warm-start).  On a miss the shared
+    evaluator computes the verdict (its own completion-hash cache and
+    store write still apply) and the verdict is persisted again under
+    the transcript hash.
+    """
+    transcript_hash = transcript.transcript_hash
+    if store is not None:
+        cached = store.get(problem.number, transcript_hash)
+        if cached is not None:
+            return cached, transcript_hash
+    verdict = evaluator.evaluate(problem, completion_text, level)
+    if store is not None:
+        store.put(problem.number, transcript_hash, verdict)
+    return verdict, transcript_hash
+
+
+def repair_completion(
+    backend: Backend,
+    model: str,
+    problem: Problem,
+    level: PromptLevel,
+    prompt: str,
+    completion: Completion,
+    generation: GenerationConfig,
+    repair: RepairConfig,
+    evaluator: Evaluator,
+    store=None,
+    on_attempt: "AttemptCallback | None" = None,
+) -> RepairOutcome:
+    """Run one sample's repair chain to pass or budget exhaustion."""
+    transcript = Transcript.start(prompt)
+    transcript.add_assistant(completion.text)
+    attempts: list[RepairAttempt] = []
+    current = completion
+    total_seconds = completion.inference_seconds
+
+    def record(verdict: CompletionEvaluation, transcript_hash: int) -> None:
+        attempt = RepairAttempt(
+            round=len(attempts),
+            verdict=verdict.verdict,
+            stage=verdict.stage,
+            compiled=verdict.compiled,
+            passed=verdict.passed,
+            transcript_hash=transcript_hash,
+            inference_seconds=current.inference_seconds,
+        )
+        attempts.append(attempt)
+        if on_attempt is not None:
+            on_attempt(attempt)
+
+    verdict, transcript_hash = evaluate_attempt(
+        evaluator, problem, level, current.text, transcript, store
+    )
+    record(verdict, transcript_hash)
+
+    while not verdict.passed and len(attempts) <= repair.budget:
+        lint = (
+            lint_findings(problem, current.text, level)
+            if repair.include_lint
+            else []
+        )
+        transcript.add_user(
+            format_feedback(
+                verdict,
+                round_index=len(attempts),
+                max_errors=repair.max_feedback_errors,
+                lint=lint,
+            )
+        )
+        single = GenerationConfig(
+            temperature=generation.temperature,
+            n=1,
+            max_tokens=generation.max_tokens,
+            top_p=generation.top_p,
+        )
+        replies = backend.generate_chat(model, transcript.messages(), single)
+        if not replies:  # a backend that returns nothing ends the chain
+            break
+        current = replies[0]
+        total_seconds += current.inference_seconds
+        transcript.add_assistant(current.text)
+        verdict, transcript_hash = evaluate_attempt(
+            evaluator, problem, level, current.text, transcript, store
+        )
+        record(verdict, transcript_hash)
+
+    final = Completion(
+        text=current.text,
+        inference_seconds=total_seconds,
+        tokens=current.tokens,
+    )
+    return RepairOutcome(
+        completion=final, transcript=transcript, attempts=attempts
+    )
+
+
+__all__ = [
+    "AttemptCallback",
+    "RepairAttempt",
+    "RepairConfig",
+    "RepairOutcome",
+    "evaluate_attempt",
+    "repair_completion",
+]

@@ -1,0 +1,103 @@
+"""Bounded multi-turn repair transcripts.
+
+A :class:`Transcript` is the conversation state of one repair chain:
+the original benchmark prompt, the model's completion, then alternating
+(error feedback, re-completion) turns up to the repair budget.  It
+renders three ways:
+
+* :meth:`messages` — chat-style role/content dicts for
+  :meth:`~repro.backends.base.Backend.generate_chat`;
+* :meth:`flatten` — one prompt string (what completion-style backends
+  see; it starts with the original prompt, so the zoo's module-header
+  and prompt-level matching still work on it);
+* :meth:`render` — a canonical role-tagged serialization whose
+  :func:`~repro.models.base.stable_hash` is the *transcript hash*, the
+  :class:`~repro.eval.store.VerdictStore` key for per-attempt verdicts.
+  Two attempts with the same completion text but different repair
+  histories hash differently — the point of keying by transcript, not
+  prompt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..models.base import stable_hash
+
+ROLE_USER = "user"
+ROLE_ASSISTANT = "assistant"
+
+#: Unit/record separators: unambiguous turn framing for render()
+#: (no content collision the way "\n".join could produce).
+_TURN_SEP = "\x1e"
+_ROLE_SEP = "\x1f"
+
+
+@dataclass(frozen=True)
+class Turn:
+    """One conversation turn."""
+
+    role: str
+    content: str
+
+
+@dataclass
+class Transcript:
+    """An ordered list of turns, user-first."""
+
+    turns: list[Turn] = field(default_factory=list)
+
+    @classmethod
+    def start(cls, prompt: str) -> "Transcript":
+        """A fresh transcript opened with the benchmark prompt."""
+        return cls(turns=[Turn(ROLE_USER, prompt)])
+
+    def add_user(self, content: str) -> None:
+        self.turns.append(Turn(ROLE_USER, content))
+
+    def add_assistant(self, content: str) -> None:
+        self.turns.append(Turn(ROLE_ASSISTANT, content))
+
+    # ------------------------------------------------------------------
+    @property
+    def prompt(self) -> str:
+        """The opening user prompt."""
+        return self.turns[0].content if self.turns else ""
+
+    @property
+    def rounds(self) -> int:
+        """Completed assistant turns (attempt 0 counts as round 1)."""
+        return sum(turn.role == ROLE_ASSISTANT for turn in self.turns)
+
+    def messages(self) -> list[dict]:
+        """Chat-shaped dicts for :meth:`Backend.generate_chat`."""
+        return [
+            {"role": turn.role, "content": turn.content}
+            for turn in self.turns
+        ]
+
+    def flatten(self) -> str:
+        """All turn contents joined — the completion-backend view."""
+        return "\n".join(turn.content for turn in self.turns)
+
+    def render(self) -> str:
+        """Canonical serialization (role-tagged, separator-framed)."""
+        return _TURN_SEP.join(
+            f"{turn.role}{_ROLE_SEP}{turn.content}" for turn in self.turns
+        )
+
+    @property
+    def transcript_hash(self) -> int:
+        """Deterministic 64-bit hash of the full conversation so far."""
+        return stable_hash(self.render())
+
+    def __len__(self) -> int:
+        return len(self.turns)
+
+
+__all__ = [
+    "ROLE_ASSISTANT",
+    "ROLE_USER",
+    "Transcript",
+    "Turn",
+]

@@ -71,6 +71,17 @@ class Session:
         shared across processes and runs: verdicts persist to disk, so
         process-pool workers, coordinator workers and later sessions
         skip re-compiling completions any of them has seen before.
+    repair_budget:
+        When > 0, the session's backend is wrapped in a
+        :class:`~repro.agentic.RepairingBackend`: every failing sample
+        gets up to this many error-conditioned repair rounds (the
+        agentic generate → test → repair loop) before its final verdict.
+        Everything downstream — executors, sharding, streaming — is
+        unchanged; the sweep simply sees the post-repair completions.
+    repair:
+        A full :class:`~repro.agentic.RepairConfig` when the defaults
+        (feedback length, lint hints) need tuning; its ``budget`` wins
+        over ``repair_budget``.
     """
 
     def __init__(
@@ -83,6 +94,8 @@ class Session:
         retry: RetryPolicy | None = None,
         batch_size: int = 1,
         store=None,
+        repair_budget: int = 0,
+        repair=None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -95,6 +108,20 @@ class Session:
         elif self.store is not None and evaluator.store is None:
             evaluator.store = self.store
         self.evaluator = evaluator
+        if repair is None and repair_budget > 0:
+            from .agentic import RepairConfig
+
+            repair = RepairConfig(budget=repair_budget)
+        self.repair = repair
+        if repair is not None and repair.budget > 0:
+            from .agentic import RepairingBackend
+
+            self.backend = RepairingBackend(
+                self.backend,
+                repair=repair,
+                evaluator=self.evaluator,
+                store=self.store,
+            )
         self.workers = workers
         self.progress = progress
         self.executor = executor
@@ -128,13 +155,19 @@ class Session:
         """Expand a sweep into jobs without running it."""
         return SweepPlanner(self.backend).plan(config, models=models)
 
-    def make_executor(self) -> Executor:
-        """The executor this session is configured for."""
+    def make_executor(self, backend: Backend | None = None) -> Executor:
+        """The executor this session is configured for.
+
+        ``backend`` overrides the session backend for this executor
+        only (used by :meth:`repair_curve` to run the same sweep at
+        several repair budgets).
+        """
+        backend = backend if backend is not None else self.backend
         if self.executor == "process":
             from .service.process import ProcessPoolSweepExecutor
 
             return ProcessPoolSweepExecutor(
-                self.backend,
+                backend,
                 workers=self.workers,
                 retry=self.retry,
                 progress=self.progress,
@@ -144,7 +177,7 @@ class Session:
             from .service.aio import AsyncSweepExecutor
 
             return AsyncSweepExecutor(
-                self.backend,
+                backend,
                 evaluator=self.evaluator,
                 concurrency=self.workers,
                 progress=self.progress,
@@ -152,7 +185,7 @@ class Session:
                 batch_size=self.batch_size,
             )
         return SweepExecutor(
-            self.backend,
+            backend,
             evaluator=self.evaluator,
             workers=self.workers,
             progress=self.progress,
@@ -201,6 +234,57 @@ class Session:
                 progress=self.progress,
             )
         return self.run_sweep(config, models=[model])
+
+    def repair_curve(
+        self,
+        budgets: Sequence[int] = (0, 1, 2),
+        config: SweepConfig | None = None,
+        models: Sequence[str] | None = None,
+        k: int = 1,
+    ) -> dict:
+        """Run the same sweep at each repair budget; report the curve.
+
+        The agentic workload's headline: pass@k *versus repair budget*.
+        Each budget runs one full sweep over the session's raw backend
+        (budget 0 = no repair loop at all), all sharing this session's
+        evaluator and verdict store, so later budgets reuse cached
+        verdicts for every first-round completion.  Returns::
+
+            {"results": {budget: SweepResult, ...},
+             "curve":   [{"budget", "k", "records", "pass_rate",
+                          "compile_rate", "pass_at_k", "lift",
+                          "lift_per_budget"}, ...]}
+        """
+        from .agentic import RepairConfig, RepairingBackend
+        from .eval.metrics import repair_budget_curve
+
+        raw = getattr(self.backend, "inner", self.backend)
+        results: dict[int, SweepResult] = {}
+        for budget in sorted(set(int(b) for b in budgets)):
+            if budget < 0:
+                raise ValueError("repair budgets must be >= 0")
+            if budget == 0:
+                backend = raw
+            else:
+                base = self.repair or RepairConfig()
+                backend = RepairingBackend(
+                    raw,
+                    repair=RepairConfig(
+                        budget=budget,
+                        max_feedback_errors=base.max_feedback_errors,
+                        include_lint=base.include_lint,
+                    ),
+                    evaluator=self.evaluator,
+                    store=self.store,
+                )
+            plan = SweepPlanner(backend).plan(config, models=models)
+            results[budget] = self.make_executor(backend).run(plan)
+        curve = repair_budget_curve(
+            {budget: result.sweep.records
+             for budget, result in results.items()},
+            k=k,
+        )
+        return {"results": results, "curve": curve}
 
     # ------------------------------------------------------------------
     # Distributed entrypoints (repro.service)

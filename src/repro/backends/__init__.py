@@ -8,6 +8,10 @@ Built-in registrations:
   for tests and smoke runs;
 * ``"stub-canonical"`` — stub answering benchmark prompts with the
   reference solutions (all-pass smoke source);
+* ``"zoo-repair"`` — the zoo variants with the repairable failure mode
+  enabled (``repair_rate=0.5`` by default): error-conditioned re-samples
+  fix half of their own failures, the offline workload for the agentic
+  repair loop (:mod:`repro.agentic`);
 * ``"http"`` — :class:`HTTPChatBackend`, an offline-safe chat-endpoint
   adapter with an injectable transport;
 * ``"service"`` — :class:`~repro.service.client.ServiceBackend`, the
@@ -39,7 +43,18 @@ def _service_backend(**kwargs):
     return ServiceBackend(**kwargs)
 
 
+def _zoo_repair_backend(repair_rate: float = 0.5, seed: int = 0):
+    from ..models.zoo import repairable_model_variants
+
+    backend = LocalZooBackend(
+        repairable_model_variants(repair_rate=repair_rate, seed=seed)
+    )
+    backend.name = "zoo-repair"
+    return backend
+
+
 register_backend("zoo", LocalZooBackend)
+register_backend("zoo-repair", _zoo_repair_backend)
 register_backend("stub", StubBackend)
 register_backend(
     "stub-canonical", lambda **kw: StubBackend(canonical=True, **kw)

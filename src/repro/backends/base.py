@@ -75,6 +75,28 @@ class Backend(abc.ABC):
             for prompt, config in requests
         ]
 
+    def generate_chat(
+        self,
+        model: str,
+        messages: Sequence[dict],
+        config: GenerationConfig,
+    ) -> list[Completion]:
+        """Serve a multi-turn chat request (the agentic repair surface).
+
+        ``messages`` are ``{"role": ..., "content": ...}`` dicts in
+        conversation order.  The default flattens the non-system turns
+        into one prompt and delegates to :meth:`generate` — correct for
+        completion-style backends (the zoo, stubs); chat-native
+        backends (:class:`~repro.backends.http.HTTPChatBackend`)
+        override it to ship the turns verbatim.
+        """
+        prompt = "\n".join(
+            str(message.get("content", ""))
+            for message in messages
+            if message.get("role", "user") != "system"
+        )
+        return self.generate(model, prompt, config)
+
     def capabilities(self, model: str) -> ModelCapabilities:
         """Capability claims for ``model``; defaults are permissive."""
         return ModelCapabilities()

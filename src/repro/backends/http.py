@@ -27,19 +27,59 @@ SYSTEM_PROMPT = (
     "Verilog code, ending with `endmodule`; do not use SystemVerilog."
 )
 
-_FENCE_RES = (
-    re.compile(r"```(?:[Vv]erilog|v|systemverilog)\s*\n(.*?)\n\s*```", re.DOTALL),
-    re.compile(r"```\s*\n(.*?)\n\s*```", re.DOTALL),
+#: A complete fenced block: opening fence with an optional language tag
+#: (```verilog, ```systemverilog, ```v, bare ```), body, closing fence.
+_FENCE_BLOCK_RE = re.compile(
+    r"```[ \t]*[A-Za-z0-9_+.-]*[ \t]*\r?\n(.*?)(?:\r?\n)?[ \t]*```",
+    re.DOTALL,
+)
+#: A complete module definition inside one block.
+_MODULE_SPAN_RE = re.compile(r"\bmodule\b.*?\bendmodule\b", re.DOTALL)
+#: A stray fence-marker line: a ``` fence (tagged or not) or a line of
+#: bare backticks.  Deliberately does NOT match Verilog compiler
+#: directives (`timescale, `ifdef, `endif...): a single backtick
+#: followed by a word is real code, not markdown.
+_STRAY_FENCE_LINE_RE = re.compile(
+    r"^[ \t]*(```+[ \t]*[A-Za-z0-9_+.-]*|`+)[ \t]*$"
 )
 
 
 def clean_chat_response(text: str) -> str:
-    """Extract code from markdown fences; fall back to the bare text."""
-    for fence in _FENCE_RES:
-        match = fence.search(text)
-        if match:
-            return match.group(1).strip()
-    return text.strip()
+    """Extract code from a chatty markdown reply.
+
+    Handles the shapes multi-turn chat models actually produce:
+
+    * fenced blocks with any language tag (```verilog, ```systemverilog,
+      ```v, untagged);
+    * several code blocks in one reply — the *last* block containing a
+      complete ``module...endmodule`` wins (models often restate the
+      fixed version after prose; earlier blocks quote the broken one),
+      else the last block;
+    * stray fence markers and wrapping backticks with no matching pair —
+      stripped line-wise without touching backtick compiler directives.
+    """
+    blocks = [
+        match.group(1).strip() for match in _FENCE_BLOCK_RE.finditer(text)
+    ]
+    blocks = [block for block in blocks if block]
+    if blocks:
+        complete = [b for b in blocks if _MODULE_SPAN_RE.search(b)]
+        return complete[-1] if complete else blocks[-1]
+    # no complete fence pair: drop stray fence-marker lines, then peel
+    # symmetric wrapping backticks (`code`) off the remainder
+    lines = [
+        line
+        for line in text.splitlines()
+        if not _STRAY_FENCE_LINE_RE.match(line)
+    ]
+    cleaned = "\n".join(lines).strip()
+    while (
+        len(cleaned) > 1
+        and cleaned.startswith("`")
+        and cleaned.endswith("`")
+    ):
+        cleaned = cleaned[1:-1].strip()
+    return cleaned
 
 
 def extract_chat_text(response: dict) -> str:
@@ -83,15 +123,21 @@ class HTTPChatBackend(Backend):
     def capabilities(self, model: str) -> ModelCapabilities:
         return ModelCapabilities(max_tokens=self._max_tokens)
 
-    def payload(
-        self, model: str, prompt: str, config: GenerationConfig, index: int
+    def chat_payload(
+        self,
+        model: str,
+        messages: Sequence[dict],
+        config: GenerationConfig,
+        index: int,
     ) -> dict:
-        """One chat request; ``index`` seeds distinct samples per prompt."""
+        """One multi-turn chat request (system prompt prepended);
+        ``index`` seeds distinct samples per conversation."""
         return {
             "model": model,
             "messages": [
                 {"role": "system", "content": self.system_prompt},
-                {"role": "user", "content": prompt},
+                *({"role": m.get("role", "user"),
+                   "content": str(m.get("content", ""))} for m in messages),
             ],
             "options": {
                 "temperature": config.temperature,
@@ -102,9 +148,28 @@ class HTTPChatBackend(Backend):
             "stream": False,
         }
 
+    def payload(
+        self, model: str, prompt: str, config: GenerationConfig, index: int
+    ) -> dict:
+        """One single-turn chat request; ``index`` seeds distinct samples."""
+        return self.chat_payload(
+            model, [{"role": "user", "content": prompt}], config, index
+        )
+
     def generate(
         self, model: str, prompt: str, config: GenerationConfig
     ) -> list[Completion]:
+        return self.generate_chat(
+            model, [{"role": "user", "content": prompt}], config
+        )
+
+    def generate_chat(
+        self,
+        model: str,
+        messages: Sequence[dict],
+        config: GenerationConfig,
+    ) -> list[Completion]:
+        """Serve a multi-turn conversation verbatim (no flattening)."""
         if self._transport is None:
             raise BackendError(
                 "HTTPChatBackend has no transport configured; it is "
@@ -114,7 +179,9 @@ class HTTPChatBackend(Backend):
         completions = []
         for index in range(config.n):
             started = time.perf_counter()
-            response = self._transport(self.url, self.payload(model, prompt, config, index))
+            response = self._transport(
+                self.url, self.chat_payload(model, messages, config, index)
+            )
             elapsed = time.perf_counter() - started
             text = extract_chat_text(response)
             if self.clean:

@@ -16,7 +16,14 @@ Commands:
   it); print jobs/skips/errors and optionally export records to
   JSON/CSV (or a mergeable shard-result file); with ``--stream --url``
   the sweep runs on a remote streaming service and progress renders
-  live as NDJSON events arrive;
+  live as NDJSON events arrive; ``--repair-budget N`` gives every
+  failing sample up to N agentic repair rounds (error-conditioned
+  re-prompts through the repair loop) before its final verdict;
+* ``repair [--budgets 0,1,2] [--k K] [--backend B] ...`` — run the
+  same sweep at several repair budgets and print the pass@k-vs-budget
+  curve (the agentic workload's headline; try ``--backend zoo-repair``,
+  whose calibrated models fix a tunable fraction of their own failures
+  when re-prompted with their error);
 * ``merge SHARD.json ... [--export PATH]`` — recombine executed shard
   files into one serial-order result;
 * ``serve [--backend B] [--host H] [--port P] [--workers W] [--aio]``
@@ -138,6 +145,7 @@ def _make_session(args, backend):
         retry=retry,
         batch_size=getattr(args, "batch_size", 1),
         store=getattr(args, "store", None),
+        repair_budget=getattr(args, "repair_budget", 0),
     )
 
 
@@ -274,6 +282,11 @@ def _render_stream_event(frame: dict) -> None:
         print(f"  ! job {frame['job_index']} failed "
               f"({error['job']['model']} P{error['job']['problem']}): "
               f"{error['error']}", flush=True)
+    elif event == "attempt":
+        stage = f" [{frame['stage']}]" if frame.get("stage") else ""
+        print(f"  ~ repair {frame['model']} P{frame['problem']}"
+              f"#{frame.get('sample_index', 0)} round {frame['round']}: "
+              f"{frame['verdict']}{stage}", flush=True)
     elif event == "progress":
         print(f"  [{frame['jobs_done']}/{frame['jobs_total']}] "
               f"{frame['records']} records, {frame['errors']} errors",
@@ -297,6 +310,7 @@ def _cmd_sweep_stream(args, config) -> int:
             ("--store", args.store is not None),
             ("--executor", args.executor != "thread"),
             ("--backend", args.backend != "zoo"),
+            ("--repair-budget", bool(getattr(args, "repair_budget", 0))),
         )
         if is_set
     ]
@@ -429,6 +443,55 @@ def _cmd_sweep(args) -> int:
             save_sweep(sweep, args.export)
             print(f"-- wrote {args.export}")
     return 1 if result.errors else 0
+
+
+def _cmd_repair(args) -> int:
+    """Run the same sweep at several repair budgets; print the curve."""
+    from .backends import BackendError
+    from .eval import save_sweep
+
+    config = _build_sweep_config(args)
+    if config is None:
+        return 2
+    try:
+        budgets = tuple(int(part) for part in args.budgets.split(","))
+    except ValueError:
+        print(f"error: --budgets must be comma-separated integers, "
+              f"got {args.budgets!r}")
+        return 2
+    if any(budget < 0 for budget in budgets):
+        print("error: repair budgets must be >= 0")
+        return 2
+    if args.export and not args.export.endswith((".json", ".csv")):
+        print(f"error: --export must end in .json or .csv, "
+              f"got {args.export!r}")
+        return 2
+    session = _session(args)
+    models = args.models.split(",") if args.models else None
+    try:
+        out = session.repair_curve(
+            budgets=budgets, config=config, models=models, k=args.k
+        )
+    except BackendError as exc:
+        print(f"error: {exc}")
+        return 2
+    header = f"pass@{args.k}"
+    print(f"{'budget':>6} {'records':>8} {'compile':>8} {'pass':>8} "
+          f"{header:>8} {'lift':>8}")
+    for row in out["curve"]:
+        print(f"{row['budget']:>6} {row['records']:>8} "
+              f"{row['compile_rate']:>8.3f} {row['pass_rate']:>8.3f} "
+              f"{row['pass_at_k']:>8.3f} {row['lift']:>+8.3f}")
+    top = max(out["results"])
+    stats = out["results"][top].stats
+    print(f"-- backend={stats.get('backend', '?')} "
+          f"workers={stats.get('workers', '?')} "
+          f"cache={stats.get('evaluator_cache', {})}")
+    if args.export:
+        save_sweep(out["results"][top].sweep, args.export)
+        print(f"-- wrote {args.export} (budget-{top} records)")
+    errors = sum(len(result.errors) for result in out["results"].values())
+    return 1 if errors else 0
 
 
 def _cmd_merge(args) -> int:
@@ -784,6 +847,12 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
         help="directory for the shared on-disk verdict store "
              "(cross-process compile/simulate cache)",
     )
+    parser.add_argument(
+        "--repair-budget", type=int, default=0, metavar="N",
+        help="agentic repair: give each failing sample up to N "
+             "error-conditioned repair rounds before its final verdict "
+             "(default: 0, no repair)",
+    )
 
 
 def _add_sweep_config_flags(parser: argparse.ArgumentParser) -> None:
@@ -850,6 +919,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the sweep on a remote streaming service "
                         "(--url, from `repro serve --aio`) and render "
                         "progress live as NDJSON events arrive")
+    _add_service_flags(p)
+
+    p = sub.add_parser(
+        "repair",
+        help="run a sweep at several repair budgets; print pass@k vs budget",
+    )
+    _add_sweep_config_flags(p)
+    p.add_argument("--budgets", default="0,1,2",
+                   help="comma-separated repair budgets to sweep "
+                        "(default: 0,1,2)")
+    p.add_argument("--k", type=_positive_int, default=1,
+                   help="k for the per-problem pass@k column (default: 1)")
+    p.add_argument("--batch-size", type=_positive_int, default=1,
+                   help="consecutive same-model jobs per generate_batch call")
+    p.add_argument("--export", default=None,
+                   help="write the highest-budget sweep's records to "
+                        ".json/.csv")
     _add_service_flags(p)
 
     p = sub.add_parser("merge", help="merge executed shard-result files")
@@ -929,6 +1015,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backoff", type=float, default=0.0)
     p.add_argument("--store", default=None,
                    help="shared on-disk verdict store directory")
+    p.add_argument("--repair-budget", type=int, default=0, metavar="N",
+                   help="agentic repair rounds per failing sample "
+                        "(every worker of one sweep must use the same "
+                        "value to keep merge parity)")
     p.add_argument("--worker-id", default=None,
                    help="name reported to the coordinator "
                         "(default: host-pid)")
@@ -974,6 +1064,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
+    "repair": _cmd_repair,
     "merge": _cmd_merge,
     "serve": _cmd_serve,
     "coordinate": _cmd_coordinate,

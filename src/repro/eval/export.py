@@ -162,6 +162,9 @@ def error_to_dict(error) -> dict:
         "job": job_to_dict(error.job),
         "error": error.error,
         "attempts": error.attempts,
+        "stage": error.stage,
+        "exception": error.exception,
+        "line": error.line,
     }
 
 
@@ -172,6 +175,9 @@ def error_from_dict(row: dict):
         job=job_from_dict(row["job"]),
         error=row["error"],
         attempts=int(row.get("attempts", 1)),
+        stage=str(row.get("stage", "")),
+        exception=str(row.get("exception", "")),
+        line=int(row.get("line", 0)),
     )
 
 
@@ -219,6 +225,8 @@ def evaluation_to_dict(evaluation) -> dict:
         "passed": evaluation.passed,
         "compile_errors": list(evaluation.compile_errors),
         "sim_finished": evaluation.sim_finished,
+        "stage": evaluation.stage,
+        "error_line": evaluation.error_line,
     }
 
 
@@ -230,6 +238,8 @@ def evaluation_from_dict(row: dict):
         passed=bool(row["passed"]),
         compile_errors=tuple(str(e) for e in row.get("compile_errors", [])),
         sim_finished=bool(row.get("sim_finished", False)),
+        stage=str(row.get("stage", "")),
+        error_line=int(row.get("error_line", 0)),
     )
 
 

@@ -77,11 +77,87 @@ class JobError:
 
     ``attempts`` counts how many times the executor tried the job before
     giving up (1 unless a :class:`RetryPolicy` allowed retries).
+
+    The structured fields classify the failure without string scraping:
+    ``stage`` names where it died (``"backend"``, ``"parse"``,
+    ``"elaborate"``, ``"sim"``, ``"testbench"``, or ``""`` when
+    unclassified), ``exception`` is the raising exception's class name,
+    and ``line`` the source line when the Verilog frontend knew one.
     """
 
     job: GenerationJob
     error: str
     attempts: int = 1
+    stage: str = ""
+    exception: str = ""
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured failure payload carried inside a :data:`JobOutcome`.
+
+    Executors build one via :func:`failure_from_exception` instead of a
+    bare message string, so :func:`assemble_result` can populate the
+    structured :class:`JobError` fields.  Plain strings still work (the
+    legacy outcome shape) and classify as stage ``""``.
+    """
+
+    message: str
+    stage: str = ""
+    exception: str = ""
+    line: int = 0
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def failure_from_exception(exc: BaseException) -> JobFailure:
+    """Classify an exception into a :class:`JobFailure`.
+
+    Backend trouble maps to stage ``"backend"``; the Verilog frontend's
+    exception hierarchy maps to its pipeline stage and carries the
+    source line.  Anything else keeps stage ``""`` (unclassified).
+    """
+    from ..verilog.errors import (
+        ElaborationError,
+        LexError,
+        ParseError,
+        SimulationError,
+    )
+
+    if isinstance(exc, BackendError):
+        stage = "backend"
+    elif isinstance(exc, (LexError, ParseError)):
+        stage = "parse"
+    elif isinstance(exc, ElaborationError):
+        stage = "elaborate"
+    elif isinstance(exc, SimulationError):
+        stage = "sim"
+    else:
+        stage = ""
+    return JobFailure(
+        message=f"{type(exc).__name__}: {exc}",
+        stage=stage,
+        exception=type(exc).__name__,
+        line=int(getattr(exc, "line", 0) or 0),
+    )
+
+
+def make_job_error(
+    job: GenerationJob, failure: "JobFailure | str", attempts: int
+) -> JobError:
+    """A :class:`JobError` from either outcome failure shape."""
+    if isinstance(failure, JobFailure):
+        return JobError(
+            job=job,
+            error=failure.message,
+            attempts=attempts,
+            stage=failure.stage,
+            exception=failure.exception,
+            line=failure.line,
+        )
+    return JobError(job=job, error=str(failure), attempts=attempts)
 
 
 @dataclass(frozen=True)
@@ -224,8 +300,10 @@ class SweepPlanner:
 
 ProgressCallback = Callable[[int, int, GenerationJob], None]
 
-#: (records, error text or None, attempts) for one executed job.
-JobOutcome = tuple[list[CompletionRecord], "str | None", int]
+#: (records, failure or None, attempts) for one executed job.  The
+#: failure slot holds a :class:`JobFailure` (structured) or a plain
+#: message string (legacy); ``None`` means the job succeeded.
+JobOutcome = tuple[list[CompletionRecord], "JobFailure | str | None", int]
 
 
 @dataclass
@@ -300,9 +378,9 @@ def run_job_with_retry(
                 if delay > 0:
                     sleep(delay)
                 continue
-            return [], f"{type(exc).__name__}: {exc}", attempt
+            return [], failure_from_exception(exc), attempt
         except Exception as exc:  # noqa: BLE001 — per-job isolation
-            return [], f"{type(exc).__name__}: {exc}", attempt
+            return [], failure_from_exception(exc), attempt
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -335,10 +413,10 @@ def assemble_result(
     sweep = Sweep()
     errors: list[JobError] = []
     attempts_total = 0
-    for job, (records, error, attempts) in zip(plan.jobs, outcomes):
+    for job, (records, failure, attempts) in zip(plan.jobs, outcomes):
         attempts_total += attempts
-        if error is not None:
-            errors.append(JobError(job=job, error=error, attempts=attempts))
+        if failure is not None:
+            errors.append(make_job_error(job, failure, attempts))
         else:
             sweep.extend(records)
     stats = dict(stats)
@@ -427,9 +505,7 @@ class SweepExecutor(Executor):
                         )
                         outcomes.append((records, None, 1))
                     except Exception as exc:  # noqa: BLE001
-                        outcomes.append(
-                            ([], f"{type(exc).__name__}: {exc}", 1)
-                        )
+                        outcomes.append(([], failure_from_exception(exc), 1))
                 return outcomes
         return [
             run_job_with_retry(

@@ -40,3 +40,64 @@ def pass_at_k(n: int, c: int, k: int) -> float:
 def mean(values: list[float]) -> float:
     """Arithmetic mean (0.0 for empty input)."""
     return sum(values) / len(values) if values else 0.0
+
+
+def pass_at_k_by_problem(records, k: int = 1) -> float:
+    """Mean per-problem pass@k over a sweep's completion records.
+
+    Records are grouped by problem number; each group contributes the
+    Codex estimator over its (n, c) with ``k`` clamped to the group's
+    sample count.  Duck-typed: any record with ``.problem`` and
+    ``.passed`` works (a :class:`CompletionRecord` does).
+    """
+    if k < 1:
+        raise ValueError("need k >= 1")
+    groups: dict[int, list[bool]] = {}
+    for record in records:
+        groups.setdefault(record.problem, []).append(bool(record.passed))
+    return mean(
+        [
+            pass_at_k(len(outcomes), sum(outcomes), min(k, len(outcomes)))
+            for outcomes in groups.values()
+        ]
+    )
+
+
+def repair_budget_curve(sweeps_by_budget, k: int = 1) -> list[dict]:
+    """Pass@k-vs-repair-budget rows for the agentic repair workload.
+
+    ``sweeps_by_budget`` maps a repair budget (int, number of repair
+    rounds allowed per sample) to the completion records of the sweep
+    run at that budget.  Returns one row per budget, sorted ascending:
+    ``budget``, ``k``, ``records``, ``pass_rate`` (pass fraction),
+    ``compile_rate``, ``pass_at_k`` (per-problem mean), ``lift``
+    (pass@k minus the lowest budget's pass@k) and ``lift_per_budget``
+    (lift divided by budget delta; 0.0 on the base row).
+    """
+    rows: list[dict] = []
+    base_budget: int | None = None
+    base_pass_at_k = 0.0
+    for budget in sorted(sweeps_by_budget):
+        records = list(sweeps_by_budget[budget])
+        score = pass_at_k_by_problem(records, k) if records else 0.0
+        if base_budget is None:
+            base_budget, base_pass_at_k = budget, score
+        lift = score - base_pass_at_k
+        delta = budget - base_budget
+        rows.append(
+            {
+                "budget": budget,
+                "k": k,
+                "records": len(records),
+                "pass_rate": pass_fraction(
+                    [bool(r.passed) for r in records]
+                ),
+                "compile_rate": pass_fraction(
+                    [bool(r.compiled) for r in records]
+                ),
+                "pass_at_k": score,
+                "lift": lift,
+                "lift_per_budget": lift / delta if delta > 0 else 0.0,
+            }
+        )
+    return rows

@@ -24,12 +24,22 @@ from .truncate import truncate_completion
 
 @dataclass(frozen=True)
 class CompletionEvaluation:
-    """Verdict for one completion."""
+    """Verdict for one completion.
+
+    ``stage`` names the phase that rejected it — ``"parse"``,
+    ``"elaborate"``, ``"sim"`` (runtime crash inside the bench) or
+    ``"testbench"`` (ran but failed the checks); ``""`` on a pass.
+    ``error_line`` is the first diagnostic's source line when the
+    frontend knew it (0 otherwise).  Both exist so repair prompts and
+    reports read structured fields instead of scraping error strings.
+    """
 
     compiled: bool
     passed: bool
     compile_errors: tuple[str, ...] = ()
     sim_finished: bool = False
+    stage: str = ""
+    error_line: int = 0
 
     @property
     def verdict(self) -> str:
@@ -114,6 +124,7 @@ class Evaluator:
             return CompletionEvaluation(
                 compiled=False, passed=False,
                 compile_errors=tuple(report.errors),
+                stage=report.stage, error_line=report.line,
             )
         bench = problem.bench_source(truncated, level)
         bench_report, sim = run_simulation(
@@ -125,10 +136,14 @@ class Evaluator:
             return CompletionEvaluation(
                 compiled=True, passed=False,
                 compile_errors=tuple(bench_report.errors),
+                stage=bench_report.stage if bench_report.stage == "sim"
+                else "testbench",
+                error_line=bench_report.line,
             )
         passed = sim.finished and PASS_MARKER in sim.text
         return CompletionEvaluation(
-            compiled=True, passed=passed, sim_finished=sim.finished
+            compiled=True, passed=passed, sim_finished=sim.finished,
+            stage="" if passed else "testbench",
         )
 
     @property

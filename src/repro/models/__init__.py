@@ -36,6 +36,7 @@ from .zoo import (
     make_model,
     match_prompt_to_problem,
     paper_model_variants,
+    repairable_model_variants,
 )
 
 __all__ = [
@@ -68,6 +69,7 @@ __all__ = [
     "match_prompt_to_problem",
     "nucleus_filter",
     "paper_model_variants",
+    "repairable_model_variants",
     "resolve_rates",
     "sample_token",
     "softmax",

@@ -20,6 +20,13 @@ def stable_hash(text: str) -> int:
     )
 
 
+#: First line of every repair re-prompt (:mod:`repro.agentic.feedback`).
+#: A comment so it never perturbs module-header matching, and a shared
+#: constant so the zoo's "repairable" failure mode can recognize an
+#: error-conditioned re-query without parsing the feedback text.
+REPAIR_FEEDBACK_MARKER = "// repair feedback"
+
+
 @dataclass(frozen=True)
 class GenerationConfig:
     """Input parameters of one LLM query (paper Sec. IV-B)."""

@@ -31,6 +31,7 @@ from .base import (
     LanguageModel,
     MODEL_SPECS,
     ModelSpec,
+    REPAIR_FEEDBACK_MARKER,
     stable_hash,
 )
 from .calibration import resolve_rates
@@ -65,12 +66,21 @@ def match_prompt_to_problem(prompt: str) -> tuple[Problem, PromptLevel] | None:
 
 @dataclass
 class SimulatedLLM(LanguageModel):
-    """One calibrated model of the zoo (PT or FT flavour)."""
+    """One calibrated model of the zoo (PT or FT flavour).
+
+    ``repair_rate`` enables the "repairable" failure mode: when a prompt
+    carries the :data:`~repro.models.base.REPAIR_FEEDBACK_MARKER` (the
+    agentic loop's error-conditioned re-query), the model fixes its own
+    failure — emits the canonical solution — with this probability
+    before falling back to its normal calibrated sampling.  0.0 (the
+    default) means re-queries behave exactly like fresh queries.
+    """
 
     spec: ModelSpec
     fine_tuned: bool = False
     textbook_corpus: bool = False  # FT corpus ablation: GitHub+books
     seed: int = 0
+    repair_rate: float = 0.0
     name: str = field(default="", init=False)
 
     def __post_init__(self) -> None:
@@ -80,6 +90,8 @@ class SimulatedLLM(LanguageModel):
         self.name = f"{self.spec.name}-{suffix}"
         if self.fine_tuned and not self.spec.fine_tunable:
             raise ValueError(f"{self.spec.name} cannot be fine-tuned")
+        if not 0.0 <= self.repair_rate <= 1.0:
+            raise ValueError("repair_rate must be in [0, 1]")
 
     # ------------------------------------------------------------------
     def generate(self, prompt: str, config: GenerationConfig) -> list[Completion]:
@@ -105,6 +117,7 @@ class SimulatedLLM(LanguageModel):
                     self._benchmark_completion(
                         matched[0], matched[1], rng, config,
                         hinted="// hint:" in prompt,
+                        repairing=REPAIR_FEEDBACK_MARKER in prompt,
                     )
                 )
         return completions
@@ -117,6 +130,7 @@ class SimulatedLLM(LanguageModel):
         rng: random.Random,
         config: GenerationConfig,
         hinted: bool = False,
+        repairing: bool = False,
     ) -> Completion:
         siblings = [
             p.number for p in problems_by_difficulty(problem.difficulty)
@@ -133,13 +147,24 @@ class SimulatedLLM(LanguageModel):
             textbook_corpus=self.textbook_corpus,
             hinted=hinted,
         )
-        roll = rng.random()
-        if roll < rates.p_functional:
+        if (
+            repairing
+            and self.repair_rate > 0
+            and rng.random() < self.repair_rate
+        ):
+            # error-conditioned re-sample: the feedback worked, the
+            # model fixes its own failure (calibrated by repair_rate)
             body = cosmetic_variant(problem.canonical_body, rng)
-        elif roll < rates.p_compile:
-            body = self._wrong_body(problem, rng)
         else:
-            body = broken_completion(self._raw_wrong_body(problem, rng), rng)
+            roll = rng.random()
+            if roll < rates.p_functional:
+                body = cosmetic_variant(problem.canonical_body, rng)
+            elif roll < rates.p_compile:
+                body = self._wrong_body(problem, rng)
+            else:
+                body = broken_completion(
+                    self._raw_wrong_body(problem, rng), rng
+                )
         seconds = rates.inference_seconds * rng.uniform(0.9, 1.1)
         max_tokens = min(config.max_tokens, self.spec.max_tokens)
         return Completion(
@@ -181,6 +206,7 @@ def make_model(
     fine_tuned: bool = False,
     textbook_corpus: bool = False,
     seed: int = 0,
+    repair_rate: float = 0.0,
 ) -> SimulatedLLM:
     """Build one zoo model by Table-I name (e.g. ``"codegen-16b"``)."""
     if name not in MODEL_SPECS:
@@ -190,6 +216,7 @@ def make_model(
         fine_tuned=fine_tuned,
         textbook_corpus=textbook_corpus,
         seed=seed,
+        repair_rate=repair_rate,
     )
 
 
@@ -200,4 +227,20 @@ def paper_model_variants(seed: int = 0) -> list[SimulatedLLM]:
         variants.append(SimulatedLLM(spec=spec, seed=seed))
         if spec.fine_tunable:
             variants.append(SimulatedLLM(spec=spec, fine_tuned=True, seed=seed))
+    return variants
+
+
+def repairable_model_variants(
+    repair_rate: float = 0.5, seed: int = 0
+) -> list[SimulatedLLM]:
+    """The paper variants with the repairable failure mode enabled.
+
+    Same model names and the same RNG streams as
+    :func:`paper_model_variants` on fresh prompts — only the response to
+    error-conditioned re-queries differs — so repair sweeps at budget 0
+    reproduce the plain zoo byte for byte.
+    """
+    variants = paper_model_variants(seed=seed)
+    for variant in variants:
+        variant.repair_rate = repair_rate
     return variants

@@ -7,6 +7,8 @@ frame per line, each carrying an ``"event"`` discriminator:
 * ``job_started`` — a job entered generation;
 * ``record``      — one evaluated completion of a finished job;
 * ``job_error``   — a job failed after retries (carries the JobError);
+* ``attempt``     — one evaluated repair-loop attempt (observational:
+  the agentic workload's per-round verdicts, see :mod:`repro.agentic`);
 * ``progress``    — running jobs-done / records / errors counters;
 * ``done``        — the lossless terminal frame: result counts + stats.
 
@@ -54,6 +56,7 @@ FRAME_EVENTS: dict[str, tuple[str, ...]] = {
     "job_started": ("job_index", "model", "problem"),
     "record": ("job_index", "record"),
     "job_error": ("job_index", "error"),
+    "attempt": ("model", "problem", "round", "verdict"),
     "progress": ("jobs_done", "jobs_total", "records", "errors"),
     "done": ("jobs", "records", "errors", "skipped", "stats"),
     "status": (),
@@ -81,6 +84,17 @@ def record_frame(job_index: int, record) -> dict:
 def job_error_frame(job_index: int, error: JobError) -> dict:
     return {"event": "job_error", "job_index": job_index,
             "error": error_to_dict(error)}
+
+
+def attempt_frame(event: dict) -> dict:
+    """One repair-loop attempt (observational; see repro.agentic).
+
+    ``event`` is a :class:`~repro.agentic.backend.RepairingBackend`
+    attempt-log entry: model, problem, sample_index, round, verdict,
+    stage, transcript_hash (hex).  Reassembly ignores these frames —
+    the final completions already arrive as ``record`` frames.
+    """
+    return {"event": "attempt", **event}
 
 
 def progress_frame(
@@ -226,7 +240,7 @@ def assemble_stream_result(frames: Iterable[dict]) -> SweepResult:
             skips[int(frame["skip_index"])] = skip_from_dict(frame["skip"])
         elif event == "done":
             terminal = frame
-        # job_started / progress / status are observational only
+        # job_started / attempt / progress / status are observational only
     if terminal is None:
         raise StreamProtocolError(
             "stream ended without a terminal done frame (connection cut?)"
@@ -287,6 +301,7 @@ __all__ = [
     "FRAME_EVENTS",
     "StreamProtocolError",
     "assemble_stream_result",
+    "attempt_frame",
     "decode_frame",
     "decode_stream",
     "done_frame",

@@ -40,7 +40,6 @@ from ...backends.base import Backend, BackendError
 from ...eval.jobs import (
     Executor,
     GenerationJob,
-    JobError,
     JobOutcome,
     ProgressCallback,
     RetryPolicy,
@@ -49,11 +48,14 @@ from ...eval.jobs import (
     assemble_result,
     chunk_jobs,
     evaluate_completions,
+    failure_from_exception,
+    make_job_error,
 )
 from ...eval.pipeline import Evaluator
 from ...problems import get_problem
 from .backends import AsyncBackend, ensure_async
 from .events import (
+    attempt_frame,
     done_frame,
     job_error_frame,
     job_started_frame,
@@ -158,9 +160,9 @@ class AsyncSweepExecutor(Executor):
                     if delay > 0:
                         await self.sleep(delay)
                     continue
-                return [], f"{type(exc).__name__}: {exc}", attempt
+                return [], failure_from_exception(exc), attempt
             except Exception as exc:  # noqa: BLE001 — per-job isolation
-                return [], f"{type(exc).__name__}: {exc}", attempt
+                return [], failure_from_exception(exc), attempt
         raise AssertionError("unreachable")  # pragma: no cover
 
     async def _batch_outcomes(
@@ -190,7 +192,7 @@ class AsyncSweepExecutor(Executor):
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # noqa: BLE001
-                outcomes.append(([], f"{type(exc).__name__}: {exc}", 1))
+                outcomes.append(([], failure_from_exception(exc), 1))
         return outcomes
 
     async def execute(
@@ -214,9 +216,27 @@ class AsyncSweepExecutor(Executor):
         abackend = ensure_async(self.backend)
         semaphore = asyncio.Semaphore(self.concurrency)
 
+        # The repair adapter keeps an attempt log: surface each evaluated
+        # repair round as an observational ``attempt`` frame while the
+        # sweep streams.  Any backend exposing the two hooks qualifies.
+        attempt_source = None
+        if (
+            emit is not None
+            and hasattr(self.backend, "start_attempt_log")
+            and hasattr(self.backend, "drain_attempt_events")
+        ):
+            attempt_source = self.backend
+
+        async def send_attempts() -> None:
+            if attempt_source is None:
+                return
+            for event in attempt_source.drain_attempt_events():
+                await _send(emit, attempt_frame(event))
+
         async def finish_job(
             index: int, job: GenerationJob, outcome: JobOutcome
         ) -> None:
+            await send_attempts()
             records, error, attempts = outcome
             if error is None:
                 for record in records:
@@ -224,7 +244,7 @@ class AsyncSweepExecutor(Executor):
             else:
                 await _send(
                     emit,
-                    job_error_frame(index, JobError(job, error, attempts)),
+                    job_error_frame(index, make_job_error(job, error, attempts)),
                 )
             state["done"] += 1
             state["records"] += len(records)
@@ -262,18 +282,25 @@ class AsyncSweepExecutor(Executor):
         chunks = chunk_jobs(plan.jobs, self.batch_size)
         tasks = []
         offset = 0
-        for jobs in chunks:
-            tasks.append(asyncio.create_task(run_chunk(offset, jobs)))
-            offset += len(jobs)
+        if attempt_source is not None:
+            attempt_source.start_attempt_log()
         try:
-            chunk_outcomes = await asyncio.gather(*tasks)
-        except BaseException:
-            # one chunk failed hard (emit error, cancellation): abandon
-            # every other in-flight chunk cooperatively before leaving
-            for task in tasks:
-                task.cancel()
-            await asyncio.gather(*tasks, return_exceptions=True)
-            raise
+            for jobs in chunks:
+                tasks.append(asyncio.create_task(run_chunk(offset, jobs)))
+                offset += len(jobs)
+            try:
+                chunk_outcomes = await asyncio.gather(*tasks)
+            except BaseException:
+                # one chunk failed hard (emit error, cancellation): abandon
+                # every other in-flight chunk cooperatively before leaving
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+                raise
+            await send_attempts()
+        finally:
+            if attempt_source is not None:
+                attempt_source.stop_attempt_log()
 
         outcomes = [outcome for chunk in chunk_outcomes for outcome in chunk]
         return assemble_result(

@@ -7,6 +7,12 @@ same two entry points over our own frontend:
 * :func:`check_syntax` — lex + parse only (fast structural gate);
 * :func:`compile_design` — lex + parse + elaborate a top module;
 * :func:`run_simulation` — compile and simulate, returning printed output.
+
+Failure reports carry the *stage* that rejected the design ("parse",
+"elaborate" or "sim") and the first diagnostic's source line, so
+downstream consumers (structured :class:`~repro.eval.jobs.JobError`
+fields, the agentic repair loop's re-prompts) never scrape the message
+strings.
 """
 
 from __future__ import annotations
@@ -22,12 +28,19 @@ from .sim import SimResult, simulate
 
 @dataclass
 class CompileReport:
-    """Result of a compile attempt (success or diagnostics)."""
+    """Result of a compile attempt (success or diagnostics).
+
+    ``stage`` names the phase that produced ``errors`` ("parse",
+    "elaborate", "sim"; "" on clean success) and ``line`` is the first
+    error's source line when the frontend knew it (0 otherwise).
+    """
 
     ok: bool
     errors: list[str] = field(default_factory=list)
     unit: SourceUnit | None = None
     design: Design | None = None
+    stage: str = ""
+    line: int = 0
 
     @property
     def error_text(self) -> str:
@@ -39,9 +52,13 @@ def check_syntax(source: str) -> CompileReport:
     try:
         unit = parse(source)
     except VerilogError as exc:
-        return CompileReport(ok=False, errors=[str(exc)])
+        return CompileReport(
+            ok=False, errors=[str(exc)], stage="parse", line=exc.line
+        )
     except RecursionError:
-        return CompileReport(ok=False, errors=["expression nesting too deep"])
+        return CompileReport(
+            ok=False, errors=["expression nesting too deep"], stage="parse"
+        )
     return CompileReport(ok=True, unit=unit)
 
 
@@ -61,10 +78,19 @@ def compile_design(source: str, top: str | None = None) -> CompileReport:
     try:
         design = elaborate(report.unit, top)
     except VerilogError as exc:
-        return CompileReport(ok=False, errors=[str(exc)], unit=report.unit)
+        return CompileReport(
+            ok=False,
+            errors=[str(exc)],
+            unit=report.unit,
+            stage="elaborate",
+            line=exc.line,
+        )
     except RecursionError:
         return CompileReport(
-            ok=False, errors=["elaboration recursion limit"], unit=report.unit
+            ok=False,
+            errors=["elaboration recursion limit"],
+            unit=report.unit,
+            stage="elaborate",
         )
     return CompileReport(ok=True, unit=report.unit, design=design)
 
@@ -89,6 +115,8 @@ def run_simulation(
                 errors=[f"runtime: {exc}"],
                 unit=report.unit,
                 design=report.design,
+                stage="sim",
+                line=exc.line,
             ),
             None,
         )

@@ -153,6 +153,63 @@ class TestResponseCleaning:
     def test_bare_text_stripped(self):
         assert clean_chat_response("  assign y = a;  ") == "assign y = a;"
 
+    def test_language_tag_variants_extracted(self):
+        for tag in ("verilog", "systemverilog", "v", "Verilog", "c++"):
+            text = f"```{tag}\nassign y = a;\n```"
+            assert clean_chat_response(text) == "assign y = a;", tag
+
+    def test_multiple_blocks_last_complete_module_wins(self):
+        text = (
+            "The bug is here:\n"
+            "```verilog\nmodule m(); broken endmodule\n```\n"
+            "Here is the fixed version:\n"
+            "```verilog\nmodule m(); assign y = a; endmodule\n```\n"
+            "Hope that helps!"
+        )
+        assert clean_chat_response(text) == (
+            "module m(); assign y = a; endmodule"
+        )
+
+    def test_incomplete_module_block_loses_to_complete_one(self):
+        # the *last* block is an incomplete fragment; the complete
+        # module earlier in the reply must win
+        text = (
+            "```verilog\nmodule m(); assign y = a; endmodule\n```\n"
+            "i.e. just change this line:\n"
+            "```verilog\nassign y = a;\n```"
+        )
+        assert clean_chat_response(text) == (
+            "module m(); assign y = a; endmodule"
+        )
+
+    def test_multiple_blocks_no_module_takes_last(self):
+        text = "```\nfirst\n```\nthen\n```\nsecond\n```"
+        assert clean_chat_response(text) == "second"
+
+    def test_unclosed_fence_line_stripped(self):
+        text = "```verilog\nassign y = a;\nendmodule"
+        assert clean_chat_response(text) == "assign y = a;\nendmodule"
+
+    def test_stray_backtick_run_lines_stripped(self):
+        text = "``\nassign y = a;\n````"
+        assert clean_chat_response(text) == "assign y = a;"
+
+    def test_compiler_directives_survive_stray_cleanup(self):
+        # `timescale / `ifdef lines are Verilog, not markdown
+        text = "`timescale 1ns/1ps\nmodule m();\n`ifdef X\n`endif\nendmodule"
+        assert clean_chat_response(text) == text
+
+    def test_symmetric_wrapping_backticks_peeled(self):
+        assert clean_chat_response("`assign y = a;`") == "assign y = a;"
+        assert clean_chat_response("``x``") == "x"
+
+    def test_lone_backtick_line_reads_as_markdown_noise(self):
+        assert clean_chat_response("`") == ""
+
+    def test_crlf_fences_extracted(self):
+        text = "```verilog\r\nassign y = a;\r\n```"
+        assert clean_chat_response(text) == "assign y = a;"
+
     def test_extract_ollama_shape(self):
         assert extract_chat_text({"message": {"content": "hi"}}) == "hi"
 
@@ -215,3 +272,56 @@ class TestHTTPChatBackend:
         )
         out = backend.generate("chat-model", "p", GenerationConfig(n=1))
         assert out[0].text == "```\ncode\n```"
+
+    def test_generate_chat_ships_turns_verbatim(self):
+        calls = []
+
+        def transport(url, payload):
+            calls.append(payload)
+            return {"message": {"content": "fixed"}}
+
+        backend = HTTPChatBackend(transport=transport)
+        messages = [
+            {"role": "user", "content": "module m();"},
+            {"role": "assistant", "content": "broken body"},
+            {"role": "user", "content": "// repair feedback: fix it"},
+        ]
+        out = backend.generate_chat(
+            "chat-model", messages, GenerationConfig(n=2)
+        )
+        assert len(out) == 2 and len(calls) == 2
+        shipped = calls[0]["messages"]
+        assert shipped[0]["role"] == "system"
+        assert [m["role"] for m in shipped[1:]] == [
+            "user", "assistant", "user"
+        ]
+        assert [m["content"] for m in shipped[1:]] == [
+            m["content"] for m in messages
+        ]
+        assert [c["options"]["seed"] for c in calls] == [0, 1]
+
+    def test_default_generate_chat_flattens_for_plain_backends(self):
+        # the Backend-protocol default: non-system turns joined into one
+        # prompt, so completion-style backends serve chat conversations
+        from repro.backends import StubBackend
+
+        backend = StubBackend(completions=("ok",))
+        seen = []
+        original = backend.generate
+
+        def spy(model, prompt, config):
+            seen.append(prompt)
+            return original(model, prompt, config)
+
+        backend.generate = spy
+        backend.generate_chat(
+            "stub",
+            [
+                {"role": "system", "content": "ignored"},
+                {"role": "user", "content": "a"},
+                {"role": "assistant", "content": "b"},
+                {"role": "user", "content": "c"},
+            ],
+            GenerationConfig(n=1),
+        )
+        assert seen == ["a\nb\nc"]
