@@ -23,12 +23,14 @@ runs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..backends.base import Backend
 from ..eval.pipeline import CompletionEvaluation, Evaluator
 from ..models.base import Completion, GenerationConfig
+from ..obs import REGISTRY, record_span
 from ..problems import Problem, PromptLevel
 from .feedback import format_feedback, lint_findings
 from .transcript import Transcript
@@ -143,7 +145,9 @@ def repair_completion(
     current = completion
     total_seconds = completion.inference_seconds
 
-    def record(verdict: CompletionEvaluation, transcript_hash: int) -> None:
+    def record(
+        verdict: CompletionEvaluation, transcript_hash: int, elapsed: float
+    ) -> None:
         attempt = RepairAttempt(
             round=len(attempts),
             verdict=verdict.verdict,
@@ -154,15 +158,27 @@ def repair_completion(
             inference_seconds=current.inference_seconds,
         )
         attempts.append(attempt)
+        REGISTRY.inc("repair_attempts", verdict=attempt.verdict)
+        record_span(
+            "repair_attempt",
+            elapsed,
+            round=attempt.round,
+            verdict=attempt.verdict,
+            stage=attempt.stage,
+            problem=problem.number,
+            model=model,
+        )
         if on_attempt is not None:
             on_attempt(attempt)
 
+    round_started = time.perf_counter()
     verdict, transcript_hash = evaluate_attempt(
         evaluator, problem, level, current.text, transcript, store
     )
-    record(verdict, transcript_hash)
+    record(verdict, transcript_hash, time.perf_counter() - round_started)
 
     while not verdict.passed and len(attempts) <= repair.budget:
+        round_started = time.perf_counter()
         lint = (
             lint_findings(problem, current.text, level)
             if repair.include_lint
@@ -191,7 +207,7 @@ def repair_completion(
         verdict, transcript_hash = evaluate_attempt(
             evaluator, problem, level, current.text, transcript, store
         )
-        record(verdict, transcript_hash)
+        record(verdict, transcript_hash, time.perf_counter() - round_started)
 
     final = Completion(
         text=current.text,

@@ -455,6 +455,16 @@ class Session:
         """The shared evaluator's cache statistics."""
         return self.evaluator.cache_info
 
+    @property
+    def metrics(self) -> list[dict]:
+        """A snapshot of the process :mod:`repro.obs` registry — the
+        same rows ``GET /metrics`` serves (stage timings, job latency,
+        cache hit counters accumulate across everything this process
+        ran, not just this session)."""
+        from .obs import REGISTRY
+
+        return REGISTRY.snapshot()
+
     def __repr__(self) -> str:
         return (
             f"Session(backend={self.backend.name!r}, "

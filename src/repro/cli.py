@@ -49,7 +49,15 @@ Commands:
   ``compact`` rewrites the pack without shadowed duplicate lines;
 * ``tables [--backend B] [--workers W]`` — run the full sweep and print
   Tables III/IV + headlines + executor stats;
+* ``stats TRACE.ndjson ... [--json]`` — summarize trace files written
+  by ``--trace``: per-stage time split, per-worker throughput, and
+  job-latency percentiles (p50/p95/p99);
 * ``corpus [--repos N] [--books]`` — build the training corpus, print stats.
+
+``sweep``, ``coordinate`` and ``work`` additionally accept ``--trace
+FILE``: every span the run produces (jobs, pipeline stages, repair
+rounds, merged units) is appended to FILE as replayable NDJSON, plus a
+final metrics snapshot — feed one or more such files to ``stats``.
 """
 
 from __future__ import annotations
@@ -272,7 +280,11 @@ def _build_sweep_config(args):
 
 
 def _render_stream_event(frame: dict) -> None:
-    """One human line per interesting stream frame (the live view)."""
+    """One human line per interesting stream frame (the live view).
+
+    Observational frames (``metric``/``span``) and any future event
+    types fall through silently — the live view only narrates progress.
+    """
     event = frame["event"]
     if event == "job_started":
         print(f"  > job {frame['job_index']}: {frame['model']} "
@@ -785,6 +797,24 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    """Summarize ``--trace`` NDJSON files: stages, workers, latency."""
+    import json as _json
+
+    from .obs import TraceFormatError, render_stats, summarize_traces
+
+    try:
+        summary = summarize_traces(args.files)
+    except (OSError, TraceFormatError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.json:
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_stats(summary))
+    return 0
+
+
 def _cmd_corpus(args) -> int:
     from .corpus import CorpusConfig, build_corpus
 
@@ -855,6 +885,15 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append every span this run produces (jobs, stages, repair "
+             "rounds, merged units) plus a final metrics snapshot to "
+             "FILE as NDJSON; summarize with `python -m repro stats`",
+    )
+
+
 def _add_sweep_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--models", default=None,
                         help="comma-separated variant names "
@@ -919,6 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the sweep on a remote streaming service "
                         "(--url, from `repro serve --aio`) and render "
                         "progress live as NDJSON events arrive")
+    _add_trace_flag(p)
     _add_service_flags(p)
 
     p = sub.add_parser(
@@ -990,6 +1030,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--aio", action="store_true",
                    help="serve the coordinator on the asyncio server so "
                         "GET /shard/status/stream observes it live")
+    _add_trace_flag(p)
     # no executor/worker/store flags: the coordinator plans and serves
     # shards but never executes jobs — those belong on `repro work`
     from .backends import available_backends
@@ -1035,6 +1076,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "finish when the coordinator supports it")
     p.add_argument("--max-leases", type=_positive_int, default=2,
                    help="leases held concurrently with --aio (default: 2)")
+    _add_trace_flag(p)
 
     p = sub.add_parser(
         "store",
@@ -1048,6 +1090,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tables", help="run the full sweep; print Tables III/IV")
     _add_service_flags(p)
+
+    p = sub.add_parser(
+        "stats",
+        help="summarize --trace NDJSON files (stages, workers, latency)",
+    )
+    p.add_argument("files", nargs="+",
+                   help="trace files written by sweep/work/coordinate "
+                        "--trace (one per process; pass them all)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as JSON instead of tables")
 
     p = sub.add_parser("corpus", help="build the training corpus")
     p.add_argument("--repos", type=int, default=60)
@@ -1071,12 +1123,35 @@ _COMMANDS = {
     "work": _cmd_work,
     "store": _cmd_store,
     "tables": _cmd_tables,
+    "stats": _cmd_stats,
     "corpus": _cmd_corpus,
 }
 
 
+def _run_traced(args) -> int:
+    """Run one command inside a :class:`~repro.obs.TraceWriter` sink."""
+    from .obs import TraceWriter
+
+    tags = {"command": args.command}
+    if args.command == "work":
+        # resolve the worker id up front so every span in this file is
+        # tagged with the same name the coordinator sees
+        if not getattr(args, "worker_id", None):
+            from .service.client import default_worker_id
+
+            args.worker_id = default_worker_id()
+        tags["worker"] = args.worker_id
+    with TraceWriter(args.trace, tags=tags):
+        code = _COMMANDS[args.command](args)
+    print(f"-- wrote trace {args.trace} "
+          f"(summarize with: python -m repro stats {args.trace})")
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "trace", None):
+        return _run_traced(args)
     return _COMMANDS[args.command](args)
 
 

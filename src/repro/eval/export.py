@@ -165,6 +165,8 @@ def error_to_dict(error) -> dict:
         "stage": error.stage,
         "exception": error.exception,
         "line": error.line,
+        "attempt_seconds": list(error.attempt_seconds),
+        "backoff_seconds": error.backoff_seconds,
     }
 
 
@@ -178,6 +180,10 @@ def error_from_dict(row: dict):
         stage=str(row.get("stage", "")),
         exception=str(row.get("exception", "")),
         line=int(row.get("line", 0)),
+        attempt_seconds=tuple(
+            float(s) for s in row.get("attempt_seconds", [])
+        ),
+        backoff_seconds=float(row.get("backoff_seconds", 0.0)),
     )
 
 

@@ -30,11 +30,12 @@ import abc
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from ..backends.base import Backend, BackendError
 from ..models.base import Completion, GenerationConfig
+from ..obs import REGISTRY, job_tags, observe_stage, record_span
 from ..problems import Problem, PromptLevel, get_problem
 from .harness import CompletionRecord, Sweep, SweepConfig
 from .pipeline import Evaluator
@@ -83,6 +84,14 @@ class JobError:
     ``"elaborate"``, ``"sim"``, ``"testbench"``, or ``""`` when
     unclassified), ``exception`` is the raising exception's class name,
     and ``line`` the source line when the Verilog frontend knew one.
+
+    ``attempt_seconds`` is the per-attempt elapsed wall clock (one entry
+    per attempt, in order) and ``backoff_seconds`` the total backoff the
+    retry policy scheduled between them — together they make retry
+    storms visible in traces instead of hiding behind a bare count.
+    Both are observational wall-clock metadata and excluded from
+    equality, so serial/sharded/streamed runs of the same plan still
+    compare record-for-record identical (the parity invariant).
     """
 
     job: GenerationJob
@@ -91,6 +100,8 @@ class JobError:
     stage: str = ""
     exception: str = ""
     line: int = 0
+    attempt_seconds: tuple[float, ...] = field(default=(), compare=False)
+    backoff_seconds: float = field(default=0.0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -107,6 +118,8 @@ class JobFailure:
     stage: str = ""
     exception: str = ""
     line: int = 0
+    attempt_seconds: tuple[float, ...] = field(default=(), compare=False)
+    backoff_seconds: float = field(default=0.0, compare=False)
 
     def __str__(self) -> str:
         return self.message
@@ -156,6 +169,8 @@ def make_job_error(
             stage=failure.stage,
             exception=failure.exception,
             line=failure.line,
+            attempt_seconds=failure.attempt_seconds,
+            backoff_seconds=failure.backoff_seconds,
         )
     return JobError(job=job, error=str(failure), attempts=attempts)
 
@@ -354,8 +369,15 @@ def evaluate_job(
 ) -> list[CompletionRecord]:
     """Generate and evaluate one job (no error capture)."""
     problem = get_problem(job.problem)
+    started = time.perf_counter()
     completions = backend.generate(
         job.model, problem.prompt(job.level), job.generation_config()
+    )
+    observe_stage(
+        "generate",
+        time.perf_counter() - started,
+        problem=job.problem,
+        model=job.model,
     )
     return evaluate_completions(evaluator, job, completions)
 
@@ -367,21 +389,69 @@ def run_job_with_retry(
     retry: RetryPolicy | None = None,
     sleep: Callable[[float], None] = time.sleep,
 ) -> JobOutcome:
-    """Run one job under a retry policy; never raises."""
+    """Run one job under a retry policy; never raises.
+
+    Each job runs inside its own trace context (:func:`job_tags`), so
+    every span recorded below — generation, evaluator stages, repair
+    rounds — carries the job's model/problem.  Attempt wall clock and
+    scheduled backoff land on the :class:`JobFailure` (and from there
+    the :class:`JobError`), and the whole job feeds the always-on
+    ``job_seconds`` latency histogram.
+    """
     retry = retry or RetryPolicy()
-    for attempt in range(1, retry.max_attempts + 1):
-        try:
-            return evaluate_job(backend, evaluator, job), None, attempt
-        except BackendError as exc:  # transient: retry with backoff
-            if attempt < retry.max_attempts:
-                delay = retry.delay(attempt)
-                if delay > 0:
-                    sleep(delay)
-                continue
-            return [], failure_from_exception(exc), attempt
-        except Exception as exc:  # noqa: BLE001 — per-job isolation
-            return [], failure_from_exception(exc), attempt
-    raise AssertionError("unreachable")  # pragma: no cover
+    attempt_seconds: list[float] = []
+    backoff_total = 0.0
+    job_started = time.perf_counter()
+    outcome: JobOutcome | None = None
+    with job_tags(model=job.model, problem=job.problem):
+        for attempt in range(1, retry.max_attempts + 1):
+            attempt_started = time.perf_counter()
+            try:
+                records = evaluate_job(backend, evaluator, job)
+                attempt_seconds.append(time.perf_counter() - attempt_started)
+                outcome = (records, None, attempt)
+                break
+            except BackendError as exc:  # transient: retry with backoff
+                attempt_seconds.append(time.perf_counter() - attempt_started)
+                if attempt < retry.max_attempts:
+                    delay = retry.delay(attempt)
+                    backoff_total += delay
+                    if delay > 0:
+                        sleep(delay)
+                    continue
+                outcome = ([], _timed_failure(
+                    exc, attempt_seconds, backoff_total), attempt)
+                break
+            except Exception as exc:  # noqa: BLE001 — per-job isolation
+                attempt_seconds.append(time.perf_counter() - attempt_started)
+                outcome = ([], _timed_failure(
+                    exc, attempt_seconds, backoff_total), attempt)
+                break
+    assert outcome is not None
+    elapsed = time.perf_counter() - job_started
+    REGISTRY.observe("job_seconds", elapsed)
+    record_span(
+        "job",
+        elapsed,
+        model=job.model,
+        problem=job.problem,
+        level=str(job.level.value),
+        outcome="error" if outcome[1] is not None else "ok",
+        attempts=outcome[2],
+    )
+    return outcome
+
+
+def _timed_failure(
+    exc: BaseException, attempt_seconds: Sequence[float], backoff: float
+) -> JobFailure:
+    """Classify ``exc`` and attach the retry-loop timing observations."""
+    failure = failure_from_exception(exc)
+    return replace(
+        failure,
+        attempt_seconds=tuple(attempt_seconds),
+        backoff_seconds=backoff,
+    )
 
 
 def chunk_jobs(

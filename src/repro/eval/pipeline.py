@@ -17,6 +17,7 @@ import threading
 from dataclasses import dataclass
 
 from ..models.base import stable_hash
+from ..obs import REGISTRY, observe_stage
 from ..problems import PASS_MARKER, Problem, PromptLevel
 from ..verilog import compile_design, run_simulation
 from .truncate import truncate_completion
@@ -98,6 +99,7 @@ class Evaluator:
             cached = self._cache.get(key)
             if cached is not None:
                 self.cache_hits += 1
+                REGISTRY.inc("evaluator_cache", result="hit")
                 return cached
         if self.store is not None:
             stored = self.store.get(*key)
@@ -105,9 +107,11 @@ class Evaluator:
                 with self._lock:
                     self.store_hits += 1
                     self._cache[key] = stored
+                REGISTRY.inc("evaluator_cache", result="store_hit")
                 return stored
         with self._lock:
             self.cache_misses += 1
+        REGISTRY.inc("evaluator_cache", result="miss")
         result = self._evaluate_uncached(problem, truncated, level)
         with self._lock:
             self._cache[key] = result
@@ -120,6 +124,7 @@ class Evaluator:
     ) -> CompletionEvaluation:
         source = problem.full_source(truncated, level)
         report = compile_design(source, top=problem.module_name)
+        self._observe_report(problem, report, design=True)
         if not report.ok:
             return CompletionEvaluation(
                 compiled=False, passed=False,
@@ -130,6 +135,7 @@ class Evaluator:
         bench_report, sim = run_simulation(
             bench, top="tb", max_time=self.max_time, max_steps=self.max_steps
         )
+        self._observe_report(problem, bench_report, design=False)
         if not bench_report.ok or sim is None:
             # compiles standalone but dies inside the bench (e.g. runaway
             # loop): counts as compiled, not passed
@@ -145,6 +151,30 @@ class Evaluator:
             compiled=True, passed=passed, sim_finished=sim.finished,
             stage="" if passed else "testbench",
         )
+
+    @staticmethod
+    def _observe_report(problem: Problem, report, design: bool) -> None:
+        """Always-on per-problem stage timers off a CompileReport.
+
+        Design compiles profile as ``parse``/``elaborate``; the bench
+        run's compile side profiles as ``testbench`` (constructing the
+        self-checking harness) and its simulate side as ``sim`` — the
+        four-way split the sim-compile roadmap item needs.
+        """
+        number = problem.number
+        if design:
+            if report.parse_seconds:
+                observe_stage("parse", report.parse_seconds, problem=number)
+            if report.elaborate_seconds:
+                observe_stage(
+                    "elaborate", report.elaborate_seconds, problem=number
+                )
+        else:
+            bench_compile = report.parse_seconds + report.elaborate_seconds
+            if bench_compile:
+                observe_stage("testbench", bench_compile, problem=number)
+            if report.sim_seconds:
+                observe_stage("sim", report.sim_seconds, problem=number)
 
     @property
     def cache_info(self) -> dict:

@@ -1,0 +1,90 @@
+"""Observability: metrics registry, span tracing, trace-log stats.
+
+The cross-cutting layer behind every "measure where time goes" item on
+the roadmap (sim-compile profiling, adaptive lease sizing, multi-tenant
+p99 gates).  Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters, gauges, and streaming log-bucket histograms (p50/p95/p99),
+  rendered as JSON (``GET /metrics``) or Prometheus-style text
+  (``GET /metrics/prom``);
+* :mod:`repro.obs.trace` — span-based tracing: a per-job trace context
+  (:func:`job_tags`) flows planner → executor → backend → evaluator →
+  simulator and through the repair loop; spans fan out to registered
+  sinks, with :class:`TraceWriter` persisting them as replayable NDJSON
+  (``--trace FILE`` on ``sweep``/``work``/``coordinate``);
+* :mod:`repro.obs.stats` — the ``repro stats`` summarizer: per-stage
+  time split, per-worker throughput, and job-latency percentiles from
+  one or more trace files.
+
+Stage timers (parse/elaborate/sim/testbench per problem) are always on
+and feed the registry; spans cost nothing unless a sink is installed
+(:func:`tracing_active` is a single list check on the hot path).
+"""
+
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+    render_prometheus,
+    reset_registry,
+)
+from .stats import (
+    TraceFormatError,
+    load_trace,
+    render_stats,
+    summarize_traces,
+)
+from .trace import (
+    TraceWriter,
+    add_sink,
+    current_tags,
+    job_tags,
+    record_span,
+    remove_sink,
+    span,
+    tracing_active,
+)
+
+STAGES = ("generate", "parse", "elaborate", "sim", "testbench")
+"""Leaf stage names the per-stage timers emit (see ``stage_seconds``)."""
+
+
+def observe_stage(stage: str, seconds: float, **tags) -> None:
+    """One always-on stage timing: registry histogram + optional span.
+
+    The registry side is unconditional (this is the profile that gates
+    the sim-compile work); the span side only fires when a trace sink
+    is installed, so the uninstrumented hot path pays one dict update.
+    """
+    labels = {"stage": stage}
+    if "problem" in tags:
+        labels["problem"] = tags["problem"]
+    REGISTRY.observe("stage_seconds", seconds, **labels)
+    if tracing_active():
+        record_span(stage, seconds, **tags)
+
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "STAGES",
+    "TraceFormatError",
+    "TraceWriter",
+    "add_sink",
+    "current_tags",
+    "get_registry",
+    "job_tags",
+    "load_trace",
+    "observe_stage",
+    "record_span",
+    "remove_sink",
+    "render_prometheus",
+    "render_stats",
+    "reset_registry",
+    "span",
+    "summarize_traces",
+    "tracing_active",
+]

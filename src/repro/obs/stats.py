@@ -1,0 +1,222 @@
+"""Trace-log summarizer: the engine behind ``repro stats``.
+
+Reads one or more ``--trace`` NDJSON files (see
+:class:`repro.obs.trace.TraceWriter` for the frame schema), validates
+them line by line, and aggregates:
+
+* per-stage time split — ``generate`` vs ``parse``/``elaborate``/
+  ``sim``/``testbench`` (the signal for the sim-compile roadmap item);
+* job latency — exact nearest-rank p50/p95/p99 over ``job`` spans;
+* per-worker throughput — jobs per second of per-worker wall clock
+  (monotonic span timestamps are only compared within one file, so
+  multi-worker traces merge safely);
+* repair-loop attempt counts by verdict.
+
+Schema violations raise :class:`TraceFormatError` with the offending
+line number — the CI ``obs-smoke`` job uses ``repro stats`` as the
+trace-file validator.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Sequence
+
+#: frame types a trace file may contain
+FRAME_TYPES = ("meta", "span", "metrics")
+
+#: span names counted as leaf stages in the time-split table
+STAGE_NAMES = ("generate", "parse", "elaborate", "sim", "testbench")
+
+
+class TraceFormatError(ValueError):
+    """A trace file line violated the NDJSON trace schema."""
+
+
+def _validate(frame: object, where: str) -> dict:
+    if not isinstance(frame, dict):
+        raise TraceFormatError(f"{where}: expected an object, got "
+                               f"{type(frame).__name__}")
+    kind = frame.get("type")
+    if kind not in FRAME_TYPES:
+        raise TraceFormatError(
+            f"{where}: unknown frame type {kind!r}; expected one of "
+            f"{sorted(FRAME_TYPES)}"
+        )
+    if kind == "span":
+        if not isinstance(frame.get("name"), str) or not frame["name"]:
+            raise TraceFormatError(f"{where}: span frame missing name")
+        if not isinstance(frame.get("dur"), (int, float)):
+            raise TraceFormatError(f"{where}: span frame missing dur")
+        if "tags" in frame and not isinstance(frame["tags"], dict):
+            raise TraceFormatError(f"{where}: span tags must be an object")
+    elif kind == "meta":
+        if not isinstance(frame.get("version"), int):
+            raise TraceFormatError(f"{where}: meta frame missing version")
+    elif kind == "metrics":
+        if not isinstance(frame.get("metrics"), dict):
+            raise TraceFormatError(f"{where}: metrics frame missing metrics")
+    return frame
+
+
+def load_trace(path: str) -> list[dict]:
+    """Parse + validate one trace file; raises :class:`TraceFormatError`."""
+    frames: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            where = f"{path}:{number}"
+            try:
+                frame = json.loads(stripped)
+            except ValueError as exc:
+                raise TraceFormatError(f"{where}: not JSON: {exc}") from None
+            frames.append(_validate(frame, where))
+    if not frames:
+        raise TraceFormatError(f"{path}: empty trace (no frames)")
+    return frames
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def summarize_traces(paths: Sequence[str]) -> dict:
+    """Aggregate one summary dict across ``paths`` (see module doc)."""
+    stages = {
+        name: {"count": 0, "seconds": 0.0} for name in STAGE_NAMES
+    }
+    job_durations: list[float] = []
+    workers: dict[str, dict] = {}
+    repair: dict[str, int] = {}
+    spans_total = 0
+    files = []
+    for source, path in enumerate(paths):
+        frames = load_trace(path)
+        files.append({"path": str(path), "frames": len(frames)})
+        # the writer stamps its default tags once, in the meta header;
+        # they apply to every span of the file (worker attribution)
+        meta_tags: dict = {}
+        for frame in frames:
+            if frame.get("type") == "meta":
+                tags = frame.get("tags")
+                if isinstance(tags, dict):
+                    meta_tags = tags
+                break
+        window: dict[str, list[float]] = {}
+        for frame in frames:
+            if frame.get("type") != "span":
+                continue
+            spans_total += 1
+            name = frame["name"]
+            dur = float(frame["dur"])
+            tags = frame.get("tags", {})
+            if name in stages:
+                stages[name]["count"] += 1
+                stages[name]["seconds"] += dur
+            elif name == "job":
+                job_durations.append(dur)
+                worker = str(
+                    tags.get("worker")
+                    or meta_tags.get("worker")
+                    or f"file{source}"
+                )
+                row = workers.setdefault(
+                    worker, {"jobs": 0, "busy_seconds": 0.0,
+                             "wall_seconds": 0.0}
+                )
+                row["jobs"] += 1
+                row["busy_seconds"] += dur
+                if isinstance(frame.get("t"), (int, float)):
+                    window.setdefault(worker, []).extend(
+                        [float(frame["t"]), float(frame["t"]) + dur]
+                    )
+            elif name == "repair_attempt":
+                verdict = str(tags.get("verdict", "unknown"))
+                repair[verdict] = repair.get(verdict, 0) + 1
+        for worker, points in window.items():
+            workers[worker]["wall_seconds"] += max(points) - min(points)
+
+    for row in workers.values():
+        wall = row["wall_seconds"] or row["busy_seconds"]
+        row["jobs_per_second"] = (row["jobs"] / wall) if wall > 0 else 0.0
+
+    stage_total = sum(row["seconds"] for row in stages.values())
+    for row in stages.values():
+        row["share"] = (row["seconds"] / stage_total) if stage_total else 0.0
+
+    job_durations.sort()
+    jobs = {
+        "count": len(job_durations),
+        "seconds": sum(job_durations),
+        "mean": (sum(job_durations) / len(job_durations))
+        if job_durations else 0.0,
+        "p50": _percentile(job_durations, 0.50),
+        "p95": _percentile(job_durations, 0.95),
+        "p99": _percentile(job_durations, 0.99),
+    }
+    return {
+        "files": files,
+        "spans": spans_total,
+        "stages": stages,
+        "stage_seconds_total": stage_total,
+        "jobs": jobs,
+        "workers": workers,
+        "repair_attempts": repair,
+    }
+
+
+def render_stats(summary: dict) -> str:
+    """The ``repro stats`` human-readable report."""
+    lines = [
+        f"trace: {len(summary['files'])} file(s), "
+        f"{summary['spans']} span(s)"
+    ]
+    lines.append("")
+    lines.append(f"{'stage':<12}{'count':>8}{'seconds':>12}{'share':>9}")
+    for name in STAGE_NAMES:
+        row = summary["stages"][name]
+        lines.append(
+            f"{name:<12}{row['count']:>8}{row['seconds']:>12.4f}"
+            f"{row['share']:>8.1%}"
+        )
+    jobs = summary["jobs"]
+    lines.append("")
+    lines.append(
+        f"jobs: {jobs['count']}  mean {jobs['mean']:.4f}s  "
+        f"p50 {jobs['p50']:.4f}s  p95 {jobs['p95']:.4f}s  "
+        f"p99 {jobs['p99']:.4f}s"
+    )
+    if summary["workers"]:
+        lines.append("")
+        lines.append(f"{'worker':<24}{'jobs':>6}{'busy_s':>10}{'jobs/s':>9}")
+        for worker in sorted(summary["workers"]):
+            row = summary["workers"][worker]
+            lines.append(
+                f"{worker:<24}{row['jobs']:>6}{row['busy_seconds']:>10.3f}"
+                f"{row['jobs_per_second']:>9.2f}"
+            )
+    if summary["repair_attempts"]:
+        rendered = ", ".join(
+            f"{verdict}={count}"
+            for verdict, count in sorted(summary["repair_attempts"].items())
+        )
+        lines.append("")
+        lines.append(f"repair attempts: {rendered}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "FRAME_TYPES",
+    "STAGE_NAMES",
+    "TraceFormatError",
+    "load_trace",
+    "render_stats",
+    "summarize_traces",
+]

@@ -50,7 +50,9 @@ from .events import (
     decode_frame,
     decode_stream,
     encode_frame,
+    metric_frame,
     result_to_frames,
+    span_frame,
 )
 from .executor import AsyncSweepExecutor
 from .server import AsyncEvalService, serve_async
@@ -85,12 +87,14 @@ __all__ = [
     "from_async",
     "iter_status_events",
     "iter_sweep_events",
+    "metric_frame",
     "open_upload",
     "read_upload_response",
     "request_json",
     "result_to_frames",
     "run_worker_async",
     "serve_async",
+    "span_frame",
     "stream_sweep",
     "submit_result_stream",
     "to_async",

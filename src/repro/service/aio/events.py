@@ -10,7 +10,16 @@ frame per line, each carrying an ``"event"`` discriminator:
 * ``attempt``     — one evaluated repair-loop attempt (observational:
   the agentic workload's per-round verdicts, see :mod:`repro.agentic`);
 * ``progress``    — running jobs-done / records / errors counters;
+* ``metric``      — an observational metrics snapshot (see
+  :mod:`repro.obs`): worker throughput, stage timings, cache counters;
+* ``span``        — one completed trace span (observational; the same
+  shape :class:`repro.obs.TraceWriter` persists, minus the ``type``);
 * ``done``        — the lossless terminal frame: result counts + stats.
+
+``progress``, ``attempt``, ``metric`` and ``span`` frames carry a
+monotonic ``t`` timestamp (seconds, :func:`time.monotonic`) stamped at
+emission; it is observational and optional on decode, so pre-``t``
+streams still parse.
 
 The payload fields reuse the :mod:`repro.eval.export` codecs (the same
 lossless record/skip/error schema the shard service ships), and every
@@ -23,16 +32,23 @@ byte-identical (via export) to a serial run of the same plan.
 ``GET /shard/status/stream`` route emits coordinator status snapshots
 with the same framing, terminated by a ``done`` frame.
 
-Anything that is not one well-formed frame per line — broken JSON, an
-unknown event, missing required fields, a stream that ends without its
+Anything that is not one well-formed frame per line — broken JSON, a
+known event missing required fields, a stream that ends without its
 terminal frame, or terminal counts that disagree with the frames seen —
-raises :class:`StreamProtocolError` on the consuming side.
+raises :class:`StreamProtocolError` on the consuming side.  Frames with
+an *unknown* event name are forward-compatibility points:
+:func:`decode_frame` rejects them by default (one frame, asked
+directly), but :func:`decode_stream` passes them through untouched and
+:func:`assemble_stream_result` ignores them, so a client built before
+``metric``/``span`` existed — or before whatever comes next — skips
+new observational frames instead of dying mid-stream.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable, Sequence
+import time
+from typing import Iterable
 
 from ...eval.export import (
     error_from_dict,
@@ -58,6 +74,8 @@ FRAME_EVENTS: dict[str, tuple[str, ...]] = {
     "job_error": ("job_index", "error"),
     "attempt": ("model", "problem", "round", "verdict"),
     "progress": ("jobs_done", "jobs_total", "records", "errors"),
+    "metric": ("metrics",),
+    "span": ("name", "dur"),
     "done": ("jobs", "records", "errors", "skipped", "stats"),
     "status": (),
 }
@@ -94,14 +112,33 @@ def attempt_frame(event: dict) -> dict:
     stage, transcript_hash (hex).  Reassembly ignores these frames —
     the final completions already arrive as ``record`` frames.
     """
-    return {"event": "attempt", **event}
+    return {"event": "attempt", "t": time.monotonic(), **event}
 
 
 def progress_frame(
     jobs_done: int, jobs_total: int, records: int, errors: int
 ) -> dict:
-    return {"event": "progress", "jobs_done": jobs_done,
-            "jobs_total": jobs_total, "records": records, "errors": errors}
+    return {"event": "progress", "t": time.monotonic(),
+            "jobs_done": jobs_done, "jobs_total": jobs_total,
+            "records": records, "errors": errors}
+
+
+def metric_frame(metrics: dict) -> dict:
+    """An observational metrics snapshot (throughput, stages, caches)."""
+    return {"event": "metric", "t": time.monotonic(), "metrics": metrics}
+
+
+def span_frame(span: dict) -> dict:
+    """One completed trace span as a stream frame.
+
+    ``span`` is a :func:`repro.obs.record_span` frame (or any dict with
+    ``name``/``dur`` and optional ``t``/``tags``); the ``type`` key of
+    the trace-file schema is dropped in favor of the stream's ``event``
+    discriminator.
+    """
+    frame = {key: value for key, value in span.items() if key != "type"}
+    frame.setdefault("t", time.monotonic())
+    return {"event": "span", **frame}
 
 
 def done_frame(result: SweepResult) -> dict:
@@ -176,8 +213,16 @@ def encode_frame(frame: dict) -> bytes:
     return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
 
 
-def decode_frame(line: "bytes | str") -> dict:
-    """Parse + validate one NDJSON line; raises StreamProtocolError."""
+def decode_frame(line: "bytes | str", strict: bool = True) -> dict:
+    """Parse + validate one NDJSON line; raises StreamProtocolError.
+
+    With ``strict=False`` an unknown event name passes through as-is
+    instead of raising — the forward-compatibility mode streaming
+    consumers use so new observational frame types (as ``metric`` and
+    ``span`` once were) are skippable rather than fatal.  Broken JSON,
+    non-object frames, a missing ``event`` key, and known events
+    missing required fields stay fatal in both modes.
+    """
     if isinstance(line, bytes):
         try:
             line = line.decode("utf-8")
@@ -196,10 +241,12 @@ def decode_frame(line: "bytes | str") -> dict:
         )
     event = frame.get("event")
     if event not in FRAME_EVENTS:
-        raise StreamProtocolError(
-            f"unknown frame event {event!r}; expected one of "
-            f"{sorted(FRAME_EVENTS)}"
-        )
+        if not isinstance(event, str) or not event or strict:
+            raise StreamProtocolError(
+                f"unknown frame event {event!r}; expected one of "
+                f"{sorted(FRAME_EVENTS)}"
+            )
+        return frame
     missing = [key for key in FRAME_EVENTS[event] if key not in frame]
     if missing:
         raise StreamProtocolError(
@@ -240,7 +287,8 @@ def assemble_stream_result(frames: Iterable[dict]) -> SweepResult:
             skips[int(frame["skip_index"])] = skip_from_dict(frame["skip"])
         elif event == "done":
             terminal = frame
-        # job_started / attempt / progress / status are observational only
+        # job_started / attempt / progress / metric / span / status (and
+        # any event this client predates) are observational only
     if terminal is None:
         raise StreamProtocolError(
             "stream ended without a terminal done frame (connection cut?)"
@@ -290,11 +338,17 @@ def assemble_stream_result(frames: Iterable[dict]) -> SweepResult:
 
 
 def decode_stream(lines: Iterable["bytes | str"]) -> Iterable[dict]:
-    """Decode an iterable of NDJSON lines, skipping blank keep-alives."""
+    """Decode an iterable of NDJSON lines, skipping blank keep-alives.
+
+    Runs :func:`decode_frame` in forward-compatible mode: frames with
+    an unknown event name flow through (reassembly ignores them), so a
+    newer server can interleave observational frame types this client
+    has never heard of.
+    """
     for line in lines:
         stripped = line.strip()
         if stripped:
-            yield decode_frame(stripped)
+            yield decode_frame(stripped, strict=False)
 
 
 __all__ = [
@@ -308,9 +362,11 @@ __all__ = [
     "encode_frame",
     "job_error_frame",
     "job_started_frame",
+    "metric_frame",
     "progress_frame",
     "record_frame",
     "result_to_frames",
     "skip_frame",
+    "span_frame",
     "status_frame",
 ]

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import time
 from typing import AsyncIterator, Awaitable, Callable
 
@@ -45,6 +46,7 @@ from ...eval.jobs import (
     RetryPolicy,
     SweepPlan,
     SweepResult,
+    _timed_failure,
     assemble_result,
     chunk_jobs,
     evaluate_completions,
@@ -52,6 +54,7 @@ from ...eval.jobs import (
     make_job_error,
 )
 from ...eval.pipeline import Evaluator
+from ...obs import REGISTRY, job_tags, observe_stage, record_span
 from ...problems import get_problem
 from .backends import AsyncBackend, ensure_async
 from .events import (
@@ -59,9 +62,11 @@ from .events import (
     done_frame,
     job_error_frame,
     job_started_frame,
+    metric_frame,
     progress_frame,
     record_frame,
     skip_frame,
+    span_frame,
 )
 
 #: frames flow to sync or async consumers; awaitable results are awaited
@@ -135,34 +140,69 @@ class AsyncSweepExecutor(Executor):
         self, job: GenerationJob, completions: list
     ) -> list:
         if self.offload:
+            # copy_context keeps the per-job trace tags visible to the
+            # evaluator's stage spans across the thread-pool hop
+            context = contextvars.copy_context()
             return await asyncio.get_running_loop().run_in_executor(
-                None, evaluate_completions, self.evaluator, job, completions
+                None,
+                context.run,
+                evaluate_completions,
+                self.evaluator,
+                job,
+                completions,
             )
         return evaluate_completions(self.evaluator, job, completions)
 
     async def _run_job(
         self, abackend: AsyncBackend, job: GenerationJob
     ) -> JobOutcome:
-        """One job under the retry policy; never raises (except cancel)."""
-        for attempt in range(1, self.retry.max_attempts + 1):
-            try:
-                problem = get_problem(job.problem)
-                completions = await abackend.generate_async(
-                    job.model, problem.prompt(job.level),
-                    job.generation_config(),
-                )
-                return await self._evaluate(job, completions), None, attempt
-            except asyncio.CancelledError:
-                raise
-            except BackendError as exc:  # transient: retry with backoff
-                if attempt < self.retry.max_attempts:
-                    delay = self.retry.delay(attempt)
-                    if delay > 0:
-                        await self.sleep(delay)
-                    continue
-                return [], failure_from_exception(exc), attempt
-            except Exception as exc:  # noqa: BLE001 — per-job isolation
-                return [], failure_from_exception(exc), attempt
+        """One job under the retry policy; never raises (except cancel).
+
+        Timing mirrors :func:`~repro.eval.jobs.run_job_with_retry`:
+        per-attempt elapsed and scheduled backoff land on the failure,
+        and generation feeds the always-on ``generate`` stage timer.
+        """
+        attempt_seconds: list[float] = []
+        backoff_total = 0.0
+        with job_tags(model=job.model, problem=job.problem):
+            for attempt in range(1, self.retry.max_attempts + 1):
+                attempt_started = time.perf_counter()
+                try:
+                    problem = get_problem(job.problem)
+                    completions = await abackend.generate_async(
+                        job.model, problem.prompt(job.level),
+                        job.generation_config(),
+                    )
+                    observe_stage(
+                        "generate",
+                        time.perf_counter() - attempt_started,
+                        problem=job.problem,
+                        model=job.model,
+                    )
+                    records = await self._evaluate(job, completions)
+                    return records, None, attempt
+                except asyncio.CancelledError:
+                    raise
+                except BackendError as exc:  # transient: retry with backoff
+                    attempt_seconds.append(
+                        time.perf_counter() - attempt_started
+                    )
+                    if attempt < self.retry.max_attempts:
+                        delay = self.retry.delay(attempt)
+                        backoff_total += delay
+                        if delay > 0:
+                            await self.sleep(delay)
+                        continue
+                    return [], _timed_failure(
+                        exc, attempt_seconds, backoff_total
+                    ), attempt
+                except Exception as exc:  # noqa: BLE001 — per-job isolation
+                    attempt_seconds.append(
+                        time.perf_counter() - attempt_started
+                    )
+                    return [], _timed_failure(
+                        exc, attempt_seconds, backoff_total
+                    ), attempt
         raise AssertionError("unreachable")  # pragma: no cover
 
     async def _batch_outcomes(
@@ -269,14 +309,40 @@ class AsyncSweepExecutor(Executor):
                 outcomes: "list[JobOutcome] | None" = None
                 if len(jobs) > 1:
                     outcomes = await self._batch_outcomes(abackend, jobs)
+                job_elapsed: list[float] = []
                 if outcomes is None:
                     outcomes = []
                     for job in jobs:
+                        job_started = time.perf_counter()
                         outcomes.append(await self._run_job(abackend, job))
+                        job_elapsed.append(
+                            time.perf_counter() - job_started
+                        )
                 for position, (job, outcome) in enumerate(
                     zip(jobs, outcomes)
                 ):
                     await finish_job(offset + position, job, outcome)
+                    if position < len(job_elapsed):
+                        elapsed = job_elapsed[position]
+                        REGISTRY.observe("job_seconds", elapsed)
+                        record_span(
+                            "job", elapsed,
+                            model=job.model, problem=job.problem,
+                            outcome="error" if outcome[1] is not None
+                            else "ok",
+                            attempts=outcome[2],
+                        )
+                        await _send(
+                            emit,
+                            span_frame({
+                                "name": "job", "dur": elapsed,
+                                "tags": {
+                                    "job_index": offset + position,
+                                    "model": job.model,
+                                    "problem": job.problem,
+                                },
+                            }),
+                        )
                 return outcomes
 
         chunks = chunk_jobs(plan.jobs, self.batch_size)
@@ -301,6 +367,19 @@ class AsyncSweepExecutor(Executor):
         finally:
             if attempt_source is not None:
                 attempt_source.stop_attempt_log()
+
+        if emit is not None:
+            # one observational metrics snapshot before the terminal
+            # frame: cache effectiveness + job latency percentiles
+            await _send(
+                emit,
+                metric_frame({
+                    "evaluator_cache": dict(self.evaluator.cache_info),
+                    "job_seconds": REGISTRY.histogram_snapshot(
+                        "job_seconds"
+                    ),
+                }),
+            )
 
         outcomes = [outcome for chunk in chunk_outcomes for outcome in chunk]
         return assemble_result(

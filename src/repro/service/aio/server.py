@@ -39,13 +39,14 @@ import json
 import threading
 from urllib.parse import parse_qs
 
-from ..server import ServiceApp
+from ..server import RAW_TEXT_KEY, ServiceApp
 from ...backends.base import BackendError
 from ...eval.export import config_from_dict
 from .events import (
     StreamProtocolError,
     decode_frame,
     encode_frame,
+    metric_frame,
     status_frame,
 )
 from .executor import AsyncSweepExecutor
@@ -200,7 +201,10 @@ class AsyncEvalService:
                 # the loop free to answer health checks and streams
                 status, body = await asyncio.get_running_loop(
                 ).run_in_executor(None, self.app.handle, method, path, payload)
-                await self._respond_json(writer, status, body)
+                if RAW_TEXT_KEY in body:
+                    await self._respond_text(writer, status, body)
+                else:
+                    await self._respond_json(writer, status, body)
         except _BadRequest as exc:
             with contextlib.suppress(ConnectionError, OSError):
                 await self._respond_json(writer, 400, {"error": str(exc)})
@@ -263,6 +267,22 @@ class AsyncEvalService:
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
             "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("ascii") + data)
+        await writer.drain()
+
+    @staticmethod
+    async def _respond_text(
+        writer: asyncio.StreamWriter, status: int, body: dict
+    ) -> None:
+        data = body[RAW_TEXT_KEY].encode("utf-8")
+        content_type = body.get("content_type", "text/plain")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             "Connection: close\r\n"
             "\r\n"
@@ -448,6 +468,7 @@ class AsyncEvalService:
 
     async def _status_frames(self, coordinator, poll: float):
         last = None
+        merged_last = None
         while True:
             status = coordinator.status()
             # leases carry live expiry countdowns; only re-emit when the
@@ -458,6 +479,21 @@ class AsyncEvalService:
                    status.get("store_hits", 0))
             if key != last:
                 last = key
+                # observational companion frame: per-worker throughput
+                # aggregates, emitted when a new merge landed.  It goes
+                # *before* the status frame so the complete=true status
+                # stays the terminal frame; old clients skip unknown
+                # events (decode_stream is lenient), and record/merge
+                # parity is untouched.
+                merged = status["records_merged"]
+                workers = status.get("workers") or []
+                if workers and merged != merged_last:
+                    merged_last = merged
+                    yield metric_frame({
+                        "records_merged": merged,
+                        "store_hits": status.get("store_hits", 0),
+                        "workers": workers,
+                    })
                 yield status_frame(status)
             if status["complete"]:
                 return  # the complete=true status frame is the terminal

@@ -33,6 +33,7 @@ from typing import Callable, Sequence
 
 from ..models.base import Completion, GenerationConfig
 from ..backends.base import Backend, BackendError, ModelCapabilities
+from ..obs import REGISTRY
 
 Transport = Callable[[str, str, "dict | None"], dict]
 
@@ -331,6 +332,7 @@ def run_worker(
             continue
         idle = 0
         shard = shard_from_dict(response["shard"])
+        REGISTRY.inc("worker_units_leased", worker=worker_id)
         result = session.run_plan(shard.plan)
         payload = {
             "lease_id": response["lease_id"],
@@ -349,6 +351,10 @@ def run_worker(
                 if attempt == 4:
                     raise
                 sleep(max(poll_seconds, 0.1))
+        REGISTRY.inc("worker_units_submitted", worker=worker_id)
+        REGISTRY.inc(
+            "worker_records_submitted", len(result.sweep), worker=worker_id
+        )
         summary["shards"] += 1
         summary["jobs"] += len(shard.plan.jobs)
         summary["records"] += len(result.sweep)

@@ -58,6 +58,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..eval.export import sweep_result_from_dict, sweep_result_to_dict
 from ..eval.jobs import SweepPlan, SweepResult
+from ..obs import REGISTRY, record_span
 from .sharding import (
     PlanShard,
     assemble_slots,
@@ -184,6 +185,9 @@ class ShardCoordinator:
         self._lease_counter = 0
         self._results: dict[int, SweepResult] = {}
         self._submitted_by: dict[int, str] = {}
+        # per-worker merge aggregates (units/jobs/records/busy seconds/
+        # store hits): the signal adaptive lease sizing will feed on
+        self._worker_stats: dict[str, dict] = {}
         # lease_id -> live partial-progress counters of an in-flight
         # streamed upload (cleared when the stream commits or aborts)
         self._streaming: dict[str, dict] = {}
@@ -311,6 +315,12 @@ class ShardCoordinator:
         saved — and ``records_streaming`` counts records received on
         in-flight streamed uploads that have not committed yet (each
         streaming lease row also carries its own ``records_streamed``).
+
+        Submitted unit rows additionally report per-lease throughput
+        (``elapsed_seconds``/``jobs_per_second``), and ``workers``
+        aggregates units/jobs/records/store-hits/busy-seconds and
+        throughput per worker — the observed-throughput signal the
+        adaptive-lease-sizing roadmap item needs.
         """
         with self._lock:
             self._reclaim_expired()
@@ -350,10 +360,20 @@ class ShardCoordinator:
                 if result is not None:
                     jobs_done += len(unit.plan.jobs)
                     store_hits += self._stats_store_hits(result.stats)
+                    try:
+                        busy = float(
+                            result.stats.get("elapsed_seconds", 0.0)
+                        )
+                    except (TypeError, ValueError):
+                        busy = 0.0
                     row.update(
                         records=len(result.sweep),
                         errors=len(result.errors),
                         worker_id=self._submitted_by.get(index),
+                        elapsed_seconds=round(busy, 6),
+                        jobs_per_second=round(
+                            len(unit.plan.jobs) / busy, 4
+                        ) if busy > 0 else 0.0,
                     )
                 shard_rows.append(row)
             return {
@@ -381,6 +401,7 @@ class ShardCoordinator:
                 "shards": shard_rows,
                 "leases": leases,
                 "leases_reclaimed": self._reclaimed,
+                "workers": self._worker_rows_locked(),
             }
 
     # ------------------------------------------------------------------
@@ -516,6 +537,7 @@ class ShardCoordinator:
             self._state[index] = DONE
             self._retire_unit_leases_locked(index)
             self._streaming.pop(lease_id, None)
+            self._observe_merge_locked(index, worker_id, shard_result)
             return {
                 "accepted": True,
                 "duplicate": False,
@@ -524,6 +546,63 @@ class ShardCoordinator:
                 "done": self._done_locked(),
                 "remaining": self._remaining_locked(),
             }
+
+    def _observe_merge_locked(
+        self, index: int, worker_id: str, shard_result: SweepResult
+    ) -> None:
+        """Fold one committed unit into the per-worker aggregates.
+
+        ``busy_seconds`` is the executor-reported wall clock of the
+        unit (``stats["elapsed_seconds"]``), so per-worker throughput
+        reflects time actually spent executing, not merge latency.
+        """
+        unit = self._units[index]
+        try:
+            busy = float(shard_result.stats.get("elapsed_seconds", 0.0))
+        except (TypeError, ValueError):
+            busy = 0.0
+        jobs = len(unit.plan.jobs)
+        store_hits = self._stats_store_hits(shard_result.stats)
+        row = self._worker_stats.setdefault(
+            worker_id,
+            {"units": 0, "jobs": 0, "records": 0, "errors": 0,
+             "store_hits": 0, "busy_seconds": 0.0},
+        )
+        row["units"] += 1
+        row["jobs"] += jobs
+        row["records"] += len(shard_result.sweep)
+        row["errors"] += len(shard_result.errors)
+        row["store_hits"] += store_hits
+        row["busy_seconds"] += busy
+        REGISTRY.inc("coordinator_units_merged", worker=worker_id)
+        REGISTRY.inc(
+            "coordinator_records_merged", len(shard_result.sweep),
+            worker=worker_id,
+        )
+        if busy > 0:
+            REGISTRY.observe("unit_seconds", busy, worker=worker_id)
+        record_span(
+            "unit", busy, worker=worker_id, unit=index, jobs=jobs,
+            records=len(shard_result.sweep),
+            errors=len(shard_result.errors), store_hits=store_hits,
+        )
+
+    def _worker_rows_locked(self) -> list[dict]:
+        """Per-worker throughput rows for ``status()`` (sorted)."""
+        rows = []
+        for worker_id in sorted(self._worker_stats):
+            stats = self._worker_stats[worker_id]
+            busy = stats["busy_seconds"]
+            rows.append(
+                {
+                    "worker_id": worker_id,
+                    **stats,
+                    "busy_seconds": round(busy, 6),
+                    "jobs_per_second": round(stats["jobs"] / busy, 4)
+                    if busy > 0 else 0.0,
+                }
+            )
+        return rows
 
     def _retire_unit_leases_locked(self, index: int) -> None:
         """Drop every lease record for a DONE unit — late submits for

@@ -10,7 +10,11 @@ nothing but the standard library:
 * ``POST /generate_batch``  — completions for many (prompt, config)
   requests of one model in a single round-trip;
 * ``POST /sweep``           — plan + execute a whole sweep server-side,
-  returning the full record/skip/error result.
+  returning the full record/skip/error result;
+* ``GET  /metrics``         — the process :mod:`repro.obs` registry as
+  JSON (plus coordinator throughput when one is attached);
+* ``GET  /metrics/prom``    — the same registry in Prometheus text
+  exposition format.
 
 When a :class:`~repro.service.coordinator.ShardCoordinator` is attached
 (``ServiceApp(session, coordinator=...)`` or ``EvalService(...,
@@ -43,6 +47,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from ..backends.base import BackendError
 from ..eval.export import config_from_dict, sweep_result_to_dict
 from ..models.base import GenerationConfig
+from ..obs import REGISTRY, render_prometheus
+
+#: reserved body key: the HTTP shims serve this raw instead of as JSON
+RAW_TEXT_KEY = "_raw_text"
 
 
 class ServiceApp:
@@ -61,10 +69,12 @@ class ServiceApp:
         self, method: str, path: str, payload: dict | None = None
     ) -> tuple[int, dict]:
         """Dispatch one request; returns (HTTP status, response body)."""
-        route = (method.upper(), path.rstrip("/") or "/")
+        route = (method.upper(), path.split("?", 1)[0].rstrip("/") or "/")
         handlers = {
             ("GET", "/health"): self._health,
             ("GET", "/models"): self._models,
+            ("GET", "/metrics"): self._metrics,
+            ("GET", "/metrics/prom"): self._metrics_prom,
             ("POST", "/capabilities"): self._capabilities,
             ("POST", "/generate"): self._generate,
             ("POST", "/generate_batch"): self._generate_batch,
@@ -75,7 +85,9 @@ class ServiceApp:
         }
         handler = handlers.get(route)
         if handler is None:
+            REGISTRY.inc("http_requests", route="unmatched")
             return 404, {"error": f"no route {method.upper()} {path}"}
+        REGISTRY.inc("http_requests", route=f"{route[0]} {route[1]}")
         try:
             return 200, handler(payload or {})
         except BackendError as exc:
@@ -98,6 +110,26 @@ class ServiceApp:
 
     def _models(self, _payload: dict) -> dict:
         return {"models": self.session.models()}
+
+    def _metrics(self, _payload: dict) -> dict:
+        body = {"metrics": REGISTRY.snapshot()}
+        if self.coordinator is not None:
+            status = self.coordinator.status()
+            body["coordinator"] = {
+                key: status[key]
+                for key in (
+                    "jobs_done", "jobs_total", "records_merged",
+                    "store_hits", "workers",
+                )
+                if key in status
+            }
+        return body
+
+    def _metrics_prom(self, _payload: dict) -> dict:
+        return {
+            RAW_TEXT_KEY: render_prometheus(REGISTRY),
+            "content_type": "text/plain; version=0.0.4",
+        }
 
     def _capabilities(self, payload: dict) -> dict:
         model = payload["model"]
@@ -196,9 +228,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     def _respond(self, status: int, body: dict) -> None:
-        data = json.dumps(body).encode("utf-8")
+        if RAW_TEXT_KEY in body:
+            data = body[RAW_TEXT_KEY].encode("utf-8")
+            content_type = body.get("content_type", "text/plain")
+        else:
+            data = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

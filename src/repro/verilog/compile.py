@@ -13,10 +13,17 @@ Failure reports carry the *stage* that rejected the design ("parse",
 downstream consumers (structured :class:`~repro.eval.jobs.JobError`
 fields, the agentic repair loop's re-prompts) never scrape the message
 strings.
+
+Every report also carries per-stage wall clock (``parse_seconds``,
+``elaborate_seconds``, ``sim_seconds``) measured here, at the stage
+boundary, so the evaluator's always-on profile (:mod:`repro.obs`) reads
+timings off the report instead of re-wrapping the frontend — the
+verilog layer itself stays observability-free.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from .ast import SourceUnit
@@ -41,6 +48,9 @@ class CompileReport:
     design: Design | None = None
     stage: str = ""
     line: int = 0
+    parse_seconds: float = 0.0
+    elaborate_seconds: float = 0.0
+    sim_seconds: float = 0.0
 
     @property
     def error_text(self) -> str:
@@ -49,17 +59,22 @@ class CompileReport:
 
 def check_syntax(source: str) -> CompileReport:
     """Parse-only check, the cheapest 'does it compile' gate."""
+    started = time.perf_counter()
     try:
         unit = parse(source)
     except VerilogError as exc:
         return CompileReport(
-            ok=False, errors=[str(exc)], stage="parse", line=exc.line
+            ok=False, errors=[str(exc)], stage="parse", line=exc.line,
+            parse_seconds=time.perf_counter() - started,
         )
     except RecursionError:
         return CompileReport(
-            ok=False, errors=["expression nesting too deep"], stage="parse"
+            ok=False, errors=["expression nesting too deep"], stage="parse",
+            parse_seconds=time.perf_counter() - started,
         )
-    return CompileReport(ok=True, unit=unit)
+    return CompileReport(
+        ok=True, unit=unit, parse_seconds=time.perf_counter() - started
+    )
 
 
 def compile_design(source: str, top: str | None = None) -> CompileReport:
@@ -75,6 +90,7 @@ def compile_design(source: str, top: str | None = None) -> CompileReport:
     assert report.unit is not None
     if top is None:
         top = report.unit.modules[-1].name
+    started = time.perf_counter()
     try:
         design = elaborate(report.unit, top)
     except VerilogError as exc:
@@ -84,6 +100,8 @@ def compile_design(source: str, top: str | None = None) -> CompileReport:
             unit=report.unit,
             stage="elaborate",
             line=exc.line,
+            parse_seconds=report.parse_seconds,
+            elaborate_seconds=time.perf_counter() - started,
         )
     except RecursionError:
         return CompileReport(
@@ -91,8 +109,16 @@ def compile_design(source: str, top: str | None = None) -> CompileReport:
             errors=["elaboration recursion limit"],
             unit=report.unit,
             stage="elaborate",
+            parse_seconds=report.parse_seconds,
+            elaborate_seconds=time.perf_counter() - started,
         )
-    return CompileReport(ok=True, unit=report.unit, design=design)
+    return CompileReport(
+        ok=True,
+        unit=report.unit,
+        design=design,
+        parse_seconds=report.parse_seconds,
+        elaborate_seconds=time.perf_counter() - started,
+    )
 
 
 def run_simulation(
@@ -106,6 +132,7 @@ def run_simulation(
     if not report.ok:
         return report, None
     assert report.design is not None
+    started = time.perf_counter()
     try:
         result = simulate(report.design, max_time=max_time, max_steps=max_steps)
     except VerilogError as exc:
@@ -117,7 +144,11 @@ def run_simulation(
                 design=report.design,
                 stage="sim",
                 line=exc.line,
+                parse_seconds=report.parse_seconds,
+                elaborate_seconds=report.elaborate_seconds,
+                sim_seconds=time.perf_counter() - started,
             ),
             None,
         )
+    report.sim_seconds = time.perf_counter() - started
     return report, result

@@ -247,7 +247,15 @@ class TestStatusStream:
         assert frames[-1]["complete"] is True
         assert frames[-1]["done"] == 2
         assert frames[0]["done"] < 2  # we watched it progress
-        assert all("shards" in f for f in frames)
+        status_frames = [f for f in frames if f["event"] == "status"]
+        assert all("shards" in f for f in status_frames)
+        # merges interleave observational metric frames (worker
+        # throughput aggregates) between status frames
+        metric_frames = [f for f in frames if f["event"] == "metric"]
+        assert metric_frames, "no metric frame observed after merges"
+        workers = metric_frames[-1]["metrics"]["workers"]
+        assert workers and workers[0]["worker_id"] == "streamer"
+        assert workers[0]["jobs"] > 0
 
     def test_status_stream_without_coordinator_is_400(self, service):
         with pytest.raises(BackendError, match="no shard coordinator"):

@@ -1,0 +1,655 @@
+"""Tests for the observability layer (repro.obs): metrics registry,
+span tracing + trace files, stage timers, retry timing, stream frames,
+/metrics routes, and the ``repro stats`` CLI."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.api import Session
+from repro.backends import BackendError, StubBackend
+from repro.cli import main
+from repro.eval import Evaluator, RetryPolicy, SweepConfig, SweepPlanner
+from repro.eval.export import error_from_dict, error_to_dict
+from repro.eval.jobs import JobError, run_job_with_retry
+from repro.obs import (
+    REGISTRY,
+    STAGES,
+    Histogram,
+    MetricsRegistry,
+    TraceFormatError,
+    TraceWriter,
+    current_tags,
+    job_tags,
+    load_trace,
+    observe_stage,
+    record_span,
+    render_prometheus,
+    render_stats,
+    reset_registry,
+    span,
+    summarize_traces,
+    tracing_active,
+)
+from repro.problems import PromptLevel
+
+TINY = SweepConfig(
+    temperatures=(0.1,),
+    completions_per_prompt=(2,),
+    levels=(PromptLevel.LOW,),
+    problem_numbers=(1, 2),
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Each test sees a fresh process registry (and leaves one behind)."""
+    reset_registry()
+    yield
+    reset_registry()
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counters_accumulate_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.inc("units", worker="a")
+        reg.inc("units", 2.0, worker="a")
+        reg.inc("units", worker="b")
+        assert reg.counter_value("units", worker="a") == 3.0
+        assert reg.counter_value("units", worker="b") == 1.0
+        assert reg.counter_value("units", worker="nope") == 0.0
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("queue_depth", 5)
+        reg.set_gauge("queue_depth", 2)
+        snapshot = reg.snapshot()
+        assert snapshot["gauges"] == [
+            {"name": "queue_depth", "labels": {}, "value": 2.0}
+        ]
+
+    def test_histogram_percentiles_within_bucket_error(self):
+        hist = Histogram()
+        for ms in range(1, 1001):
+            hist.observe(ms / 1000.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 1000
+        assert snap["min"] == 0.001 and snap["max"] == 1.0
+        # log buckets are ~9.6% wide; quantiles land within one bucket
+        assert snap["p50"] == pytest.approx(0.5, rel=0.11)
+        assert snap["p95"] == pytest.approx(0.95, rel=0.11)
+        assert snap["p99"] == pytest.approx(0.99, rel=0.11)
+
+    def test_histogram_single_sample_is_exact_range(self):
+        hist = Histogram()
+        hist.observe(0.25)
+        snap = hist.snapshot()
+        # quantiles clamp to [min, max], so one sample answers itself
+        assert snap["p50"] == snap["p99"] == 0.25
+
+    def test_empty_histogram_snapshot_is_zeroes(self):
+        reg = MetricsRegistry()
+        assert reg.histogram_snapshot("never_observed")["count"] == 0
+
+    def test_snapshot_shape_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.inc("b_counter")
+        reg.inc("a_counter", stage="sim")
+        reg.observe("latency", 0.5, stage="parse")
+        snap = reg.snapshot()
+        assert [row["name"] for row in snap["counters"]] == [
+            "a_counter", "b_counter",
+        ]
+        hist_row = snap["histograms"][0]
+        assert hist_row["labels"] == {"stage": "parse"}
+        assert {"count", "sum", "min", "max", "p50", "p95", "p99"} <= set(
+            hist_row
+        )
+        json.dumps(snap)  # must be JSON-serializable as-is
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.set_gauge("y", 1)
+        reg.observe("z", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+
+
+class TestPrometheusRendering:
+    def test_counters_gauges_histograms_render(self):
+        reg = MetricsRegistry()
+        reg.inc("http_requests", 3, route="/health")
+        reg.set_gauge("workers", 2)
+        reg.observe("job_seconds", 0.5)
+        text = render_prometheus(reg)
+        assert "# TYPE http_requests counter" in text
+        assert 'http_requests{route="/health"} 3.0' in text
+        assert "# TYPE workers gauge" in text
+        assert "# TYPE job_seconds summary" in text
+        assert 'job_seconds{quantile="0.5"}' in text
+        assert "job_seconds_count 1" in text
+        assert "job_seconds_sum 0.5" in text
+        assert text.endswith("\n")
+
+    def test_output_stable_for_same_state(self):
+        reg = MetricsRegistry()
+        reg.inc("c", worker="b")
+        reg.inc("c", worker="a")
+        assert render_prometheus(reg) == render_prometheus(reg)
+        # label sets render sorted, insertion order does not leak
+        lines = render_prometheus(reg).splitlines()
+        assert lines[1] == 'c{worker="a"} 1.0'
+
+    def test_defaults_to_process_registry(self):
+        REGISTRY.inc("process_wide_counter")
+        assert "process_wide_counter 1.0" in render_prometheus()
+
+
+# ----------------------------------------------------------------------
+# Span tracing + trace files
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_record_span_noop_without_sinks(self):
+        assert not tracing_active()
+        record_span("orphan", 0.1)  # must not raise or buffer anywhere
+
+    def test_sink_receives_span_with_merged_tags(self):
+        seen = []
+        with TraceWriterSpy(seen):
+            with job_tags(model="m1", problem=3):
+                record_span("sim", 0.02, problem=4, cycles=10)
+        assert len(seen) == 1
+        frame = seen[0]
+        assert frame["type"] == "span" and frame["name"] == "sim"
+        assert frame["dur"] == pytest.approx(0.02)
+        # explicit tags win over the ambient job context
+        assert frame["tags"] == {"model": "m1", "problem": 4, "cycles": 10}
+
+    def test_job_tags_nest_and_restore(self):
+        assert current_tags() == {}
+        with job_tags(model="m", problem=1):
+            with job_tags(problem=2, level="L"):
+                assert current_tags() == {
+                    "model": "m", "problem": 2, "level": "L",
+                }
+            assert current_tags() == {"model": "m", "problem": 1}
+        assert current_tags() == {}
+
+    def test_span_context_manager_times_body(self):
+        seen = []
+        with TraceWriterSpy(seen):
+            with span("elaborate", problem=7):
+                pass
+        assert seen[0]["name"] == "elaborate"
+        assert seen[0]["dur"] >= 0.0
+        assert seen[0]["tags"] == {"problem": 7}
+
+    def test_span_context_manager_free_without_sinks(self):
+        with span("nothing"):  # no sink installed: must not record
+            pass
+        assert not tracing_active()
+
+
+class TraceWriterSpy:
+    """A plain list-collecting sink with the TraceWriter install dance."""
+
+    def __init__(self, frames):
+        self.frames = frames
+
+    def __call__(self, frame):
+        self.frames.append(frame)
+
+    def __enter__(self):
+        from repro.obs import add_sink
+
+        add_sink(self)
+        return self
+
+    def __exit__(self, *exc_info):
+        from repro.obs import remove_sink
+
+        remove_sink(self)
+
+
+class TestTraceWriter:
+    def test_file_layout_meta_spans_metrics(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        REGISTRY.inc("counted_once")
+        with TraceWriter(str(path), tags={"worker": "w0"}):
+            assert tracing_active()
+            record_span("job", 0.5, model="m", problem=1)
+            record_span("generate", 0.4)
+        assert not tracing_active()
+        frames = load_trace(str(path))
+        assert [f["type"] for f in frames] == [
+            "meta", "span", "span", "metrics",
+        ]
+        meta = frames[0]
+        assert meta["version"] == 1
+        assert meta["clock"] == "monotonic"
+        assert meta["tags"] == {"worker": "w0"}
+        # writer default tags live in the header only, not on spans
+        assert frames[1]["tags"] == {"model": "m", "problem": 1}
+        names = [row["name"] for row in frames[3]["metrics"]["counters"]]
+        assert "counted_once" in names
+
+    def test_every_line_is_one_json_object(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        with TraceWriter(str(path)):
+            record_span("sim", 0.001, note='quote" and \\ backslash')
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        writer = TraceWriter(str(path))
+        writer.close()
+        writer.close()  # second close must not append or raise
+        frames = load_trace(str(path))
+        assert [f["type"] for f in frames] == ["meta", "metrics"]
+
+
+# ----------------------------------------------------------------------
+# Always-on stage timers + retry timing
+# ----------------------------------------------------------------------
+class TestStageTimers:
+    def test_evaluation_feeds_stage_histograms(self):
+        session = Session(backend="zoo")
+        session.run_plan(session.plan(TINY, models=["codegen-2b-ft"]))
+        snap = REGISTRY.snapshot()
+        stages_seen = {
+            row["labels"]["stage"]
+            for row in snap["histograms"]
+            if row["name"] == "stage_seconds"
+        }
+        # generate always runs; parse fires for every completion that
+        # produced text; sim/testbench require a parse that elaborates
+        assert "generate" in stages_seen
+        assert "parse" in stages_seen
+        assert stages_seen <= set(STAGES)
+        job_rows = [
+            row for row in snap["histograms"] if row["name"] == "job_seconds"
+        ]
+        assert job_rows and job_rows[0]["count"] == 2  # one job per problem
+
+    def test_observe_stage_spans_only_when_tracing(self):
+        seen = []
+        observe_stage("parse", 0.01, problem=1)
+        with TraceWriterSpy(seen):
+            observe_stage("parse", 0.02, problem=1)
+        assert len(seen) == 1  # first call predates the sink
+        assert seen[0]["name"] == "parse"
+        assert (
+            REGISTRY.histogram_snapshot(
+                "stage_seconds", stage="parse", problem=1
+            )["count"]
+            == 2
+        )
+
+
+class TestRetryTiming:
+    def _flaky(self, failures):
+        class Flaky(StubBackend):
+            calls = 0
+
+            def generate(self, model, prompt, config):
+                Flaky.calls += 1
+                if Flaky.calls <= failures:
+                    raise BackendError(f"transient #{Flaky.calls}")
+                return super().generate(model, prompt, config)
+
+        return Flaky()
+
+    def test_success_after_retries_schedules_backoff(self):
+        backend = self._flaky(failures=2)
+        job = SweepPlanner(backend).plan(TINY).jobs[0]
+        slept = []
+        records, failure, attempts = run_job_with_retry(
+            backend,
+            Evaluator(),
+            job,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.5),
+            sleep=slept.append,
+        )
+        assert failure is None and attempts == 3
+        assert len(records) == job.n
+        assert slept == [0.5, 1.0]  # doubling backoff, deterministic
+
+    def test_exhausted_failure_carries_attempt_timings(self):
+        backend = self._flaky(failures=99)
+        job = SweepPlanner(backend).plan(TINY).jobs[0]
+        records, failure, attempts = run_job_with_retry(
+            backend,
+            Evaluator(),
+            job,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.25),
+            sleep=lambda _s: None,
+        )
+        assert records == [] and attempts == 3
+        assert len(failure.attempt_seconds) == 3
+        assert all(s >= 0.0 for s in failure.attempt_seconds)
+        assert failure.backoff_seconds == pytest.approx(0.25 + 0.5)
+
+    def test_timing_fields_excluded_from_equality(self):
+        job = SweepPlanner(StubBackend()).plan(TINY).jobs[0]
+        fast = JobError(job=job, error="boom", attempts=2,
+                        attempt_seconds=(0.1, 0.2), backoff_seconds=0.5)
+        slow = JobError(job=job, error="boom", attempts=2,
+                        attempt_seconds=(9.0, 9.0), backoff_seconds=99.0)
+        # the parity invariant: wall-clock metadata never breaks equality
+        assert fast == slow
+        assert fast != JobError(job=job, error="boom", attempts=3)
+
+    def test_export_roundtrip_and_legacy_dicts(self):
+        job = SweepPlanner(StubBackend()).plan(TINY).jobs[0]
+        error = JobError(job=job, error="boom", attempts=2,
+                         attempt_seconds=(0.125, 0.25), backoff_seconds=1.5)
+        row = error_to_dict(error)
+        back = error_from_dict(row)
+        assert back == error
+        assert back.attempt_seconds == (0.125, 0.25)
+        assert back.backoff_seconds == 1.5
+        # dicts written before the timing fields existed still load
+        row.pop("attempt_seconds")
+        row.pop("backoff_seconds")
+        legacy = error_from_dict(row)
+        assert legacy == error  # compare=False: equal despite defaults
+        assert legacy.attempt_seconds == ()
+        assert legacy.backoff_seconds == 0.0
+
+
+# ----------------------------------------------------------------------
+# Stream frames: metric/span events, strict vs lenient decode, parity
+# ----------------------------------------------------------------------
+class TestStreamFrames:
+    def test_metric_and_span_frames_carry_t(self):
+        from repro.service.aio.events import metric_frame, span_frame
+
+        metric = metric_frame({"records_merged": 4})
+        assert metric["event"] == "metric"
+        assert metric["metrics"] == {"records_merged": 4}
+        assert isinstance(metric["t"], float)
+
+        frame = span_frame({"type": "span", "name": "sim", "t": 12.5,
+                            "dur": 0.25, "tags": {"problem": 1}})
+        assert frame["event"] == "span"
+        assert "type" not in frame  # stream discriminator replaces it
+        assert frame["t"] == 12.5 and frame["dur"] == 0.25
+
+    def test_progress_and_attempt_frames_carry_t(self):
+        from repro.service.aio.events import attempt_frame, progress_frame
+
+        assert isinstance(progress_frame(1, 2, 3, 0)["t"], float)
+        assert isinstance(
+            attempt_frame({"model": "m", "problem": 1, "round": 0,
+                           "verdict": "pass"})["t"],
+            float,
+        )
+
+    def test_decode_frame_strict_rejects_unknown_event(self):
+        from repro.service.aio.events import StreamProtocolError, decode_frame
+
+        line = b'{"event":"hologram","x":1}'
+        with pytest.raises(StreamProtocolError, match="unknown frame"):
+            decode_frame(line)
+        # lenient mode is the forward-compatibility path
+        assert decode_frame(line, strict=False)["event"] == "hologram"
+
+    def test_malformed_known_frames_fatal_in_both_modes(self):
+        from repro.service.aio.events import StreamProtocolError, decode_frame
+
+        for strict in (True, False):
+            with pytest.raises(StreamProtocolError, match="missing"):
+                decode_frame(b'{"event":"metric"}', strict=strict)
+            with pytest.raises(StreamProtocolError, match="missing"):
+                decode_frame(b'{"event":"span","name":"x"}', strict=strict)
+            with pytest.raises(StreamProtocolError, match="not JSON"):
+                decode_frame(b"{nope", strict=strict)
+            with pytest.raises(StreamProtocolError, match="object"):
+                decode_frame(b"[1,2]", strict=strict)
+            with pytest.raises(StreamProtocolError, match="unknown"):
+                decode_frame(b'{"no_event":1}', strict=strict)
+
+    def test_decode_stream_passes_unknown_events_through(self):
+        from repro.service.aio.events import decode_stream
+
+        lines = [
+            b'{"event":"metric","t":1.0,"metrics":{}}',
+            b"",  # keep-alive
+            b'{"event":"from_the_future","payload":1}',
+            b'{"event":"span","name":"sim","dur":0.1}',
+        ]
+        events = [f["event"] for f in decode_stream(lines)]
+        assert events == ["metric", "from_the_future", "span"]
+
+    def test_assembly_ignores_observational_frames(self):
+        """Interleaving metric/span frames anywhere in a stream must not
+        change the reassembled result (the parity invariant)."""
+        from repro.service.aio.events import (
+            assemble_stream_result,
+            metric_frame,
+            result_to_frames,
+            span_frame,
+        )
+
+        session = Session(backend="stub-canonical")
+        plan = session.plan(TINY)
+        result = session.run_plan(plan)
+        frames = result_to_frames(plan, result)
+        noisy = []
+        for frame in frames:
+            noisy.append(metric_frame({"records_merged": len(noisy)}))
+            noisy.append(span_frame({"name": "sim", "dur": 0.01}))
+            noisy.append(frame)
+        rebuilt = assemble_stream_result(noisy)
+        assert rebuilt.sweep.records == result.sweep.records
+        assert rebuilt.errors == result.errors
+        assert rebuilt.stats == result.stats
+
+
+# ----------------------------------------------------------------------
+# /metrics routes on both servers
+# ----------------------------------------------------------------------
+class TestMetricsRoutes:
+    def test_service_app_metrics_json(self):
+        from repro.service import ServiceApp
+
+        REGISTRY.inc("route_test_counter")
+        status, body = ServiceApp(Session(backend="zoo")).handle(
+            "GET", "/metrics"
+        )
+        assert status == 200
+        names = [row["name"] for row in body["metrics"]["counters"]]
+        assert "route_test_counter" in names
+        assert "coordinator" not in body  # none attached
+
+    def test_service_app_metrics_prom_is_raw_text(self):
+        from repro.service import ServiceApp
+        from repro.service.server import RAW_TEXT_KEY
+
+        REGISTRY.inc("route_test_counter")
+        status, body = ServiceApp(Session(backend="zoo")).handle(
+            "GET", "/metrics/prom"
+        )
+        assert status == 200
+        assert body["content_type"] == "text/plain; version=0.0.4"
+        assert "route_test_counter 1.0" in body[RAW_TEXT_KEY]
+
+    @staticmethod
+    def _fetch(url):
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type"),
+                response.read().decode("utf-8"),
+            )
+
+    def test_routes_over_both_http_servers(self):
+        """The stdlib and asyncio servers expose identical metrics
+        routes: JSON snapshot at /metrics, Prometheus text at
+        /metrics/prom with the exposition content type."""
+        from repro.service import AsyncEvalService, EvalService
+
+        REGISTRY.inc("served_counter", flavor="both")
+        with EvalService(Session(backend="zoo"), port=0) as stdlib_svc, \
+                AsyncEvalService(Session(backend="zoo"), port=0) as aio_svc:
+            for url in (stdlib_svc.url, aio_svc.url):
+                status, ctype, text = self._fetch(url + "/metrics")
+                assert status == 200
+                assert ctype.startswith("application/json")
+                names = [
+                    row["name"]
+                    for row in json.loads(text)["metrics"]["counters"]
+                ]
+                assert "served_counter" in names
+
+                status, ctype, text = self._fetch(url + "/metrics/prom")
+                assert status == 200
+                assert ctype == "text/plain; version=0.0.4"
+                assert 'served_counter{flavor="both"} 1.0' in text
+                assert "# TYPE served_counter counter" in text
+
+
+# ----------------------------------------------------------------------
+# Trace summarizer + repro stats CLI
+# ----------------------------------------------------------------------
+def write_trace(path, worker=None, jobs=2):
+    """A small but complete trace file via the real writer."""
+    tags = {"worker": worker} if worker else None
+    with TraceWriter(str(path), tags=tags):
+        for index in range(jobs):
+            record_span("generate", 0.30, model="m", problem=index + 1)
+            record_span("parse", 0.05, problem=index + 1)
+            record_span("sim", 0.10, problem=index + 1)
+            record_span("job", 0.50, t=float(index), model="m",
+                        problem=index + 1)
+        record_span("repair_attempt", 0.2, round=0, verdict="sim_fail")
+        record_span("repair_attempt", 0.2, round=1, verdict="pass")
+
+
+class TestTraceStats:
+    def test_stage_split_and_job_percentiles(self, tmp_path):
+        path = tmp_path / "a.ndjson"
+        write_trace(path, jobs=4)
+        summary = summarize_traces([str(path)])
+        assert summary["stages"]["generate"]["count"] == 4
+        assert summary["stages"]["generate"]["seconds"] == pytest.approx(1.2)
+        total = summary["stage_seconds_total"]
+        assert total == pytest.approx(4 * (0.30 + 0.05 + 0.10))
+        assert summary["stages"]["generate"]["share"] == pytest.approx(
+            1.2 / total
+        )
+        assert summary["jobs"]["count"] == 4
+        assert summary["jobs"]["p50"] == pytest.approx(0.5)
+        assert summary["jobs"]["p99"] == pytest.approx(0.5)
+        assert summary["repair_attempts"] == {"sim_fail": 1, "pass": 1}
+
+    def test_worker_attribution_from_meta_tags(self, tmp_path):
+        """Multi-file merge: each file's meta-header worker tag labels
+        its job spans; files without one fall back to a per-file id."""
+        a, b, c = (tmp_path / name for name in ("a.nd", "b.nd", "c.nd"))
+        write_trace(a, worker="w-alpha", jobs=3)
+        write_trace(b, worker="w-beta", jobs=1)
+        write_trace(c, worker=None, jobs=1)
+        summary = summarize_traces([str(a), str(b), str(c)])
+        workers = summary["workers"]
+        assert workers["w-alpha"]["jobs"] == 3
+        assert workers["w-beta"]["jobs"] == 1
+        assert workers["file2"]["jobs"] == 1
+        # wall clock spans first job start to last job end within a file
+        assert workers["w-alpha"]["wall_seconds"] == pytest.approx(2.5)
+        assert workers["w-alpha"]["jobs_per_second"] == pytest.approx(
+            3 / 2.5
+        )
+
+    def test_malformed_lines_raise_with_location(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"type":"meta","version":1}\n{nope\n')
+        with pytest.raises(TraceFormatError, match="bad.ndjson:2"):
+            load_trace(str(path))
+
+    def test_unknown_frame_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"type":"hologram"}\n')
+        with pytest.raises(TraceFormatError, match="unknown frame type"):
+            load_trace(str(path))
+
+    def test_span_missing_dur_rejected(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"type":"span","name":"sim"}\n')
+        with pytest.raises(TraceFormatError, match="missing dur"):
+            load_trace(str(path))
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_text("\n\n")
+        with pytest.raises(TraceFormatError, match="empty trace"):
+            load_trace(str(path))
+
+    def test_render_stats_report_shape(self, tmp_path):
+        path = tmp_path / "a.ndjson"
+        write_trace(path, worker="w0")
+        report = render_stats(summarize_traces([str(path)]))
+        assert "stage" in report and "generate" in report
+        assert "p95" in report
+        assert "w0" in report
+        assert "repair attempts: pass=1, sim_fail=1" in report
+
+
+class TestStatsCli:
+    def test_stats_happy_path(self, capsys, tmp_path):
+        path = tmp_path / "run.ndjson"
+        write_trace(path, worker="w0")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "generate" in out and "w0" in out
+
+    def test_stats_json_output(self, capsys, tmp_path):
+        path = tmp_path / "run.ndjson"
+        write_trace(path)
+        assert main(["stats", str(path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["jobs"]["count"] == 2
+
+    def test_stats_bad_file_exits_two(self, capsys, tmp_path):
+        missing = tmp_path / "no-such.ndjson"
+        assert main(["stats", str(missing)]) == 2
+        assert "error" in capsys.readouterr().out
+        bad = tmp_path / "bad.ndjson"
+        bad.write_text("{nope\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "not JSON" in capsys.readouterr().out
+
+    def test_sweep_trace_flag_writes_valid_trace(self, capsys, tmp_path):
+        trace = tmp_path / "sweep.ndjson"
+        code = main([
+            "sweep", "--backend", "stub-canonical", "--problems", "1,2",
+            "--temperatures", "0.1", "--n", "2", "--levels", "L",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote trace {trace}" in out
+        frames = load_trace(str(trace))
+        assert frames[0]["type"] == "meta"
+        assert frames[0]["tags"]["command"] == "sweep"
+        assert frames[-1]["type"] == "metrics"
+        summary = summarize_traces([str(trace)])
+        assert summary["jobs"]["count"] == 2  # one job per problem
+        assert summary["stages"]["generate"]["count"] == 2
+        assert not tracing_active()  # sink removed after the command
+
+    def test_session_metrics_property(self):
+        REGISTRY.inc("session_visible")
+        snapshot = Session(backend="stub").metrics
+        assert any(
+            row["name"] == "session_visible"
+            for row in snapshot["counters"]
+        )
