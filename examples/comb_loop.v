@@ -1,0 +1,10 @@
+// Planted combinational loop: y depends on b, b depends on y, with no
+// register in the cycle.  A simulator spins this to its iteration
+// limit; `repro analyze examples/comb_loop.v` rejects it in
+// milliseconds with a structured [comb-loop] error finding (exit 2).
+// CI's analysis-smoke job runs exactly that.
+module comb_loop(input a, output y);
+  wire b;
+  assign b = y | a;
+  assign y = b & a;
+endmodule

@@ -19,6 +19,8 @@ from ..problems import Problem, PromptLevel
 _STAGE_HEADLINES = {
     "parse": "the previous completion has a syntax error",
     "elaborate": "the previous completion parsed but failed elaboration",
+    "analysis": "the previous completion compiled but static analysis "
+    "found a structural defect",
     "sim": "the previous completion crashed during simulation",
     "testbench": "the previous completion compiled but failed the test "
     "bench",
@@ -79,6 +81,12 @@ def format_feedback(
             lines.append(
                 "//   simulation did not finish (possible runaway loop)"
             )
+    analysis = [
+        f for f in getattr(evaluation, "findings", ())
+        if evaluation.stage != "analysis" or f.severity != "error"
+    ]
+    for finding in analysis[:max_errors]:
+        lines.append(f"//   analysis: {finding}")
     for finding in lint:
         lines.append(f"//   lint: {finding}")
     lines.append(

@@ -82,6 +82,10 @@ class Session:
         A full :class:`~repro.agentic.RepairConfig` when the defaults
         (feedback length, lint hints) need tuning; its ``budget`` wins
         over ``repair_budget``.
+    analysis:
+        Run the netlist static-analysis gate inside the evaluator
+        (default True); only consulted when ``evaluator`` is None —
+        an explicit evaluator brings its own setting.
     """
 
     def __init__(
@@ -96,6 +100,7 @@ class Session:
         store=None,
         repair_budget: int = 0,
         repair=None,
+        analysis: bool = True,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -104,7 +109,7 @@ class Session:
         self.backend = resolve_backend(backend)
         self.store = resolve_store(store)
         if evaluator is None:
-            evaluator = Evaluator(store=self.store)
+            evaluator = Evaluator(store=self.store, analysis=analysis)
         elif self.store is not None and evaluator.store is None:
             evaluator.store = self.store
         self.evaluator = evaluator
@@ -172,6 +177,7 @@ class Session:
                 retry=self.retry,
                 progress=self.progress,
                 store=self.store,
+                analysis=self.evaluator.analysis,
             )
         if self.executor == "async":
             from .service.aio import AsyncSweepExecutor

@@ -132,6 +132,52 @@ def _cmd_lint(args) -> int:
     return 0 if not warnings else 2
 
 
+def _cmd_analyze(args) -> int:
+    """Corpus analysis: exit 2 on error findings, 1 on compile
+    failures, 0 otherwise (warnings/infos are advisory)."""
+    from .eval import (
+        AnalysisTarget,
+        analysis_report_to_json,
+        analyze_targets,
+        render_analysis_report,
+        targets_from_files,
+        targets_from_problems,
+    )
+
+    try:
+        targets = targets_from_files(args.files)
+    except OSError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.top:
+        targets = [
+            AnalysisTarget(name=t.name, source=t.source, top=args.top)
+            for t in targets
+        ]
+    if args.problems or args.variants:
+        from .problems import ALL_PROBLEMS
+
+        targets.extend(
+            targets_from_problems(ALL_PROBLEMS, variants=args.variants)
+        )
+    if not targets:
+        print("error: nothing to analyze (pass files and/or --problems)")
+        return 2
+    reports = analyze_targets(targets, workers=args.workers)
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(analysis_report_to_json(reports))
+    if args.json:
+        print(analysis_report_to_json(reports))
+    else:
+        print(render_analysis_report(reports))
+    if any(r.compiled and r.error_findings for r in reports):
+        return 2
+    if any(not r.compiled for r in reports):
+        return 1
+    return 0
+
+
 def _make_session(args, backend):
     """Build a Session for a resolved ``backend`` from the common
     executor/retry/batch/store flags (no ``--url`` interpretation —
@@ -154,6 +200,7 @@ def _make_session(args, backend):
         batch_size=getattr(args, "batch_size", 1),
         store=getattr(args, "store", None),
         repair_budget=getattr(args, "repair_budget", 0),
+        analysis=not getattr(args, "no_analysis", False),
     )
 
 
@@ -936,6 +983,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="run static lint checks on a file")
     p.add_argument("file")
 
+    p = sub.add_parser(
+        "analyze",
+        help="netlist static analysis over files and/or the problem set",
+    )
+    p.add_argument("files", nargs="*",
+                   help="Verilog files to analyze (top inferred unless "
+                        "--top)")
+    p.add_argument("--problems", action="store_true",
+                   help="also analyze every canonical problem solution")
+    p.add_argument("--variants", action="store_true",
+                   help="with --problems, include the planted wrong "
+                        "variants")
+    p.add_argument("--top", default=None,
+                   help="top module name for file targets "
+                        "(default: inferred per file)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="thread-pool width for the corpus fan-out")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable JSON report")
+    p.add_argument("--export", default=None,
+                   help="also write the JSON report to this path")
+
     p = sub.add_parser("evaluate", help="evaluate a model on the set")
     p.add_argument("--model", default=_DEFAULT_EVAL_MODEL)
     p.add_argument("--ft", action="store_true")
@@ -958,6 +1027,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the sweep on a remote streaming service "
                         "(--url, from `repro serve --aio`) and render "
                         "progress live as NDJSON events arrive")
+    p.add_argument("--no-analysis", action="store_true",
+                   help="skip the netlist static-analysis gate "
+                        "(pure compile+simulate verdicts)")
     _add_trace_flag(p)
     _add_service_flags(p)
 
@@ -1114,6 +1186,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "simulate": _cmd_simulate,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
     "repair": _cmd_repair,

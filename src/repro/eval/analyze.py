@@ -1,0 +1,222 @@
+"""Corpus-scale static analysis: the ``repro analyze`` pipeline.
+
+Fans the netlist analyzer (:mod:`repro.verilog.analyze`) over a corpus —
+loose ``.v`` files, the benchmark problem set's canonical solutions,
+and/or their planted wrong variants — with a thread pool, and folds the
+per-design findings into one machine-readable report (JSON) plus an
+ASCII summary.  This is the "run the checker over everything" loop a
+hardware team points at a directory of RTL, as opposed to the per-
+completion gate inside :class:`~repro.eval.pipeline.Evaluator`.
+
+Targets are named so findings stay attributable; reports preserve the
+input order regardless of which worker finished first, so repeated runs
+over the same corpus diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..verilog import Finding, analyze_source, finding_to_dict
+
+
+@dataclass(frozen=True)
+class AnalysisTarget:
+    """One named design to analyze: source text plus an optional top."""
+
+    name: str
+    source: str
+    top: str | None = None
+
+
+@dataclass(frozen=True)
+class TargetReport:
+    """Analyzer verdict for one target.
+
+    ``compiled`` is the compile gate; when it is False ``stage`` and
+    ``errors`` carry the frontend diagnostics and ``findings`` is empty
+    (nothing to analyze).  ``seconds`` is wall time for the whole
+    compile+analyze of this target.
+    """
+
+    name: str
+    compiled: bool
+    stage: str = ""
+    errors: tuple[str, ...] = ()
+    findings: tuple[Finding, ...] = ()
+    seconds: float = 0.0
+
+    @property
+    def error_findings(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.severity == "error")
+
+    @property
+    def clean(self) -> bool:
+        return self.compiled and not self.findings
+
+
+def analyze_target(target: AnalysisTarget) -> TargetReport:
+    """Compile + analyze one target; never raises on bad input."""
+    started = time.perf_counter()
+    try:
+        report, findings = analyze_source(target.source, top=target.top)
+    except Exception as exc:  # noqa: BLE001 — corpus runs must not die
+        return TargetReport(
+            name=target.name, compiled=False, stage="analysis",
+            errors=(str(exc),),
+            seconds=time.perf_counter() - started,
+        )
+    if not report.ok:
+        return TargetReport(
+            name=target.name, compiled=False, stage=report.stage,
+            errors=tuple(report.errors),
+            seconds=time.perf_counter() - started,
+        )
+    return TargetReport(
+        name=target.name, compiled=True, findings=tuple(findings),
+        seconds=time.perf_counter() - started,
+    )
+
+
+def analyze_targets(
+    targets, workers: int = 1
+) -> list[TargetReport]:
+    """Analyze a corpus, fanning out over ``workers`` threads.
+
+    Results come back in input order whatever the completion order, so
+    two runs over the same corpus produce byte-identical reports.
+    """
+    targets = list(targets)
+    if workers <= 1 or len(targets) <= 1:
+        return [analyze_target(t) for t in targets]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(analyze_target, targets))
+
+
+def targets_from_files(paths) -> list[AnalysisTarget]:
+    """One target per ``.v`` file; the file path is the target name."""
+    targets = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            targets.append(AnalysisTarget(name=str(path),
+                                          source=handle.read()))
+    return targets
+
+
+def targets_from_problems(
+    problems, variants: bool = False
+) -> list[AnalysisTarget]:
+    """Canonical solutions (and optionally planted wrong variants).
+
+    Each problem contributes its canonical full source as
+    ``problem/<slug>``; with ``variants`` every wrong variant rides
+    along as ``problem/<slug>@<variant>`` — the corpus the golden
+    regression test sweeps.
+    """
+    targets = []
+    for problem in problems:
+        targets.append(AnalysisTarget(
+            name=f"problem/{problem.slug}",
+            source=problem.canonical_source(),
+            top=problem.module_name,
+        ))
+        if variants:
+            for variant in problem.wrong_variants:
+                targets.append(AnalysisTarget(
+                    name=f"problem/{problem.slug}@{variant.name}",
+                    source=problem.full_source(variant.body),
+                    top=problem.module_name,
+                ))
+    return targets
+
+
+def corpus_summary(reports) -> dict:
+    """Aggregate counters over a corpus run: the report's header block."""
+    by_code: dict[str, int] = {}
+    by_severity: dict[str, int] = {}
+    compile_failures = 0
+    gated = 0
+    for report in reports:
+        if not report.compiled:
+            compile_failures += 1
+            continue
+        if report.error_findings:
+            gated += 1
+        for finding in report.findings:
+            by_code[finding.code] = by_code.get(finding.code, 0) + 1
+            by_severity[finding.severity] = (
+                by_severity.get(finding.severity, 0) + 1
+            )
+    return {
+        "targets": len(reports),
+        "compile_failures": compile_failures,
+        "gated": gated,
+        "clean": sum(1 for r in reports if r.clean),
+        "findings_by_code": dict(sorted(by_code.items())),
+        "findings_by_severity": dict(sorted(by_severity.items())),
+        "seconds": round(sum(r.seconds for r in reports), 6),
+    }
+
+
+def analysis_report_to_dict(reports) -> dict:
+    """The full JSON report: summary + per-target findings."""
+    return {
+        "summary": corpus_summary(reports),
+        "targets": [
+            {
+                "name": r.name,
+                "compiled": r.compiled,
+                "stage": r.stage,
+                "errors": list(r.errors),
+                "findings": [finding_to_dict(f) for f in r.findings],
+                "seconds": round(r.seconds, 6),
+            }
+            for r in reports
+        ],
+    }
+
+
+def analysis_report_to_json(reports, indent: int | None = 2) -> str:
+    return json.dumps(analysis_report_to_dict(reports), indent=indent)
+
+
+def render_analysis_report(reports) -> str:
+    """Human-readable corpus report (one block per non-clean target)."""
+    summary = corpus_summary(reports)
+    lines = [
+        f"analyzed {summary['targets']} design(s): "
+        f"{summary['clean']} clean, "
+        f"{summary['gated']} with error findings, "
+        f"{summary['compile_failures']} failed to compile",
+    ]
+    for code, count in summary["findings_by_code"].items():
+        lines.append(f"  {code}: {count}")
+    for report in reports:
+        if report.clean:
+            continue
+        lines.append(f"-- {report.name}")
+        if not report.compiled:
+            stage = report.stage or "compile"
+            for error in report.errors[:3]:
+                lines.append(f"   {stage}: {error}")
+            continue
+        for finding in report.findings:
+            lines.append(f"   {finding}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "AnalysisTarget",
+    "TargetReport",
+    "analysis_report_to_dict",
+    "analysis_report_to_json",
+    "analyze_target",
+    "analyze_targets",
+    "corpus_summary",
+    "render_analysis_report",
+    "targets_from_files",
+    "targets_from_problems",
+]

@@ -165,6 +165,8 @@ def error_to_dict(error) -> dict:
         "stage": error.stage,
         "exception": error.exception,
         "line": error.line,
+        "code": error.code,
+        "path": error.path,
         "attempt_seconds": list(error.attempt_seconds),
         "backoff_seconds": error.backoff_seconds,
     }
@@ -180,6 +182,8 @@ def error_from_dict(row: dict):
         stage=str(row.get("stage", "")),
         exception=str(row.get("exception", "")),
         line=int(row.get("line", 0)),
+        code=str(row.get("code", "")),
+        path=str(row.get("path", "")),
         attempt_seconds=tuple(
             float(s) for s in row.get("attempt_seconds", [])
         ),
@@ -226,6 +230,8 @@ def config_from_dict(row: dict) -> SweepConfig:
 # ----------------------------------------------------------------------
 def evaluation_to_dict(evaluation) -> dict:
     """Serialize one :class:`~repro.eval.pipeline.CompletionEvaluation`."""
+    from ..verilog import finding_to_dict
+
     return {
         "compiled": evaluation.compiled,
         "passed": evaluation.passed,
@@ -233,10 +239,12 @@ def evaluation_to_dict(evaluation) -> dict:
         "sim_finished": evaluation.sim_finished,
         "stage": evaluation.stage,
         "error_line": evaluation.error_line,
+        "findings": [finding_to_dict(f) for f in evaluation.findings],
     }
 
 
 def evaluation_from_dict(row: dict):
+    from ..verilog import finding_from_dict
     from .pipeline import CompletionEvaluation
 
     return CompletionEvaluation(
@@ -246,6 +254,9 @@ def evaluation_from_dict(row: dict):
         sim_finished=bool(row.get("sim_finished", False)),
         stage=str(row.get("stage", "")),
         error_line=int(row.get("error_line", 0)),
+        findings=tuple(
+            finding_from_dict(f) for f in row.get("findings", [])
+        ),
     )
 
 

@@ -81,9 +81,12 @@ class JobError:
 
     The structured fields classify the failure without string scraping:
     ``stage`` names where it died (``"backend"``, ``"parse"``,
-    ``"elaborate"``, ``"sim"``, ``"testbench"``, or ``""`` when
-    unclassified), ``exception`` is the raising exception's class name,
-    and ``line`` the source line when the Verilog frontend knew one.
+    ``"elaborate"``, ``"analysis"``, ``"sim"``, ``"testbench"``, or
+    ``""`` when unclassified), ``exception`` is the raising exception's
+    class name, and ``line`` the source line when the Verilog frontend
+    knew one.  ``code``/``path`` carry the netlist analyzer's finding
+    code and hierarchical signal path for ``stage="analysis"`` failures
+    (strict gate), empty otherwise.
 
     ``attempt_seconds`` is the per-attempt elapsed wall clock (one entry
     per attempt, in order) and ``backoff_seconds`` the total backoff the
@@ -100,6 +103,8 @@ class JobError:
     stage: str = ""
     exception: str = ""
     line: int = 0
+    code: str = ""
+    path: str = ""
     attempt_seconds: tuple[float, ...] = field(default=(), compare=False)
     backoff_seconds: float = field(default=0.0, compare=False)
 
@@ -118,6 +123,8 @@ class JobFailure:
     stage: str = ""
     exception: str = ""
     line: int = 0
+    code: str = ""
+    path: str = ""
     attempt_seconds: tuple[float, ...] = field(default=(), compare=False)
     backoff_seconds: float = field(default=0.0, compare=False)
 
@@ -130,9 +137,11 @@ def failure_from_exception(exc: BaseException) -> JobFailure:
 
     Backend trouble maps to stage ``"backend"``; the Verilog frontend's
     exception hierarchy maps to its pipeline stage and carries the
-    source line.  Anything else keeps stage ``""`` (unclassified).
+    source line (plus finding code/path for the strict analysis gate).
+    Anything else keeps stage ``""`` (unclassified).
     """
     from ..verilog.errors import (
+        AnalysisError,
         ElaborationError,
         LexError,
         ParseError,
@@ -145,6 +154,8 @@ def failure_from_exception(exc: BaseException) -> JobFailure:
         stage = "parse"
     elif isinstance(exc, ElaborationError):
         stage = "elaborate"
+    elif isinstance(exc, AnalysisError):
+        stage = "analysis"
     elif isinstance(exc, SimulationError):
         stage = "sim"
     else:
@@ -154,6 +165,8 @@ def failure_from_exception(exc: BaseException) -> JobFailure:
         stage=stage,
         exception=type(exc).__name__,
         line=int(getattr(exc, "line", 0) or 0),
+        code=str(getattr(exc, "code", "") or ""),
+        path=str(getattr(exc, "path", "") or ""),
     )
 
 
@@ -169,6 +182,8 @@ def make_job_error(
             stage=failure.stage,
             exception=failure.exception,
             line=failure.line,
+            code=failure.code,
+            path=failure.path,
             attempt_seconds=failure.attempt_seconds,
             backoff_seconds=failure.backoff_seconds,
         )

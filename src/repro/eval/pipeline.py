@@ -14,12 +14,21 @@ work, exactly like memoizing ``iverilog`` runs on identical files.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 from ..models.base import stable_hash
 from ..obs import REGISTRY, observe_stage
 from ..problems import PASS_MARKER, Problem, PromptLevel
-from ..verilog import compile_design, run_simulation
+from ..verilog import (
+    AnalysisError,
+    Finding,
+    analyze_design,
+    compile_design,
+    error_findings,
+    lint_source_unit,
+    run_simulation,
+)
 from .truncate import truncate_completion
 
 
@@ -28,11 +37,17 @@ class CompletionEvaluation:
     """Verdict for one completion.
 
     ``stage`` names the phase that rejected it — ``"parse"``,
-    ``"elaborate"``, ``"sim"`` (runtime crash inside the bench) or
-    ``"testbench"`` (ran but failed the checks); ``""`` on a pass.
-    ``error_line`` is the first diagnostic's source line when the
-    frontend knew it (0 otherwise).  Both exist so repair prompts and
-    reports read structured fields instead of scraping error strings.
+    ``"elaborate"``, ``"analysis"`` (static netlist gate), ``"sim"``
+    (runtime crash inside the bench) or ``"testbench"`` (ran but failed
+    the checks); ``""`` on a pass.  ``error_line`` is the first
+    diagnostic's source line when the frontend knew it (0 otherwise).
+    Both exist so repair prompts and reports read structured fields
+    instead of scraping error strings.
+
+    ``findings`` carries the netlist analysis results
+    (:class:`~repro.verilog.analyze.Finding`) for any completion that
+    reached elaboration; warnings/infos are advisory and never flip the
+    verdict, error findings short-circuit at ``stage="analysis"``.
     """
 
     compiled: bool
@@ -41,6 +56,7 @@ class CompletionEvaluation:
     sim_finished: bool = False
     stage: str = ""
     error_line: int = 0
+    findings: tuple[Finding, ...] = ()
 
     @property
     def verdict(self) -> str:
@@ -71,10 +87,20 @@ class Evaluator:
         max_time: int = 1_000_000,
         max_steps: int = 2_000_000,
         store=None,
+        analysis: bool = True,
+        strict_analysis: bool = False,
     ):
         self.max_time = max_time
         self.max_steps = max_steps
         self.store = store
+        #: run the netlist static-analysis pass (and lint counters)
+        #: between elaboration and simulation; error findings reject the
+        #: design at stage="analysis" without ever starting the bench
+        self.analysis = analysis
+        #: raise :class:`~repro.verilog.AnalysisError` instead of
+        #: returning a failed evaluation, so job runners surface a
+        #: structured JobError with stage/code/path
+        self.strict_analysis = strict_analysis
         self._cache: dict[tuple[int, int], CompletionEvaluation] = {}
         self._lock = threading.Lock()
         self.cache_hits = 0
@@ -131,6 +157,28 @@ class Evaluator:
                 compile_errors=tuple(report.errors),
                 stage=report.stage, error_line=report.line,
             )
+        findings: tuple[Finding, ...] = ()
+        if self.analysis:
+            findings = self._analyze(problem, report)
+            gate = error_findings(findings)
+            if gate:
+                first = gate[0]
+                if self.strict_analysis:
+                    raise AnalysisError(
+                        first.message, line=first.line,
+                        code=first.code, path=first.path,
+                    )
+                # a comb loop would spin the simulator to its iteration
+                # limit; reject here in milliseconds instead.  The
+                # verdict booleans match what simulation would conclude
+                # (compiled, not passed), keeping record parity with
+                # unanalyzed sweeps.
+                return CompletionEvaluation(
+                    compiled=True, passed=False,
+                    compile_errors=tuple(str(f) for f in gate),
+                    stage="analysis", error_line=first.line,
+                    findings=findings,
+                )
         bench = problem.bench_source(truncated, level)
         bench_report, sim = run_simulation(
             bench, top="tb", max_time=self.max_time, max_steps=self.max_steps
@@ -145,12 +193,39 @@ class Evaluator:
                 stage=bench_report.stage if bench_report.stage == "sim"
                 else "testbench",
                 error_line=bench_report.line,
+                findings=findings,
             )
         passed = sim.finished and PASS_MARKER in sim.text
         return CompletionEvaluation(
             compiled=True, passed=passed, sim_finished=sim.finished,
             stage="" if passed else "testbench",
+            findings=findings,
         )
+
+    def _analyze(self, problem: Problem, report) -> tuple[Finding, ...]:
+        """Netlist analysis + defect-class counters for one design.
+
+        Advisory robustness: an analyzer crash degrades to "no
+        findings" rather than failing the evaluation — only the
+        structured error findings themselves may gate.
+        """
+        started = time.perf_counter()
+        try:
+            findings = tuple(analyze_design(report.design, report.unit))
+        except Exception:
+            findings = ()
+        observe_stage(
+            "analysis", time.perf_counter() - started,
+            problem=problem.number,
+        )
+        for finding in findings:
+            REGISTRY.inc("analysis_findings_total", code=finding.code)
+        try:
+            for warning in lint_source_unit(report.unit):
+                REGISTRY.inc("lint_findings_total", code=warning.code)
+        except Exception:
+            pass
+        return findings
 
     @staticmethod
     def _observe_report(problem: Problem, report, design: bool) -> None:

@@ -47,7 +47,7 @@ from .trace import (
     tracing_active,
 )
 
-STAGES = ("generate", "parse", "elaborate", "sim", "testbench")
+STAGES = ("generate", "parse", "elaborate", "analysis", "sim", "testbench")
 """Leaf stage names the per-stage timers emit (see ``stage_seconds``)."""
 
 

@@ -27,7 +27,8 @@ from typing import Sequence
 FRAME_TYPES = ("meta", "span", "metrics")
 
 #: span names counted as leaf stages in the time-split table
-STAGE_NAMES = ("generate", "parse", "elaborate", "sim", "testbench")
+STAGE_NAMES = ("generate", "parse", "elaborate", "analysis", "sim",
+               "testbench")
 
 
 class TraceFormatError(ValueError):

@@ -46,8 +46,8 @@ _WORKER_RETRY: RetryPolicy | None = None
 
 def _init_worker(payload: bytes) -> None:
     global _WORKER_BACKEND, _WORKER_EVALUATOR, _WORKER_RETRY
-    _WORKER_BACKEND, _WORKER_RETRY, store = pickle.loads(payload)
-    _WORKER_EVALUATOR = Evaluator(store=store)
+    _WORKER_BACKEND, _WORKER_RETRY, store, analysis = pickle.loads(payload)
+    _WORKER_EVALUATOR = Evaluator(store=store, analysis=analysis)
 
 
 def _run_job(job: GenerationJob) -> tuple[JobOutcome, int, dict]:
@@ -80,6 +80,7 @@ class ProcessPoolSweepExecutor(Executor):
         retry: RetryPolicy | None = None,
         progress: ProgressCallback | None = None,
         store=None,
+        analysis: bool = True,
     ):
         workers = workers if workers is not None else os.cpu_count() or 1
         if workers < 1:
@@ -89,8 +90,11 @@ class ProcessPoolSweepExecutor(Executor):
         self.retry = retry or RetryPolicy()
         self.progress = progress
         self.store = store
+        self.analysis = analysis
         try:
-            self._payload = pickle.dumps((backend, self.retry, store))
+            self._payload = pickle.dumps(
+                (backend, self.retry, store, analysis)
+            )
         except Exception as exc:  # noqa: BLE001 — report the real cause
             raise BackendError(
                 f"backend {backend.name!r} cannot be shipped to worker "

@@ -12,9 +12,21 @@ Quick example::
     assert report.ok and "PASS" in result.text
 """
 
+from .analyze import (
+    FINDING_CODES,
+    Finding,
+    analyze_design,
+    analyze_source,
+    check_design,
+    error_findings,
+    finding_from_dict,
+    finding_to_dict,
+    infer_top,
+)
 from .compile import CompileReport, check_syntax, compile_design, run_simulation
 from .elaborate import Design, Scope, Signal, elaborate
 from .errors import (
+    AnalysisError,
     ElaborationError,
     LexError,
     ParseError,
@@ -30,9 +42,12 @@ from .vcd import VcdRecorder
 from .writer import write_expr, write_module, write_source_unit, write_stmt
 
 __all__ = [
+    "AnalysisError",
     "CompileReport",
     "Design",
     "ElaborationError",
+    "FINDING_CODES",
+    "Finding",
     "LexError",
     "LintWarning",
     "ParseError",
@@ -45,9 +60,16 @@ __all__ = [
     "Vec",
     "VcdRecorder",
     "VerilogError",
+    "analyze_design",
+    "analyze_source",
+    "check_design",
     "check_syntax",
     "compile_design",
     "elaborate",
+    "error_findings",
+    "finding_from_dict",
+    "finding_to_dict",
+    "infer_top",
     "parse",
     "run_simulation",
     "lint_module",

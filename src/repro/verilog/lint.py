@@ -129,6 +129,13 @@ def _lvalue_names(target: ast.Expr | None, into: set[str]) -> None:
 # ----------------------------------------------------------------------
 def _check_case_defaults(module: ast.Module) -> list[LintWarning]:
     warnings = []
+    widths: dict[str, int | None] = {
+        port.name: _static_width(port.range) for port in module.ports
+    }
+    for decl in module.decls:
+        widths[decl.name] = (
+            32 if decl.kind == "integer" else _static_width(decl.range)
+        )
     for block in module.always_blocks:
         if not _is_combinational(block):
             continue
@@ -136,6 +143,8 @@ def _check_case_defaults(module: ast.Module) -> list[LintWarning]:
             if isinstance(node, ast.Case) and not any(
                 not item.exprs for item in node.items
             ):
+                if _case_fully_covered(node, widths):
+                    continue
                 warnings.append(
                     LintWarning(
                         "missing-default",
@@ -144,6 +153,28 @@ def _check_case_defaults(module: ast.Module) -> list[LintWarning]:
                     )
                 )
     return warnings
+
+
+def _case_fully_covered(case: ast.Case, widths: dict) -> bool:
+    """True when a plain ``case`` enumerates every value of its selector.
+
+    Only claims coverage for an identifier selector of statically known
+    width N whose items are constant labels covering all 2**N values —
+    a full-coverage case needs no default and should not warn.
+    """
+    if case.kind != "case" or not isinstance(case.subject, ast.Identifier):
+        return False
+    width = widths.get(case.subject.name)
+    if width is None or not 0 < width <= 16:
+        return False
+    values: set[int] = set()
+    for item in case.items:
+        for expr in item.exprs:
+            value = _const_value(expr)
+            if value is None or not 0 <= value < (1 << width):
+                return False
+            values.add(value)
+    return len(values) == (1 << width)
 
 
 def _check_sensitivity(module: ast.Module) -> list[LintWarning]:
@@ -256,8 +287,12 @@ def _check_assign_styles(module: ast.Module) -> list[LintWarning]:
 def _module_reads(module: ast.Module) -> set[str]:
     reads: set[str] = set()
     for cont in module.assigns:
-        collect_reads(cont.value, reads)
         # target index expressions count as reads of the index nets
+        # (``assign mem[addr] = x`` reads ``addr``); wrapping in a
+        # procedural Assign reuses collect_reads' target-index walk
+        collect_reads(
+            ast.Assign(target=cont.target, value=cont.value), reads
+        )
     for block in module.always_blocks:
         collect_reads(block.body, reads)
     for block in module.initial_blocks:

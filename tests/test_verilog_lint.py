@@ -22,7 +22,46 @@ class TestMissingDefault:
             2'd0: y = 0;
             2'd1: y = 1;
             2'd2: y = 0;
+          endcase
+        endmodule
+        """
+        assert "missing-default" in codes(source)
+
+    def test_full_coverage_not_flagged(self):
+        # all 2**N selector values enumerated: coverage is complete, a
+        # default would be dead code
+        source = """
+        module m(input [1:0] s, output reg y);
+          always @(*) case (s)
+            2'd0: y = 0;
+            2'd1: y = 1;
+            2'd2: y = 0;
             2'd3: y = 1;
+          endcase
+        endmodule
+        """
+        assert "missing-default" not in codes(source)
+
+    def test_full_coverage_multi_label_not_flagged(self):
+        source = """
+        module m(input s, output reg y);
+          always @(*) case (s)
+            1'b0, 1'b1: y = s;
+          endcase
+        endmodule
+        """
+        assert "missing-default" not in codes(source)
+
+    def test_out_of_range_label_still_flagged(self):
+        # a 3-bit label on a 2-bit selector never matches; the four
+        # distinct labels do not actually cover the selector
+        source = """
+        module m(input [1:0] s, output reg y);
+          always @(*) case (s)
+            2'd0: y = 0;
+            2'd1: y = 1;
+            2'd2: y = 0;
+            3'd4: y = 1;
           endcase
         endmodule
         """
@@ -199,6 +238,28 @@ class TestSignalUsage:
         """
         assert "unused-signal" not in codes(source)
         assert "undriven" not in codes(source)
+
+    def test_assign_lvalue_index_counts_as_read(self):
+        # ``assign y[addr] = x``: addr is read by the continuous
+        # assignment's target index expression
+        source = """
+        module m(input x, input [1:0] sel, output [3:0] y);
+          wire [1:0] addr;
+          assign addr = sel;
+          assign y[addr] = x;
+        endmodule
+        """
+        assert "unused-signal" not in codes(source)
+
+    def test_assign_part_select_bounds_count_as_read(self):
+        source = """
+        module m(input [3:0] x, output [7:0] y);
+          wire [2:0] lo;
+          assign lo = 3'd2;
+          assign y[lo +: 4] = x;
+        endmodule
+        """
+        assert "unused-signal" not in codes(source)
 
 
 class TestMultipleDrivers:
