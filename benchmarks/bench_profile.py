@@ -1,0 +1,228 @@
+"""Simulator-profiler benchmark: overhead + hotspot coverage gates.
+
+The :mod:`repro.obs.profile` layer makes two promises this script
+prices:
+
+* **disabled is free** — ``enable_profiling()`` without a trace sink
+  must leave the simulator's dispatch loop untouched
+  (:func:`maybe_sim_profiler` returns ``None``), so the "enabled but
+  unsinked" configuration must run at bare speed;
+* **enabled is cheap and useful** — with a sink installed the profiled
+  sweep may cost at most a small slowdown (default 10%) and must
+  attribute at least a target share of sim wall time (default 80%) to
+  named netlist constructs.
+
+Three configurations run back to back per repeat over the canonical
+solutions of the simulation-heavy problems (stub-canonical backend, so
+generation is free and sim time dominates)::
+
+    PYTHONPATH=src python benchmarks/bench_profile.py
+    PYTHONPATH=src python benchmarks/bench_profile.py \
+        --repeats 5 --max-overhead 10 --min-coverage 0.8
+
+All three configurations must produce record-identical sweeps (the
+profiler is observational).  Scheduler noise on shared runners only
+ever *slows* a run, so the gated overhead is the **minimum** per-pair
+ratio with the median reported alongside.  The numbers land in
+``BENCH_profile.json`` next to this script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.api import Session
+from repro.eval import SweepConfig
+from repro.obs import TraceWriter, profiling, summarize_traces
+from repro.problems import PromptLevel
+
+
+def build_config(args) -> SweepConfig:
+    return SweepConfig(
+        temperatures=(0.1,),
+        completions_per_prompt=(args.n,),
+        levels=(PromptLevel.LOW,),
+        problem_numbers=tuple(
+            int(part) for part in args.problems.split(",")
+        ),
+    )
+
+
+def run_once(config, mode: str, trace_path: "str | None"):
+    """One sweep on a fresh session; returns (wall seconds, result).
+
+    ``mode`` is one of:
+
+    * ``bare`` — no tracing, no profiling;
+    * ``disabled`` — profiling enabled but no sink installed, which must
+      resolve to the bare dispatch loop (the zero-cost claim);
+    * ``enabled`` — profiling enabled under a TraceWriter sink, the
+      configuration that actually emits profile frames.
+    """
+    session = Session(backend="stub-canonical")
+    plan = session.plan(config)
+    if mode == "bare":
+        started = time.perf_counter()
+        result = session.run_plan(plan)
+        return time.perf_counter() - started, result
+    if mode == "disabled":
+        with profiling():
+            started = time.perf_counter()
+            result = session.run_plan(plan)
+            return time.perf_counter() - started, result
+    with profiling(), TraceWriter(trace_path):
+        started = time.perf_counter()
+        result = session.run_plan(plan)
+        return time.perf_counter() - started, result
+
+
+def measure(repeats: int, config, trace_path: str):
+    """Paired bare/disabled/enabled runs; drift cancels within a pair."""
+    best = {"bare": None, "disabled": None, "enabled": None}
+    results = {}
+    disabled_ratios = []
+    enabled_ratios = []
+    for _ in range(repeats):
+        bare, results["bare"] = run_once(config, "bare", None)
+        disabled, results["disabled"] = run_once(config, "disabled", None)
+        enabled, results["enabled"] = run_once(config, "enabled",
+                                               trace_path)
+        for mode, seconds in (("bare", bare), ("disabled", disabled),
+                              ("enabled", enabled)):
+            best[mode] = (
+                seconds if best[mode] is None else min(best[mode], seconds)
+            )
+        disabled_ratios.append(disabled / bare)
+        enabled_ratios.append(enabled / bare)
+    disabled_ratios.sort()
+    enabled_ratios.sort()
+    return best, results, disabled_ratios, enabled_ratios
+
+
+def _median(sorted_values):
+    mid = len(sorted_values) // 2
+    if len(sorted_values) % 2:
+        return sorted_values[mid]
+    return (sorted_values[mid - 1] + sorted_values[mid]) / 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--problems", default="15,16,17",
+                        help="comma-separated problem numbers (default: "
+                             "the simulation-heavy tail of the set)")
+    parser.add_argument("--n", type=int, default=4,
+                        help="completions per prompt (default: 4)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="paired runs per configuration; min ratio "
+                             "is gated")
+    parser.add_argument("--max-overhead", type=float, default=10.0,
+                        help="fail when the profiled run is more than "
+                             "this percent slower than bare "
+                             "(default: 10.0)")
+    parser.add_argument("--max-disabled-overhead", type=float, default=3.0,
+                        help="fail when enabled-but-unsinked profiling "
+                             "costs more than this percent (default: 3.0 "
+                             "— the zero-cost claim, with noise margin)")
+    parser.add_argument("--min-coverage", type=float, default=0.80,
+                        help="fail when less than this fraction of sim "
+                             "wall time is attributed to constructs "
+                             "(default: 0.80)")
+    parser.add_argument("--output", default=None,
+                        help="artifact path (default: BENCH_profile.json "
+                             "next to this script)")
+    args = parser.parse_args(argv)
+
+    config = build_config(args)
+    trace_path = os.path.join(tempfile.mkdtemp(), "bench_profile.trace")
+
+    best, results, disabled_ratios, enabled_ratios = measure(
+        args.repeats, config, trace_path
+    )
+
+    for mode in ("disabled", "enabled"):
+        if results[mode].sweep.records != results["bare"].sweep.records:
+            print(f"PARITY FAILURE: {mode} sweep != bare sweep")
+            return 1
+    print("record parity: OK (profiling is observational)")
+
+    profile = summarize_traces([trace_path])["profile"]
+    coverage = profile["coverage"]
+    disabled_pct = (disabled_ratios[0] - 1.0) * 100.0
+    enabled_pct = (enabled_ratios[0] - 1.0) * 100.0
+    jobs = len(results["bare"].sweep.records)
+    print(f"{jobs} records/run, {profile['frames']} profile frames, "
+          f"{len(profile['constructs'])} constructs, "
+          f"{args.repeats} paired repeats:")
+    print(f"  bare:     {best['bare'] * 1000:8.1f} ms (best)")
+    print(f"  disabled: {best['disabled'] * 1000:8.1f} ms (best) "
+          f"[{disabled_pct:+.2f}% best pair; median "
+          f"{(_median(disabled_ratios) - 1.0) * 100.0:+.2f}%]")
+    print(f"  enabled:  {best['enabled'] * 1000:8.1f} ms (best) "
+          f"[{enabled_pct:+.2f}% best pair; median "
+          f"{(_median(enabled_ratios) - 1.0) * 100.0:+.2f}%]")
+    print(f"  coverage: {coverage:.1%} of {profile['sim_seconds']:.4f}s "
+          f"sim wall time attributed")
+
+    output = args.output or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BENCH_profile.json"
+    )
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "records": jobs,
+                "profile_frames": profile["frames"],
+                "constructs": len(profile["constructs"]),
+                "repeats": args.repeats,
+                "bare_seconds": round(best["bare"], 6),
+                "disabled_seconds": round(best["disabled"], 6),
+                "enabled_seconds": round(best["enabled"], 6),
+                "disabled_pair_ratios": [
+                    round(r, 6) for r in disabled_ratios
+                ],
+                "enabled_pair_ratios": [
+                    round(r, 6) for r in enabled_ratios
+                ],
+                "disabled_overhead_pct": round(disabled_pct, 3),
+                "enabled_overhead_pct": round(enabled_pct, 3),
+                "coverage": round(coverage, 6),
+                "sim_seconds": round(profile["sim_seconds"], 6),
+                "max_overhead_pct": args.max_overhead,
+                "max_disabled_overhead_pct": args.max_disabled_overhead,
+                "min_coverage": args.min_coverage,
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+    print(f"-- wrote {output}")
+
+    failed = False
+    if disabled_pct > args.max_disabled_overhead:
+        print(f"FAIL: disabled-profiling overhead {disabled_pct:.2f}% > "
+              f"{args.max_disabled_overhead:.1f}% budget")
+        failed = True
+    if enabled_pct > args.max_overhead:
+        print(f"FAIL: profiling overhead {enabled_pct:.2f}% > "
+              f"{args.max_overhead:.1f}% budget")
+        failed = True
+    if coverage < args.min_coverage:
+        print(f"FAIL: coverage {coverage:.1%} < "
+              f"{args.min_coverage:.0%} target")
+        failed = True
+    if failed:
+        return 1
+    print(f"OK: disabled {disabled_pct:+.2f}% <= "
+          f"{args.max_disabled_overhead:.1f}%, enabled {enabled_pct:+.2f}% "
+          f"<= {args.max_overhead:.1f}%, coverage {coverage:.1%} >= "
+          f"{args.min_coverage:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

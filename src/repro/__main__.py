@@ -4,4 +4,12 @@ import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream consumer (e.g. ``| head``) closed the pipe; the
+    # conventional exit for a SIGPIPE'd filter, without the traceback.
+    sys.stderr.close()
+    code = 141
+sys.exit(code)

@@ -49,15 +49,27 @@ Commands:
   ``compact`` rewrites the pack without shadowed duplicate lines;
 * ``tables [--backend B] [--workers W]`` — run the full sweep and print
   Tables III/IV + headlines + executor stats;
-* ``stats TRACE.ndjson ... [--json]`` — summarize trace files written
-  by ``--trace``: per-stage time split, per-worker throughput, and
-  job-latency percentiles (p50/p95/p99);
+* ``stats TRACE ... [--json]`` — summarize trace files written by
+  ``--trace``: per-stage time split, per-worker throughput, and
+  job-latency percentiles (p50/p95/p99); arguments may be files,
+  directories (every ``.trace``/``.ndjson`` inside) or glob patterns;
+* ``hotspots TRACE ... [--coverage F] [--json]`` — rank simulator
+  constructs by attributed wall time from ``--profile`` runs until the
+  cumulative share reaches the coverage bar (default 80%);
+* ``top --url URL [--interval S] [--once]`` — live terminal dashboard
+  for a coordinator/service: lease table, per-worker throughput and
+  telemetry liveness, stage split, repair lift, error rates;
 * ``corpus [--repos N] [--books]`` — build the training corpus, print stats.
 
-``sweep``, ``coordinate`` and ``work`` additionally accept ``--trace
-FILE``: every span the run produces (jobs, pipeline stages, repair
-rounds, merged units) is appended to FILE as replayable NDJSON, plus a
-final metrics snapshot — feed one or more such files to ``stats``.
+``sweep``, ``repair``, ``analyze``, ``coordinate`` and ``work``
+additionally accept ``--trace FILE``: every span the run produces
+(jobs, pipeline stages, repair rounds, merged units) is appended to
+FILE as replayable NDJSON, plus a final metrics snapshot — feed one or
+more such files to ``stats``.  ``sweep``, ``repair`` and ``work`` also
+accept ``--profile`` (requires ``--trace``): the simulator attributes
+wall time and expression-eval counts to netlist constructs and appends
+per-problem ``profile`` frames to the trace — rank them with
+``hotspots``.
 """
 
 from __future__ import annotations
@@ -848,10 +860,15 @@ def _cmd_stats(args) -> int:
     """Summarize ``--trace`` NDJSON files: stages, workers, latency."""
     import json as _json
 
-    from .obs import TraceFormatError, render_stats, summarize_traces
+    from .obs import (
+        TraceFormatError,
+        expand_trace_paths,
+        render_stats,
+        summarize_traces,
+    )
 
     try:
-        summary = summarize_traces(args.files)
+        summary = summarize_traces(expand_trace_paths(args.files))
     except (OSError, TraceFormatError) as exc:
         print(f"error: {exc}")
         return 2
@@ -860,6 +877,40 @@ def _cmd_stats(args) -> int:
     else:
         print(render_stats(summary))
     return 0
+
+
+def _cmd_hotspots(args) -> int:
+    """Rank profiled simulator constructs by attributed wall time."""
+    import json as _json
+
+    from .obs import (
+        TraceFormatError,
+        expand_trace_paths,
+        render_hotspots,
+        summarize_traces,
+    )
+
+    if not 0.0 < args.coverage <= 1.0:
+        print(f"error: --coverage must be in (0, 1], got {args.coverage}")
+        return 2
+    try:
+        summary = summarize_traces(expand_trace_paths(args.files))
+    except (OSError, TraceFormatError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.json:
+        print(_json.dumps(summary.get("profile", {}), indent=2,
+                          sort_keys=True))
+    else:
+        print(render_hotspots(summary, coverage=args.coverage))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """Live terminal dashboard against a coordinator/service URL."""
+    from .obs import run_top
+
+    return run_top(args.url, interval=args.interval, once=args.once)
 
 
 def _cmd_corpus(args) -> int:
@@ -941,6 +992,16 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attribute simulator wall time and expression-eval counts "
+             "to netlist constructs, appending per-problem profile "
+             "frames to the trace (requires --trace; rank with "
+             "`python -m repro hotspots`)",
+    )
+
+
 def _add_sweep_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--models", default=None,
                         help="comma-separated variant names "
@@ -1004,6 +1065,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the machine-readable JSON report")
     p.add_argument("--export", default=None,
                    help="also write the JSON report to this path")
+    _add_trace_flag(p)
 
     p = sub.add_parser("evaluate", help="evaluate a model on the set")
     p.add_argument("--model", default=_DEFAULT_EVAL_MODEL)
@@ -1031,6 +1093,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the netlist static-analysis gate "
                         "(pure compile+simulate verdicts)")
     _add_trace_flag(p)
+    _add_profile_flag(p)
     _add_service_flags(p)
 
     p = sub.add_parser(
@@ -1048,6 +1111,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--export", default=None,
                    help="write the highest-budget sweep's records to "
                         ".json/.csv")
+    _add_trace_flag(p)
+    _add_profile_flag(p)
     _add_service_flags(p)
 
     p = sub.add_parser("merge", help="merge executed shard-result files")
@@ -1149,6 +1214,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-leases", type=_positive_int, default=2,
                    help="leases held concurrently with --aio (default: 2)")
     _add_trace_flag(p)
+    _add_profile_flag(p)
 
     p = sub.add_parser(
         "store",
@@ -1169,9 +1235,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("files", nargs="+",
                    help="trace files written by sweep/work/coordinate "
-                        "--trace (one per process; pass them all)")
+                        "--trace (one per process; pass them all) — "
+                        "directories and glob patterns expand to every "
+                        ".trace/.ndjson inside")
     p.add_argument("--json", action="store_true",
                    help="emit the summary as JSON instead of tables")
+
+    p = sub.add_parser(
+        "hotspots",
+        help="rank profiled simulator constructs by attributed time",
+    )
+    p.add_argument("files", nargs="+",
+                   help="trace files with profile frames (from --trace "
+                        "--profile); directories and globs expand")
+    p.add_argument("--coverage", type=float, default=0.80, metavar="F",
+                   help="rank constructs until this fraction of the "
+                        "attributed time is covered (default: 0.80)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the profile summary as JSON")
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a coordinator/service",
+    )
+    p.add_argument("--url", required=True,
+                   help="service or coordinator URL (from `repro serve` "
+                        "or `repro coordinate`)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh interval in seconds (default: 2)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (no screen clear)")
 
     p = sub.add_parser("corpus", help="build the training corpus")
     p.add_argument("--repos", type=int, default=60)
@@ -1197,13 +1290,17 @@ _COMMANDS = {
     "store": _cmd_store,
     "tables": _cmd_tables,
     "stats": _cmd_stats,
+    "hotspots": _cmd_hotspots,
+    "top": _cmd_top,
     "corpus": _cmd_corpus,
 }
 
 
 def _run_traced(args) -> int:
     """Run one command inside a :class:`~repro.obs.TraceWriter` sink."""
-    from .obs import TraceWriter
+    import contextlib
+
+    from .obs import TraceWriter, profiling
 
     tags = {"command": args.command}
     if args.command == "work":
@@ -1214,15 +1311,24 @@ def _run_traced(args) -> int:
 
             args.worker_id = default_worker_id()
         tags["worker"] = args.worker_id
-    with TraceWriter(args.trace, tags=tags):
+    profiled = getattr(args, "profile", False)
+    if profiled:
+        tags["profiled"] = True
+    profile_ctx = profiling() if profiled else contextlib.nullcontext()
+    with TraceWriter(args.trace, tags=tags), profile_ctx:
         code = _COMMANDS[args.command](args)
+    summarize = "hotspots" if profiled else "stats"
     print(f"-- wrote trace {args.trace} "
-          f"(summarize with: python -m repro stats {args.trace})")
+          f"(summarize with: python -m repro {summarize} {args.trace})")
     return code
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", False) and not getattr(args, "trace", None):
+        print("error: --profile needs --trace FILE (profile frames are "
+              "recorded into the trace)")
+        return 2
     if getattr(args, "trace", None):
         return _run_traced(args)
     return _COMMANDS[args.command](args)

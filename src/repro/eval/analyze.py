@@ -20,6 +20,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..obs import observe_stage
 from ..verilog import Finding, analyze_source, finding_to_dict
 
 
@@ -64,20 +65,28 @@ def analyze_target(target: AnalysisTarget) -> TargetReport:
     try:
         report, findings = analyze_source(target.source, top=target.top)
     except Exception as exc:  # noqa: BLE001 — corpus runs must not die
+        seconds = time.perf_counter() - started
+        observe_stage("analysis", seconds, target=target.name,
+                      outcome="exception")
         return TargetReport(
             name=target.name, compiled=False, stage="analysis",
-            errors=(str(exc),),
-            seconds=time.perf_counter() - started,
+            errors=(str(exc),), seconds=seconds,
         )
     if not report.ok:
+        seconds = time.perf_counter() - started
+        observe_stage("analysis", seconds, target=target.name,
+                      outcome=report.stage)
         return TargetReport(
             name=target.name, compiled=False, stage=report.stage,
-            errors=tuple(report.errors),
-            seconds=time.perf_counter() - started,
+            errors=tuple(report.errors), seconds=seconds,
         )
+    seconds = time.perf_counter() - started
+    observe_stage("analysis", seconds, target=target.name,
+                  outcome="clean" if not findings else "findings",
+                  findings=len(findings))
     return TargetReport(
         name=target.name, compiled=True, findings=tuple(findings),
-        seconds=time.perf_counter() - started,
+        seconds=seconds,
     )
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from ..models.base import stable_hash
 from ..obs import REGISTRY, observe_stage
+from ..obs.profile import maybe_sim_profiler, record_profile
 from ..problems import PASS_MARKER, Problem, PromptLevel
 from ..verilog import (
     AnalysisError,
@@ -180,10 +181,20 @@ class Evaluator:
                     findings=findings,
                 )
         bench = problem.bench_source(truncated, level)
+        # None unless profiling is enabled AND a trace sink is installed,
+        # in which case the bench simulation attributes its wall time to
+        # netlist constructs and publishes one `profile` frame per run.
+        profiler = maybe_sim_profiler()
         bench_report, sim = run_simulation(
-            bench, top="tb", max_time=self.max_time, max_steps=self.max_steps
+            bench, top="tb", max_time=self.max_time,
+            max_steps=self.max_steps, profiler=profiler,
         )
         self._observe_report(problem, bench_report, design=False)
+        if profiler is not None:
+            record_profile(
+                profiler, problem=problem.number,
+                sim_seconds=bench_report.sim_seconds,
+            )
         if not bench_report.ok or sim is None:
             # compiles standalone but dies inside the bench (e.g. runaway
             # loop): counts as compiled, not passed

@@ -159,6 +159,19 @@ class MetricsRegistry:
             self._histograms.clear()
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the 0.0.4 text exposition format.
+
+    Backslash first so the other two escapes aren't double-escaped.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_series(name: str, labels: dict, value: float,
                  extra: dict | None = None) -> str:
     pairs = dict(labels)
@@ -166,10 +179,61 @@ def _prom_series(name: str, labels: dict, value: float,
         pairs.update(extra)
     if pairs:
         rendered = ",".join(
-            f'{key}="{value_}"' for key, value_ in sorted(pairs.items())
+            f'{key}="{_escape_label_value(value_)}"'
+            for key, value_ in sorted(pairs.items())
         )
         return f"{name}{{{rendered}}} {value}"
     return f"{name} {value}"
+
+
+def append_snapshot_lines(
+    lines: list[str],
+    typed: set[str],
+    snapshot: dict,
+    extra_labels: dict | None = None,
+) -> None:
+    """Append one snapshot's exposition rows to ``lines``.
+
+    ``typed`` carries the ``# TYPE``-declared names across calls so a
+    caller can merge several snapshots (the fleet renderer stacks the
+    local registry plus one snapshot per worker) without duplicate type
+    declarations.  ``extra_labels`` is stamped onto every series — the
+    fleet path uses it for the per-worker label.
+    """
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    def labelled(labels: dict) -> dict:
+        if not extra_labels:
+            return labels
+        return {**labels, **extra_labels}
+
+    for row in snapshot.get("counters", ()):
+        declare(row["name"], "counter")
+        lines.append(
+            _prom_series(row["name"], labelled(row["labels"]), row["value"])
+        )
+    for row in snapshot.get("gauges", ()):
+        declare(row["name"], "gauge")
+        lines.append(
+            _prom_series(row["name"], labelled(row["labels"]), row["value"])
+        )
+    for row in snapshot.get("histograms", ()):
+        name = row["name"]
+        declare(name, "summary")
+        for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
+                               ("0.99", "p99")):
+            lines.append(
+                _prom_series(name, labelled(row["labels"]), row[q_key],
+                             {"quantile": q_label})
+            )
+        lines.append(_prom_series(f"{name}_count", labelled(row["labels"]),
+                                  row["count"]))
+        lines.append(_prom_series(f"{name}_sum", labelled(row["labels"]),
+                                  row["sum"]))
 
 
 def render_prometheus(registry: "MetricsRegistry | None" = None) -> str:
@@ -180,33 +244,8 @@ def render_prometheus(registry: "MetricsRegistry | None" = None) -> str:
     for a given registry state (the CI parity check diffs both servers).
     """
     registry = registry if registry is not None else REGISTRY
-    snapshot = registry.snapshot()
     lines: list[str] = []
-    typed: set[str] = set()
-
-    def declare(name: str, kind: str) -> None:
-        if name not in typed:
-            typed.add(name)
-            lines.append(f"# TYPE {name} {kind}")
-
-    for row in snapshot["counters"]:
-        declare(row["name"], "counter")
-        lines.append(_prom_series(row["name"], row["labels"], row["value"]))
-    for row in snapshot["gauges"]:
-        declare(row["name"], "gauge")
-        lines.append(_prom_series(row["name"], row["labels"], row["value"]))
-    for row in snapshot["histograms"]:
-        name = row["name"]
-        declare(name, "summary")
-        for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
-                               ("0.99", "p99")):
-            lines.append(
-                _prom_series(name, row["labels"], row[q_key],
-                             {"quantile": q_label})
-            )
-        lines.append(_prom_series(f"{name}_count", row["labels"],
-                                  row["count"]))
-        lines.append(_prom_series(f"{name}_sum", row["labels"], row["sum"]))
+    append_snapshot_lines(lines, set(), registry.snapshot())
     return "\n".join(lines) + "\n"
 
 
@@ -227,6 +266,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
+    "append_snapshot_lines",
     "get_registry",
     "render_prometheus",
     "reset_registry",

@@ -19,12 +19,17 @@ trace-file validator.
 
 from __future__ import annotations
 
+import glob
 import json
 import math
+import os
 from typing import Sequence
 
 #: frame types a trace file may contain
-FRAME_TYPES = ("meta", "span", "metrics")
+FRAME_TYPES = ("meta", "span", "metrics", "profile")
+
+#: file suffixes treated as trace files when a directory is given
+TRACE_SUFFIXES = (".trace", ".ndjson")
 
 #: span names counted as leaf stages in the time-split table
 STAGE_NAMES = ("generate", "parse", "elaborate", "analysis", "sim",
@@ -58,6 +63,15 @@ def _validate(frame: object, where: str) -> dict:
     elif kind == "metrics":
         if not isinstance(frame.get("metrics"), dict):
             raise TraceFormatError(f"{where}: metrics frame missing metrics")
+    elif kind == "profile":
+        if not isinstance(frame.get("constructs"), list):
+            raise TraceFormatError(
+                f"{where}: profile frame missing constructs"
+            )
+        if not isinstance(frame.get("sim_seconds"), (int, float)):
+            raise TraceFormatError(
+                f"{where}: profile frame missing sim_seconds"
+            )
     return frame
 
 
@@ -80,6 +94,47 @@ def load_trace(path: str) -> list[dict]:
     return frames
 
 
+def expand_trace_paths(patterns: Sequence[str]) -> list[str]:
+    """Expand directories and glob patterns into trace-file paths.
+
+    ``repro stats``/``repro hotspots`` accept, per argument: a literal
+    file path, a directory (every ``.trace``/``.ndjson`` file inside,
+    sorted), or a glob pattern (``'run-*.trace'``, quoted past the
+    shell; ``**`` recurses).  An argument that expands to nothing is an
+    error — a typo'd glob silently matching zero files would otherwise
+    report an empty (healthy-looking) summary.
+    """
+    paths: list[str] = []
+    for pattern in patterns:
+        pattern = str(pattern)
+        if os.path.isdir(pattern):
+            matches = sorted(
+                entry.path
+                for entry in os.scandir(pattern)
+                if entry.is_file() and entry.name.endswith(TRACE_SUFFIXES)
+            )
+            if not matches:
+                raise TraceFormatError(
+                    f"{pattern}: directory has no "
+                    f"{'/'.join(TRACE_SUFFIXES)} files"
+                )
+            paths.extend(matches)
+        elif any(ch in pattern for ch in "*?["):
+            matches = sorted(glob.glob(pattern, recursive=True))
+            if not matches:
+                raise TraceFormatError(f"{pattern}: glob matched no files")
+            paths.extend(matches)
+        else:
+            paths.append(pattern)
+    seen: set[str] = set()
+    unique: list[str] = []
+    for path in paths:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
     """Exact nearest-rank percentile of an ascending sequence."""
     if not sorted_values:
@@ -98,6 +153,9 @@ def summarize_traces(paths: Sequence[str]) -> dict:
     repair: dict[str, int] = {}
     spans_total = 0
     files = []
+    profile_frames = 0
+    profile_sim_seconds = 0.0
+    constructs: dict[str, dict] = {}
     for source, path in enumerate(paths):
         frames = load_trace(path)
         files.append({"path": str(path), "frames": len(frames)})
@@ -112,6 +170,24 @@ def summarize_traces(paths: Sequence[str]) -> dict:
                 break
         window: dict[str, list[float]] = {}
         for frame in frames:
+            if frame.get("type") == "profile":
+                profile_frames += 1
+                profile_sim_seconds += float(frame.get("sim_seconds", 0.0))
+                for entry in frame["constructs"]:
+                    if not isinstance(entry, dict) or "path" not in entry:
+                        continue
+                    row = constructs.setdefault(
+                        str(entry["path"]),
+                        {"kind": str(entry.get("kind", "")),
+                         "line": int(entry.get("line", 0) or 0),
+                         "seconds": 0.0, "activations": 0,
+                         "evals": 0, "steps": 0},
+                    )
+                    row["seconds"] += float(entry.get("seconds", 0.0))
+                    row["activations"] += int(entry.get("activations", 0))
+                    row["evals"] += int(entry.get("evals", 0))
+                    row["steps"] += int(entry.get("steps", 0))
+                continue
             if frame.get("type") != "span":
                 continue
             spans_total += 1
@@ -162,6 +238,19 @@ def summarize_traces(paths: Sequence[str]) -> dict:
         "p95": _percentile(job_durations, 0.95),
         "p99": _percentile(job_durations, 0.99),
     }
+    construct_rows = [
+        {"path": path, **row} for path, row in constructs.items()
+    ]
+    construct_rows.sort(key=lambda row: (-row["seconds"], row["path"]))
+    attributed = sum(row["seconds"] for row in construct_rows)
+    profile = {
+        "frames": profile_frames,
+        "sim_seconds": profile_sim_seconds,
+        "attributed_seconds": attributed,
+        "coverage": (attributed / profile_sim_seconds)
+        if profile_sim_seconds > 0 else 0.0,
+        "constructs": construct_rows,
+    }
     return {
         "files": files,
         "spans": spans_total,
@@ -170,6 +259,7 @@ def summarize_traces(paths: Sequence[str]) -> dict:
         "jobs": jobs,
         "workers": workers,
         "repair_attempts": repair,
+        "profile": profile,
     }
 
 
@@ -210,14 +300,82 @@ def render_stats(summary: dict) -> str:
         )
         lines.append("")
         lines.append(f"repair attempts: {rendered}")
+    profile = summary.get("profile") or {}
+    if profile.get("frames"):
+        lines.append("")
+        lines.append(
+            f"sim profile: {profile['frames']} run(s), "
+            f"{profile['coverage']:.1%} of {profile['sim_seconds']:.4f}s "
+            f"attributed — top constructs:"
+        )
+        for row in profile["constructs"][:5]:
+            lines.append(
+                f"  {row['path']:<28}{row['seconds']:>10.4f}s"
+                f"{row['activations']:>8} act{row['evals']:>10} evals"
+            )
+        lines.append("  (full ranking: repro hotspots)")
+    return "\n".join(lines)
+
+
+def render_hotspots(summary: dict, coverage: float = 0.80) -> str:
+    """The ``repro hotspots`` report: constructs ranked until ``coverage``.
+
+    Ranks hottest-first and stops once the cumulative share of total
+    sim wall time reaches ``coverage`` (the remainder is summarized on
+    one line), which keeps the report focused on the constructs worth
+    compiling first.
+    """
+    profile = summary.get("profile") or {}
+    rows = profile.get("constructs") or []
+    if not profile.get("frames") or not rows:
+        return (
+            "no profile frames found — record one with "
+            "`repro sweep --trace FILE --profile`"
+        )
+    total = profile["sim_seconds"] or profile["attributed_seconds"]
+    lines = [
+        f"sim hotspots: {profile['frames']} profiled run(s), "
+        f"{total:.4f}s sim wall time, "
+        f"{profile['coverage']:.1%} attributed to {len(rows)} construct(s)"
+    ]
+    lines.append("")
+    lines.append(
+        f"{'construct':<32}{'seconds':>10}{'share':>8}{'cum':>8}"
+        f"{'act':>8}{'evals':>10}{'evals/act':>11}"
+    )
+    cumulative = 0.0
+    shown = 0
+    for row in rows:
+        share = (row["seconds"] / total) if total > 0 else 0.0
+        cumulative += share
+        per_activation = (
+            row["evals"] / row["activations"] if row["activations"] else 0.0
+        )
+        lines.append(
+            f"{row['path']:<32}{row['seconds']:>10.4f}{share:>8.1%}"
+            f"{cumulative:>8.1%}{row['activations']:>8}{row['evals']:>10}"
+            f"{per_activation:>11.1f}"
+        )
+        shown += 1
+        if cumulative >= coverage:
+            break
+    remainder = len(rows) - shown
+    if remainder > 0:
+        rest = sum(row["seconds"] for row in rows[shown:])
+        lines.append(
+            f"... {remainder} more construct(s) totalling {rest:.4f}s"
+        )
     return "\n".join(lines)
 
 
 __all__ = [
     "FRAME_TYPES",
     "STAGE_NAMES",
+    "TRACE_SUFFIXES",
     "TraceFormatError",
+    "expand_trace_paths",
     "load_trace",
+    "render_hotspots",
     "render_stats",
     "summarize_traces",
 ]

@@ -113,6 +113,20 @@ def record_span(
         sink(frame)
 
 
+def record_frame(frame: dict) -> None:
+    """Emit one non-span frame to every sink (no-op without sinks).
+
+    This is how structured frames beyond spans — the simulator
+    profiler's ``profile`` frames — reach ``--trace`` files without the
+    writer growing a type-specific API: :class:`TraceWriter` serializes
+    any dict it receives.
+    """
+    if not _SINKS:
+        return
+    for sink in tuple(_SINKS):
+        sink(frame)
+
+
 @contextmanager
 def span(name: str, **tags) -> Iterator[None]:
     """Time the ``with`` body and record it as one span."""
@@ -204,6 +218,7 @@ __all__ = [
     "add_sink",
     "current_tags",
     "job_tags",
+    "record_frame",
     "record_span",
     "remove_sink",
     "span",

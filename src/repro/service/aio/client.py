@@ -403,6 +403,19 @@ async def _run_leased_unit(
     return ack
 
 
+async def _push_telemetry(pusher, url: str, timeout: float) -> None:
+    """One best-effort async telemetry push (never raises)."""
+    payload = pusher.payload()
+    try:
+        await request_json(
+            "POST", url.rstrip("/") + "/telemetry", payload, timeout
+        )
+    except Exception:
+        pusher.note_failure()
+    else:
+        pusher.commit()
+
+
 async def run_worker_async(
     url: str,
     session=None,
@@ -413,6 +426,7 @@ async def run_worker_async(
     max_idle_polls: int | None = None,
     stream_results: bool = True,
     timeout: float = 300.0,
+    telemetry_seconds: float | None = 2.0,
 ) -> dict:
     """Asyncio sibling of :func:`~repro.service.client.run_worker`.
 
@@ -430,6 +444,9 @@ async def run_worker_async(
 
     Returns the same summary dict as the sync worker, plus
     ``streamed`` (how many submissions went over the stream route).
+    Like the sync worker, metrics-registry deltas are pushed to the
+    coordinator's ``POST /telemetry`` every ``telemetry_seconds``
+    (``None``/``0`` disables) on a strictly best-effort basis.
     """
     if max_leases < 1:
         raise ValueError("max_leases must be >= 1")
@@ -437,7 +454,14 @@ async def run_worker_async(
         from ...api import Session
 
         session = Session()
+    from ...obs.collect import TelemetryPusher
+
     worker_id = worker_id or default_worker_id()
+    pusher = (
+        TelemetryPusher(None, worker_id, interval=telemetry_seconds)
+        if telemetry_seconds
+        else None
+    )
     width = concurrency if concurrency is not None else max(session.workers, 1)
     summary = {
         "worker_id": worker_id,
@@ -455,6 +479,8 @@ async def run_worker_async(
     finished = False
     try:
         while True:
+            if pusher is not None and pusher.due():
+                await _push_telemetry(pusher, url, timeout)
             # top up to max_leases while the coordinator still has work
             while not finished and len(in_flight) < max_leases:
                 try:
@@ -514,6 +540,8 @@ async def run_worker_async(
         if in_flight:
             await asyncio.gather(*in_flight, return_exceptions=True)
         raise
+    if pusher is not None and not summary["coordinator_gone"]:
+        await _push_telemetry(pusher, url, timeout)
     return summary
 
 

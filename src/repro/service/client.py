@@ -261,6 +261,7 @@ def run_worker(
     sleep: Callable[[float], None] = time.sleep,
     max_idle_polls: int | None = None,
     on_shard: Callable[[int, "SweepResult"], None] | None = None,
+    telemetry_seconds: float | None = 2.0,
 ) -> dict:
     """Pull shards from a coordinator until it reports the sweep done.
 
@@ -278,6 +279,12 @@ def run_worker(
     ``coordinator_gone=True`` if a coordinator this worker had already
     reached vanished between polls (it finished and stopped serving, or
     was shut down) — that ends the loop cleanly rather than erroring.
+
+    Every ``telemetry_seconds`` (``None``/``0`` disables) the worker
+    pushes its metrics-registry deltas to the coordinator's
+    ``POST /telemetry`` route so one scrape of the coordinator covers
+    the fleet; telemetry is strictly best-effort and can neither slow
+    down nor fail the work loop.
     """
     if transport is None:
         if url is None:
@@ -288,9 +295,17 @@ def run_worker(
 
         session = Session()
     from ..eval.export import sweep_result_to_dict
+    from ..obs.collect import TelemetryPusher
     from .sharding import shard_from_dict
 
     worker_id = worker_id or default_worker_id()
+    pusher = None
+    if telemetry_seconds:
+        pusher = TelemetryPusher(
+            lambda payload: transport("POST", "/telemetry", payload),
+            worker_id,
+            interval=telemetry_seconds,
+        )
     summary = {
         "worker_id": worker_id,
         "shards": 0,
@@ -318,6 +333,8 @@ def run_worker(
             summary["coordinator_gone"] = True
             break
         contacted = True
+        if pusher is not None:
+            pusher.maybe_push()
         if response.get("done"):
             break
         if response.get("shard") is None:
@@ -359,10 +376,16 @@ def run_worker(
         summary["jobs"] += len(shard.plan.jobs)
         summary["records"] += len(result.sweep)
         summary["errors"] += len(result.errors)
+        if pusher is not None:
+            pusher.maybe_push()
         if on_shard is not None:
             on_shard(shard.shard_index, result)
         if ack.get("done"):
             # this submission completed the sweep — exit now rather
             # than racing a coordinator that may stop serving
             break
+    if pusher is not None and not summary["coordinator_gone"]:
+        # flush whatever accumulated since the last interval so short
+        # runs still land one complete push before the worker exits
+        pusher.push()
     return summary

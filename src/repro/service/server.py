@@ -47,7 +47,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from ..backends.base import BackendError
 from ..eval.export import config_from_dict, sweep_result_to_dict
 from ..models.base import GenerationConfig
-from ..obs import REGISTRY, render_prometheus
+from ..obs import REGISTRY
+from ..obs.collect import TelemetryHub, render_fleet_prometheus
+from ..obs.dashboard import dashboard_html
 
 #: reserved body key: the HTTP shims serve this raw instead of as JSON
 RAW_TEXT_KEY = "_raw_text"
@@ -57,12 +59,16 @@ class ServiceApp:
     """Route table + JSON codec over a Session; no sockets involved.
 
     ``coordinator`` (optional) mounts the shard-coordination routes; the
-    plain eval routes work with or without one.
+    plain eval routes work with or without one.  Every app carries a
+    :class:`~repro.obs.collect.TelemetryHub`: workers push registry
+    deltas to ``POST /telemetry`` and both metrics routes merge the
+    fleet view into their output.
     """
 
     def __init__(self, session, coordinator=None):
         self.session = session
         self.coordinator = coordinator
+        self.telemetry = TelemetryHub()
 
     # ------------------------------------------------------------------
     def handle(
@@ -75,6 +81,8 @@ class ServiceApp:
             ("GET", "/models"): self._models,
             ("GET", "/metrics"): self._metrics,
             ("GET", "/metrics/prom"): self._metrics_prom,
+            ("GET", "/dashboard"): self._dashboard,
+            ("POST", "/telemetry"): self._telemetry,
             ("POST", "/capabilities"): self._capabilities,
             ("POST", "/generate"): self._generate,
             ("POST", "/generate_batch"): self._generate_batch,
@@ -113,6 +121,8 @@ class ServiceApp:
 
     def _metrics(self, _payload: dict) -> dict:
         body = {"metrics": REGISTRY.snapshot()}
+        if len(self.telemetry):
+            body["fleet"] = self.telemetry.fleet_snapshot()
         if self.coordinator is not None:
             status = self.coordinator.status()
             body["coordinator"] = {
@@ -127,8 +137,18 @@ class ServiceApp:
 
     def _metrics_prom(self, _payload: dict) -> dict:
         return {
-            RAW_TEXT_KEY: render_prometheus(REGISTRY),
+            RAW_TEXT_KEY: render_fleet_prometheus(REGISTRY, self.telemetry),
             "content_type": "text/plain; version=0.0.4",
+        }
+
+    def _telemetry(self, payload: dict) -> dict:
+        # ValueError from a malformed payload maps to 400 in handle()
+        return self.telemetry.ingest(payload)
+
+    def _dashboard(self, _payload: dict) -> dict:
+        return {
+            RAW_TEXT_KEY: dashboard_html(),
+            "content_type": "text/html; charset=utf-8",
         }
 
     def _capabilities(self, payload: dict) -> dict:

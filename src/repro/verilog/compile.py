@@ -126,15 +126,22 @@ def run_simulation(
     top: str | None = None,
     max_time: int = 1_000_000,
     max_steps: int = 2_000_000,
+    profiler=None,
 ) -> tuple[CompileReport, SimResult | None]:
-    """Compile then simulate; returns (compile report, sim result or None)."""
+    """Compile then simulate; returns (compile report, sim result or None).
+
+    ``profiler`` is passed through to the simulator untouched (see
+    :class:`repro.obs.profile.SimProfiler`); this keeps the injection
+    point at the same stage boundary as the timing fields.
+    """
     report = compile_design(source, top)
     if not report.ok:
         return report, None
     assert report.design is not None
     started = time.perf_counter()
     try:
-        result = simulate(report.design, max_time=max_time, max_steps=max_steps)
+        result = simulate(report.design, max_time=max_time,
+                          max_steps=max_steps, profiler=profiler)
     except VerilogError as exc:
         return (
             CompileReport(

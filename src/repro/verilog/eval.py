@@ -167,6 +167,12 @@ def eval_expr(
     :class:`ElaborationError` for unresolvable names — the error class the
     compile gate reports for undeclared identifiers.
     """
+    # Profiler hook: the simulator carries a per-run eval counter only
+    # when a profiler is attached; constant evaluation passes ctx=None
+    # and the unprofiled simulator carries None, so the disabled path
+    # is a single short-circuited check.
+    if ctx is not None and ctx._profile_evals is not None:
+        ctx._profile_evals[0] += 1
     if isinstance(expr, ast.Number):
         return Vec.from_bits(expr.value_bits, expr.signed)
     if isinstance(expr, ast.StringLit):

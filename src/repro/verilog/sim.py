@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from . import ast
 from .elaborate import (
@@ -65,15 +66,22 @@ class _Suspension:
 
 
 class _Process:
-    """Generator-backed runnable entity."""
+    """Generator-backed runnable entity.
 
-    __slots__ = ("name", "generator", "scheduled", "alive")
+    ``key`` is the construct identity ``(scope path, kind, line)`` the
+    opt-in profiler attributes activation time to; it is set once at
+    construction and otherwise unused.
+    """
 
-    def __init__(self, name: str, generator):
+    __slots__ = ("name", "generator", "scheduled", "alive", "key")
+
+    def __init__(self, name: str, generator,
+                 key: "tuple[str, str, int]" = ("", "", 0)):
         self.name = name
         self.generator = generator
         self.scheduled = False
         self.alive = True
+        self.key = key
 
 
 @dataclass
@@ -107,6 +115,7 @@ class Simulator:
         max_time: int = 1_000_000,
         max_steps: int = 2_000_000,
         random_seed: int = 0xDEADBEEF,
+        profiler=None,
     ):
         self.design = design
         self.max_time = max_time
@@ -124,6 +133,18 @@ class Simulator:
         self._rand_state = random_seed & 0xFFFFFFFF
         self._vcd: VcdRecorder | None = None
         self._vcd_file: str | None = None
+        # Opt-in profiling: any object with an
+        # ``add(key, seconds, evals, steps)`` method (duck-typed so the
+        # verilog layer stays free of obs imports).  When absent the
+        # dispatch loop runs the class methods unchanged; when present,
+        # instance attributes shadow the two timed entry points.
+        self._profiler = profiler
+        self._profile_evals = None
+        self._profile_current: "tuple[str, str, int] | None" = None
+        if profiler is not None:
+            self._profile_evals = [0]
+            self._resume = self._profiled_resume
+            self._check_monitors = self._profiled_check_monitors
 
     # ------------------------------------------------------------------
     # Public API
@@ -223,6 +244,62 @@ class Simulator:
             raise SimulationError(f"unknown suspension {kind!r}")
 
     # ------------------------------------------------------------------
+    # Profiled dispatch (installed as instance attributes in __init__,
+    # so the unprofiled path runs the class methods with zero checks)
+    # ------------------------------------------------------------------
+    def _profiled_resume(self, process: _Process) -> None:
+        counter = self._profile_evals
+        evals_before = counter[0]
+        steps_before = self._steps
+        self._profile_current = process.key
+        started = perf_counter()
+        try:
+            Simulator._resume(self, process)
+        finally:
+            self._profiler.add(
+                process.key,
+                perf_counter() - started,
+                counter[0] - evals_before,
+                self._steps - steps_before,
+            )
+            self._profile_current = None
+
+    def _profile_nba(self, apply_update):
+        """Wrap an NBA update thunk to bill its apply time (which runs
+        outside any process resume) to the construct that created it."""
+        key = self._profile_current or ("", "nba", 0)
+        counter = self._profile_evals
+        profiler = self._profiler
+
+        def timed_apply() -> None:
+            evals_before = counter[0]
+            started = perf_counter()
+            try:
+                apply_update()
+            finally:
+                profiler.add(
+                    key, perf_counter() - started,
+                    counter[0] - evals_before, 0,
+                )
+
+        return timed_apply
+
+    def _profiled_check_monitors(self) -> None:
+        if not self._monitors:
+            return
+        counter = self._profile_evals
+        evals_before = counter[0]
+        started = perf_counter()
+        try:
+            Simulator._check_monitors(self)
+        finally:
+            self._profiler.add(
+                ("", "monitor", 0),
+                perf_counter() - started,
+                counter[0] - evals_before, 0,
+            )
+
+    # ------------------------------------------------------------------
     # Value commits and sensitivity
     # ------------------------------------------------------------------
     def commit(self, signal: Signal, new_value: Vec, memory_write: bool = False) -> None:
@@ -268,13 +345,19 @@ class Simulator:
     # Process construction
     # ------------------------------------------------------------------
     def _make_process(self, spec: ProcessSpec) -> _Process:
+        key = (spec.scope.path, spec.kind, spec.line)
         if spec.kind == "assign":
             return _Process(
-                f"assign@{spec.line}", self._run_continuous_assign(spec)
+                f"assign@{spec.line}", self._run_continuous_assign(spec),
+                key=key,
             )
         if spec.kind == "always":
-            return _Process(f"always@{spec.line}", self._run_always(spec))
-        return _Process(f"initial@{spec.line}", self._run_initial(spec))
+            return _Process(
+                f"always@{spec.line}", self._run_always(spec), key=key
+            )
+        return _Process(
+            f"initial@{spec.line}", self._run_initial(spec), key=key
+        )
 
     def _run_continuous_assign(self, spec: ProcessSpec):
         assert spec.value is not None and spec.target is not None
@@ -417,6 +500,8 @@ class Simulator:
             def apply_update() -> None:
                 store_to_lvalue(target, captured, scope, self, commit=self.commit)
 
+            if self._profiler is not None:
+                apply_update = self._profile_nba(apply_update)
             if delay:
                 self._schedule_at(delay, apply_update)
             else:
@@ -651,6 +736,9 @@ def simulate(
     design: Design,
     max_time: int = 1_000_000,
     max_steps: int = 2_000_000,
+    profiler=None,
 ) -> SimResult:
     """Convenience wrapper: build a Simulator and run it."""
-    return Simulator(design, max_time=max_time, max_steps=max_steps).run()
+    return Simulator(
+        design, max_time=max_time, max_steps=max_steps, profiler=profiler
+    ).run()

@@ -173,3 +173,20 @@ class TestCorpusRunner:
         assert len(targets) == len(ALL_PROBLEMS)
         reports = analyze_targets(targets, workers=4)
         assert all(r.compiled and not r.error_findings for r in reports)
+
+    def test_traced_corpus_emits_one_analysis_span_per_target(self):
+        from repro.obs import add_sink, remove_sink
+
+        frames = []
+        add_sink(frames.append)
+        try:
+            analyze_targets(self.make_targets())
+        finally:
+            remove_sink(frames.append)
+        spans = [f for f in frames if f["type"] == "span"]
+        assert [s["name"] for s in spans] == ["analysis"] * 3
+        by_target = {s["tags"]["target"]: s["tags"] for s in spans}
+        assert by_target["clean"]["outcome"] == "clean"
+        assert by_target["loop"]["outcome"] == "findings"
+        assert by_target["loop"]["findings"] >= 1
+        assert by_target["broken"]["outcome"] == "parse"
