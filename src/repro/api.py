@@ -86,6 +86,12 @@ class Session:
         Run the netlist static-analysis gate inside the evaluator
         (default True); only consulted when ``evaluator`` is None —
         an explicit evaluator brings its own setting.
+    compile_sim:
+        Run bench simulations on the netlist→closure engine
+        (:mod:`repro.verilog.codegen`; default True).  Verdicts are
+        identical to the interpreter's, so the flag is purely a speed
+        switch; like ``analysis`` it is only consulted when
+        ``evaluator`` is None.
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class Session:
         repair_budget: int = 0,
         repair=None,
         analysis: bool = True,
+        compile_sim: bool = True,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -109,7 +116,8 @@ class Session:
         self.backend = resolve_backend(backend)
         self.store = resolve_store(store)
         if evaluator is None:
-            evaluator = Evaluator(store=self.store, analysis=analysis)
+            evaluator = Evaluator(store=self.store, analysis=analysis,
+                                  compile_sim=compile_sim)
         elif self.store is not None and evaluator.store is None:
             evaluator.store = self.store
         self.evaluator = evaluator
@@ -178,6 +186,7 @@ class Session:
                 progress=self.progress,
                 store=self.store,
                 analysis=self.evaluator.analysis,
+                compile_sim=self.evaluator.compile_sim,
             )
         if self.executor == "async":
             from .service.aio import AsyncSweepExecutor

@@ -116,7 +116,8 @@ def _cmd_simulate(args) -> int:
     from .verilog import run_simulation
 
     report, result = run_simulation(
-        _read(args.file), top=args.top, max_time=args.max_time
+        _read(args.file), top=args.top, max_time=args.max_time,
+        compile_sim=args.compile_sim,
     )
     if not report.ok:
         print("compile: FAILED")
@@ -128,6 +129,11 @@ def _cmd_simulate(args) -> int:
         return 1
     print(result.text)
     print(f"-- finished={result.finished} at t={result.time}")
+    if report.sim_engine is not None:
+        plan = report.sim_engine
+        print(f"-- engine=compiled two_state={plan['two_state']} "
+              f"processes={plan['compiled']}/{plan['processes']} "
+              f"fallbacks={len(plan['fallbacks'])}")
     if result.vcd is not None and result.vcd_file:
         result.vcd.write(result.vcd_file, top=args.top or "top")
         print(f"-- wrote {result.vcd_file}")
@@ -213,6 +219,7 @@ def _make_session(args, backend):
         store=getattr(args, "store", None),
         repair_budget=getattr(args, "repair_budget", 0),
         analysis=not getattr(args, "no_analysis", False),
+        compile_sim=getattr(args, "compile_sim", True),
     )
 
 
@@ -835,24 +842,44 @@ def _cmd_store(args) -> int:
         print(f"error: {args.dir!r} is not a verdict store directory")
         return 2
     store = VerdictStore(args.dir)
+    # the attached compiled-sim plan cache (simcache/) shares every
+    # maintenance path; None when the store has never cached a plan
+    sim_cache = store.sim_cache(create=False)
     if args.action == "pack":
         packed = store.pack()
         stats = store.stats()
         print(f"packed {packed} verdict file(s) into {store.pack_path} "
               f"({stats['entries']} entries total)")
+        if sim_cache is not None:
+            packed = sim_cache.pack()
+            print(f"packed {packed} sim plan(s) into "
+                  f"{sim_cache.pack_path} ({len(sim_cache)} plans total)")
     elif args.action == "compact":
         removed = store.compact()
         stats = store.stats()
         print(f"compacted {store.pack_path}: dropped {removed} dead "
               f"line(s) ({stats['packed']} packed entries remain)")
+        if sim_cache is not None:
+            removed = sim_cache.compact()
+            print(f"compacted {sim_cache.pack_path}: dropped {removed} "
+                  f"dead line(s)")
     elif args.action == "unpack":
         restored = store.unpack()
         print(f"unpacked {restored} verdict(s) back into {store.path} "
               f"({len(store)} entries total)")
+        if sim_cache is not None:
+            restored = sim_cache.unpack()
+            print(f"unpacked {restored} sim plan(s) back into "
+                  f"{sim_cache.path}")
     else:  # info
         stats = store.stats()
         print(f"store {store.path}: {stats['entries']} entries "
               f"({stats['files']} files, {stats['packed']} packed)")
+        if sim_cache is not None:
+            sim_stats = sim_cache.stats()
+            print(f"simcache {sim_cache.path}: {sim_stats['entries']} "
+                  f"plan(s) ({sim_stats['files']} files, "
+                  f"{sim_stats['packed']} packed)")
     return 0
 
 
@@ -981,6 +1008,14 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
              "error-conditioned repair rounds before its final verdict "
              "(default: 0, no repair)",
     )
+    parser.add_argument(
+        "--compile-sim", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run bench simulations on the netlist→closure engine "
+             "(default: on; --no-compile-sim restores the pure "
+             "tree-walking interpreter — verdicts are identical either "
+             "way)",
+    )
 
 
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
@@ -1040,6 +1075,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--top", default=None)
     p.add_argument("--max-time", type=int, default=1_000_000)
+    p.add_argument("--compile-sim", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="run on the netlist→closure engine (default: on; "
+                        "--no-compile-sim uses the tree-walking "
+                        "interpreter — output is identical)")
 
     p = sub.add_parser("lint", help="run static lint checks on a file")
     p.add_argument("file")

@@ -1,4 +1,4 @@
-"""Cross-process verdict store: an on-disk compile/simulate cache.
+"""Cross-process on-disk caches: verdicts and compiled-sim plans.
 
 The in-memory :class:`~repro.eval.pipeline.Evaluator` cache collapses
 duplicate completions within one process, but every process-pool worker
@@ -10,30 +10,49 @@ so any evaluator pointed at the same path — a later run, a sibling
 worker process, a pull-based coordinator worker — skips the compile and
 simulation entirely.
 
+Both stores share one engine, :class:`KeyedJsonStore` — a
+directory-backed ``key -> JSON payload`` map with atomic file writes, a
+JSONL pack format, and compaction:
+
+* :class:`VerdictStore` — ``p<problem>_<hash>.json`` files holding
+  full :class:`~repro.eval.report.CompletionEvaluation` codecs;
+* :class:`CompileSimCache` — ``s_<source-hash>.json`` files in a
+  ``simcache/`` subdirectory holding the netlist→closure compiler's
+  plan summary (:meth:`repro.verilog.codegen.CompiledEngine.plan`)
+  keyed by bench-source hash, so repeat evaluations of a seen source
+  skip the two-state proof and reuse recorded compile decisions.
+
+The two stores are invisible to each other: entry filenames must match
+the store's key pattern, so the simcache subdirectory and any foreign
+``.json`` files are never counted, packed, or deleted by the verdict
+store (and vice versa).
+
 Concurrency model: writes go through a per-process temp file renamed
 into place (``os.replace`` is atomic on POSIX and Windows), so readers
-never observe a half-written verdict.  Two processes racing on the same
+never observe a half-written entry.  Two processes racing on the same
 uncached key may both evaluate and both write; evaluation is pure, so
 the duplicate work is bounded and the last rename wins with an
 identical payload.  Corrupt or foreign files read as misses.
 
-One file per verdict is simple but inode-hungry: a million-completion
-sweep leaves a million tiny files behind.  :meth:`VerdictStore.pack`
+One file per entry is simple but inode-hungry: a million-completion
+sweep leaves a million tiny files behind.  :meth:`KeyedJsonStore.pack`
 compacts the directory into one append-friendly JSONL file
-(``pack.jsonl``, one ``{"key", "verdict"}`` object per line, later
-lines win) that the store reads through transparently — fresh verdicts
-still land as individual files (atomic, contention-free) and shadow the
-pack, so packing is safe on a live store; run it again any time to fold
-the new files in.  Because packing only appends, repeated cycles leave
-shadowed duplicate lines behind — :meth:`VerdictStore.compact` rewrites
-the pack with one line per live key (atomic replace, idempotent; safe
-against readers and file writers, but do not run it while another
-process is packing the same store).
-:meth:`VerdictStore.unpack` reverses packing.  The CLI drives all
-three: ``python -m repro store {pack,compact,unpack} DIR``.
+(``pack.jsonl``, one ``{"key", <payload field>}`` object per line,
+later lines win) that the store reads through transparently — fresh
+entries still land as individual files (atomic, contention-free) and
+shadow the pack, so packing is safe on a live store; run it again any
+time to fold the new files in.  Because packing only appends, repeated
+cycles leave shadowed duplicate lines behind —
+:meth:`KeyedJsonStore.compact` rewrites the pack with one line per live
+key (atomic replace, idempotent; safe against readers and file
+writers, but do not run it while another process is packing the same
+store).  :meth:`KeyedJsonStore.unpack` reverses packing.  The CLI
+drives all three — ``python -m repro store {pack,compact,unpack} DIR``
+— and applies pack/compact/clear to the verdict store and its attached
+simcache together, so eviction shares one maintenance path.
 
-The store is picklable (it carries only its path), so
-:class:`~repro.service.process.ProcessPoolSweepExecutor` ships it to
+The stores are picklable (they carry only their path), so
+:class:`~repro.service.process.ProcessPoolSweepExecutor` ships them to
 workers the same way it ships the backend.
 """
 
@@ -50,14 +69,32 @@ PACK_FILENAME = "pack.jsonl"
 #: verdict entry filenames: p<problem>_<16-hex-digit completion hash>
 _ENTRY_RE = re.compile(r"^p\d{2,}_[0-9a-f]{16,}\.json$")
 
+#: compiled-sim plan entry filenames: s_<16-hex-digit source hash>
+_SIM_ENTRY_RE = re.compile(r"^s_[0-9a-f]{16,}\.json$")
 
-class VerdictStore:
-    """Directory-backed map of ``(problem, completion-hash) -> verdict``."""
+#: subdirectory of a verdict store holding its compiled-sim plan cache
+SIM_CACHE_DIRNAME = "simcache"
+
+
+class KeyedJsonStore:
+    """Directory-backed ``key -> JSON payload`` map with pack support.
+
+    Subclasses pin down the key shape (:data:`ENTRY_RE`), the pack-line
+    payload field name (:data:`PAYLOAD_FIELD`) and, optionally, a
+    payload codec (:meth:`_encode_payload` / :meth:`_decode_payload`
+    both default to identity on plain JSON objects).
+    """
+
+    #: filenames that belong to this store (everything else is foreign)
+    ENTRY_RE: "re.Pattern[str]" = re.compile(r"^[A-Za-z0-9_]+\.json$")
+    #: pack-line field carrying the payload (kept per-store for
+    #: backward compatibility with packs written before the refactor)
+    PAYLOAD_FIELD = "payload"
 
     def __init__(self, path: str):
         self.path = str(path)
         os.makedirs(self.path, exist_ok=True)
-        # packed-index cache: (stat signature, {key -> verdict row})
+        # packed-index cache: (stat signature, {key -> payload row})
         self._packed: "tuple[tuple[int, int], dict[str, dict]] | None" = None
 
     def __getstate__(self) -> dict:
@@ -68,16 +105,19 @@ class VerdictStore:
         self._packed = None
 
     # ------------------------------------------------------------------
+    # Payload codec (identity by default; rows must be JSON objects)
+    # ------------------------------------------------------------------
     @staticmethod
-    def _key(problem: int, completion_hash: int) -> str:
-        return f"p{problem:02d}_{completion_hash:016x}"
+    def _encode_payload(payload) -> dict:
+        return dict(payload)
 
-    @classmethod
-    def _filename(cls, problem: int, completion_hash: int) -> str:
-        return f"{cls._key(problem, completion_hash)}.json"
+    @staticmethod
+    def _decode_payload(row: dict):
+        return dict(row)
 
-    def _entry_path(self, problem: int, completion_hash: int) -> str:
-        return os.path.join(self.path, self._filename(problem, completion_hash))
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.json")
 
     @property
     def pack_path(self) -> str:
@@ -87,7 +127,7 @@ class VerdictStore:
     # Packed index (read-through; invalidated when the file changes)
     # ------------------------------------------------------------------
     def _packed_index(self) -> dict[str, dict]:
-        """The pack file as key -> verdict row ({} when absent).
+        """The pack file as key -> payload row ({} when absent).
 
         Cached per stat signature (mtime_ns, size), so a pack rewritten
         by another process — or by :meth:`pack` in this one — is picked
@@ -110,7 +150,7 @@ class VerdictStore:
                         continue
                     try:
                         row = json.loads(line)
-                        index[str(row["key"])] = dict(row["verdict"])
+                        index[str(row["key"])] = dict(row[self.PAYLOAD_FIELD])
                     except (ValueError, KeyError, TypeError):
                         continue  # torn/foreign line: skip, keep reading
         except OSError:
@@ -119,34 +159,32 @@ class VerdictStore:
         return index
 
     # ------------------------------------------------------------------
-    def get(self, problem: int, completion_hash: int):
-        """The stored verdict, or ``None`` (missing or unreadable).
+    def get_key(self, key: str):
+        """The stored payload, or ``None`` (missing or unreadable).
 
         Individual files win over the pack: they are strictly newer
         (everything packed had its file deleted).
         """
         try:
-            with open(
-                self._entry_path(problem, completion_hash), encoding="utf-8"
-            ) as handle:
-                return evaluation_from_dict(json.load(handle))
+            with open(self._path_for(key), encoding="utf-8") as handle:
+                return self._decode_payload(json.load(handle))
         except (OSError, ValueError, KeyError, TypeError):
             pass
-        row = self._packed_index().get(self._key(problem, completion_hash))
+        row = self._packed_index().get(key)
         if row is None:
             return None
         try:
-            return evaluation_from_dict(row)
+            return self._decode_payload(row)
         except (ValueError, KeyError, TypeError):
             return None
 
-    def put(self, problem: int, completion_hash: int, evaluation) -> None:
-        """Persist one verdict atomically (temp file + rename)."""
-        target = self._entry_path(problem, completion_hash)
+    def put_key(self, key: str, payload) -> None:
+        """Persist one payload atomically (temp file + rename)."""
+        target = self._path_for(key)
         temp = f"{target}.tmp-{os.getpid()}"
         try:
             with open(temp, "w", encoding="utf-8") as handle:
-                json.dump(evaluation_to_dict(evaluation), handle)
+                json.dump(self._encode_payload(payload), handle)
             os.replace(temp, target)
         except OSError:
             # a read-only or vanished store degrades to a cache miss,
@@ -167,19 +205,19 @@ class VerdictStore:
             return sorted(
                 name
                 for name in os.listdir(self.path)
-                if _ENTRY_RE.match(name)
+                if self.ENTRY_RE.match(name)
             )
         except OSError:
             return []
 
     def pack(self) -> int:
-        """Fold every individual verdict file into the pack; return count.
+        """Fold every individual entry file into the pack; return count.
 
-        Appends to an existing pack (later lines win on read, and a
-        verdict is immutable anyway), then deletes the folded files —
+        Appends to an existing pack (later lines win on read, and an
+        entry is immutable anyway), then deletes the folded files —
         crash-safe in that order: a death between append and unlink
         leaves both copies, which agree.  Only files that carry the
-        store's key naming *and* decode as verdicts are folded; torn or
+        store's key naming *and* decode as payloads are folded; torn or
         foreign files are left exactly where they are.
         """
         packed = 0
@@ -189,11 +227,14 @@ class VerdictStore:
                 try:
                     with open(entry, encoding="utf-8") as source:
                         row = json.load(source)
-                    evaluation_from_dict(row)  # must decode as a verdict
+                    self._decode_payload(row)  # must decode as a payload
                 except (OSError, ValueError, KeyError, TypeError):
                     continue  # torn or foreign: leave the file alone
                 handle.write(
-                    json.dumps({"key": name[: -len(".json")], "verdict": row})
+                    json.dumps(
+                        {"key": name[: -len(".json")],
+                         self.PAYLOAD_FIELD: row}
+                    )
                     + "\n"
                 )
                 handle.flush()
@@ -240,7 +281,8 @@ class VerdictStore:
             with open(temp, "w", encoding="utf-8") as handle:
                 for key, row in index.items():
                     handle.write(
-                        json.dumps({"key": key, "verdict": row}) + "\n"
+                        json.dumps({"key": key, self.PAYLOAD_FIELD: row})
+                        + "\n"
                     )
             os.replace(temp, self.pack_path)
         except OSError:
@@ -253,12 +295,12 @@ class VerdictStore:
         return removed
 
     def unpack(self) -> int:
-        """Materialize packed verdicts back into files; return count.
+        """Materialize packed entries back into files; return count.
 
         Existing files win (they are newer); the pack is removed only
         once every entry has a file again — a partial restore (disk
-        full, permissions) keeps the pack, so no verdict is ever lost
-        to an interrupted unpack.
+        full, permissions) keeps the pack, so no entry is ever lost to
+        an interrupted unpack.
         """
         index = self._packed_index()
         restored = 0
@@ -289,7 +331,7 @@ class VerdictStore:
 
     # ------------------------------------------------------------------
     def keys(self) -> set[str]:
-        """Every distinct verdict key (files and pack combined)."""
+        """Every distinct entry key (files and pack combined)."""
         file_keys = {name[: -len(".json")] for name in self._entry_files()}
         return file_keys | set(self._packed_index())
 
@@ -308,7 +350,7 @@ class VerdictStore:
         }
 
     def clear(self) -> int:
-        """Delete every stored verdict; returns how many were removed.
+        """Delete every stored entry; returns how many were removed.
 
         The count reflects what actually disappeared: a key that
         survives — its file would not unlink, or it lives in a pack
@@ -332,7 +374,86 @@ class VerdictStore:
         return len(file_keys | packed_keys) - len(surviving)
 
     def __repr__(self) -> str:
-        return f"VerdictStore({self.path!r}, entries={len(self)})"
+        return f"{type(self).__name__}({self.path!r}, entries={len(self)})"
+
+
+class CompileSimCache(KeyedJsonStore):
+    """On-disk ``source hash -> compiled-sim plan`` cache.
+
+    Lives in a ``simcache/`` subdirectory next to a
+    :class:`VerdictStore`'s verdict files.  A plan is the JSON summary
+    from :meth:`repro.verilog.codegen.CompiledEngine.plan`; a hit lets
+    the evaluator rebuild the engine without re-running the two-state
+    proof and counts into ``sim_compile_cache_hits_total``.
+    """
+
+    ENTRY_RE = _SIM_ENTRY_RE
+    PAYLOAD_FIELD = "plan"
+
+    @staticmethod
+    def _key(source_hash: int) -> str:
+        return f"s_{source_hash & (2 ** 64 - 1):016x}"
+
+    def get(self, source_hash: int) -> dict | None:
+        return self.get_key(self._key(source_hash))
+
+    def put(self, source_hash: int, plan: dict) -> None:
+        self.put_key(self._key(source_hash), plan)
+
+
+class VerdictStore(KeyedJsonStore):
+    """Directory-backed map of ``(problem, completion-hash) -> verdict``."""
+
+    ENTRY_RE = _ENTRY_RE
+    PAYLOAD_FIELD = "verdict"
+
+    @staticmethod
+    def _encode_payload(payload) -> dict:
+        return evaluation_to_dict(payload)
+
+    @staticmethod
+    def _decode_payload(row: dict):
+        return evaluation_from_dict(row)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(problem: int, completion_hash: int) -> str:
+        return f"p{problem:02d}_{completion_hash:016x}"
+
+    @classmethod
+    def _filename(cls, problem: int, completion_hash: int) -> str:
+        return f"{cls._key(problem, completion_hash)}.json"
+
+    def _entry_path(self, problem: int, completion_hash: int) -> str:
+        return os.path.join(self.path, self._filename(problem, completion_hash))
+
+    def get(self, problem: int, completion_hash: int):
+        return self.get_key(self._key(problem, completion_hash))
+
+    def put(self, problem: int, completion_hash: int, evaluation) -> None:
+        self.put_key(self._key(problem, completion_hash), evaluation)
+
+    # ------------------------------------------------------------------
+    # Attached compiled-sim plan cache
+    # ------------------------------------------------------------------
+    @property
+    def sim_cache_path(self) -> str:
+        return os.path.join(self.path, SIM_CACHE_DIRNAME)
+
+    def sim_cache(self, create: bool = True) -> "CompileSimCache | None":
+        """The store's compiled-sim plan cache (``simcache/`` subdir).
+
+        With ``create=False``, returns ``None`` unless the subdirectory
+        already exists — the read-only view ``store info`` and the
+        maintenance commands use, so inspecting a store never mutates
+        it.
+        """
+        if not create and not os.path.isdir(self.sim_cache_path):
+            return None
+        try:
+            return CompileSimCache(self.sim_cache_path)
+        except OSError:
+            return None
 
 
 def resolve_store(store: "VerdictStore | str | None") -> "VerdictStore | None":
@@ -343,4 +464,11 @@ def resolve_store(store: "VerdictStore | str | None") -> "VerdictStore | None":
     return VerdictStore(store)
 
 
-__all__ = ["PACK_FILENAME", "VerdictStore", "resolve_store"]
+__all__ = [
+    "PACK_FILENAME",
+    "SIM_CACHE_DIRNAME",
+    "CompileSimCache",
+    "KeyedJsonStore",
+    "VerdictStore",
+    "resolve_store",
+]

@@ -153,8 +153,20 @@ def profile_frame(
     profiler: SimProfiler,
     problem: "int | None" = None,
     sim_seconds: float = 0.0,
+    engine: "str | None" = None,
 ) -> dict:
-    """Build the ``profile`` NDJSON frame for one simulation run."""
+    """Build the ``profile`` NDJSON frame for one simulation run.
+
+    ``engine`` names the execution engine that produced the run
+    (``"interpreter"`` or ``"compiled"``).  Compiled runs attribute wall
+    seconds, activations and suspension steps exactly like interpreted
+    ones (the profiler times process resumes, which both engines share),
+    but compiled expression closures do not tick the per-eval counter —
+    so compiled frames carry ``"evals_attributed": false`` and
+    downstream consumers must not compare eval counts across engines.
+    Constructs that fell back to the interpreter inside a compiled run
+    still tick evals; the flag is deliberately conservative.
+    """
     frame = {
         "type": "profile",
         "t": round(time.monotonic(), 6),
@@ -162,6 +174,9 @@ def profile_frame(
         "tags": current_tags(),
         "constructs": profiler.rows(),
     }
+    if engine is not None:
+        frame["engine"] = engine
+        frame["evals_attributed"] = engine != "compiled"
     if problem is not None:
         frame["problem"] = problem
     return frame
@@ -171,12 +186,13 @@ def record_profile(
     profiler: SimProfiler,
     problem: "int | None" = None,
     sim_seconds: float = 0.0,
+    engine: "str | None" = None,
 ) -> None:
     """Publish one run's profile to the installed trace sinks."""
     if not profiler.constructs or not tracing_active():
         return
     record_frame(profile_frame(profiler, problem=problem,
-                               sim_seconds=sim_seconds))
+                               sim_seconds=sim_seconds, engine=engine))
 
 
 __all__ = [

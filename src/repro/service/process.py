@@ -46,8 +46,10 @@ _WORKER_RETRY: RetryPolicy | None = None
 
 def _init_worker(payload: bytes) -> None:
     global _WORKER_BACKEND, _WORKER_EVALUATOR, _WORKER_RETRY
-    _WORKER_BACKEND, _WORKER_RETRY, store, analysis = pickle.loads(payload)
-    _WORKER_EVALUATOR = Evaluator(store=store, analysis=analysis)
+    (_WORKER_BACKEND, _WORKER_RETRY, store, analysis,
+     compile_sim) = pickle.loads(payload)
+    _WORKER_EVALUATOR = Evaluator(store=store, analysis=analysis,
+                                  compile_sim=compile_sim)
 
 
 def _run_job(job: GenerationJob) -> tuple[JobOutcome, int, dict]:
@@ -81,6 +83,7 @@ class ProcessPoolSweepExecutor(Executor):
         progress: ProgressCallback | None = None,
         store=None,
         analysis: bool = True,
+        compile_sim: bool = True,
     ):
         workers = workers if workers is not None else os.cpu_count() or 1
         if workers < 1:
@@ -91,9 +94,10 @@ class ProcessPoolSweepExecutor(Executor):
         self.progress = progress
         self.store = store
         self.analysis = analysis
+        self.compile_sim = compile_sim
         try:
             self._payload = pickle.dumps(
-                (backend, self.retry, store, analysis)
+                (backend, self.retry, store, analysis, compile_sim)
             )
         except Exception as exc:  # noqa: BLE001 — report the real cause
             raise BackendError(

@@ -36,6 +36,7 @@ from .errors import (
 from .lexer import Token, tokenize
 from .parser import parse
 from .lint import LintWarning, lint_module, lint_source_unit
+from .codegen import CompiledEngine, prove_two_state
 from .sim import SimResult, Simulator, simulate
 from .values import Vec
 from .vcd import VcdRecorder
@@ -71,6 +72,8 @@ __all__ = [
     "finding_to_dict",
     "infer_top",
     "parse",
+    "CompiledEngine",
+    "prove_two_state",
     "run_simulation",
     "lint_module",
     "lint_source_unit",

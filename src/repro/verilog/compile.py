@@ -51,6 +51,10 @@ class CompileReport:
     parse_seconds: float = 0.0
     elaborate_seconds: float = 0.0
     sim_seconds: float = 0.0
+    #: Compiled-engine plan summary when ``run_simulation`` ran with
+    #: ``compile_sim=True`` and engine construction succeeded; None on
+    #: the pure-interpreter path.
+    sim_engine: dict | None = None
 
     @property
     def error_text(self) -> str:
@@ -127,21 +131,54 @@ def run_simulation(
     max_time: int = 1_000_000,
     max_steps: int = 2_000_000,
     profiler=None,
+    compile_sim: bool = False,
+    analysis_findings=None,
+    compile_plan: dict | None = None,
 ) -> tuple[CompileReport, SimResult | None]:
     """Compile then simulate; returns (compile report, sim result or None).
 
     ``profiler`` is passed through to the simulator untouched (see
     :class:`repro.obs.profile.SimProfiler`); this keeps the injection
     point at the same stage boundary as the timing fields.
+
+    ``compile_sim=True`` lowers the elaborated design to closures first
+    (:class:`repro.verilog.codegen.CompiledEngine`) and runs the fast
+    engine; processes the compiler can't cover fall back per process to
+    the interpreter, and any engine-construction failure falls back to
+    fully interpreted execution — verdicts are identical either way.
+    ``analysis_findings`` (PR 8 netlist findings, when the caller already
+    ran the analyzer) feed the two-state proof; the engine's plan summary
+    lands in ``report.sim_engine``.  A ``compile_plan`` from a previous
+    run of the same source (the on-disk plan cache) pins the two-state
+    decision so the proof is skipped.
     """
     report = compile_design(source, top)
     if not report.ok:
         return report, None
     assert report.design is not None
+    engine = None
+    if compile_sim:
+        from .codegen import CompiledEngine
+
+        two_state = None
+        if compile_plan is not None:
+            cached = compile_plan.get("two_state")
+            if isinstance(cached, bool):
+                two_state = cached
+        try:
+            engine = CompiledEngine(
+                report.design, findings=analysis_findings,
+                two_state=two_state,
+            )
+        except Exception:
+            engine = None  # fully interpreted run; behavior unchanged
+        else:
+            report.sim_engine = engine.plan()
     started = time.perf_counter()
     try:
         result = simulate(report.design, max_time=max_time,
-                          max_steps=max_steps, profiler=profiler)
+                          max_steps=max_steps, profiler=profiler,
+                          engine=engine)
     except VerilogError as exc:
         return (
             CompileReport(
@@ -154,6 +191,7 @@ def run_simulation(
                 parse_seconds=report.parse_seconds,
                 elaborate_seconds=report.elaborate_seconds,
                 sim_seconds=time.perf_counter() - started,
+                sim_engine=report.sim_engine,
             ),
             None,
         )

@@ -45,6 +45,14 @@ class _SenseEntry:
     ``memory_signal`` marks an any-change watch on a whole memory (bare
     memory identifiers cannot be evaluated, so word writes wake these
     entries unconditionally).
+
+    The compiled engine (:mod:`repro.verilog.codegen`) reuses entry
+    objects across waits and precomputes two optional fields: ``signals``
+    is the resolved list of signals to register the waiter on (skipping
+    the per-suspension ``collect_reads`` + scope walk) and ``compiled``
+    is a fast re-evaluation closure ``fn(sim) -> Vec`` for
+    :meth:`Simulator._sense_fires`.  Interpreted entries leave both
+    ``None`` and take the original paths.
     """
 
     expr: ast.Expr | None
@@ -52,6 +60,8 @@ class _SenseEntry:
     edge: str | None
     last: Vec
     memory_signal: Signal | None = None
+    signals: "list[Signal] | None" = None
+    compiled: object = None
 
 
 class _Suspension:
@@ -116,8 +126,16 @@ class Simulator:
         max_steps: int = 2_000_000,
         random_seed: int = 0xDEADBEEF,
         profiler=None,
+        engine=None,
     ):
         self.design = design
+        # Execution-engine seam: any object with a ``factory_for(spec)``
+        # method returning either ``None`` (interpret this process) or a
+        # callable ``factory(sim) -> generator`` producing a generator
+        # that speaks the same suspension protocol as the interpreted
+        # ones.  Compiled and interpreted processes coexist in one event
+        # loop; see :mod:`repro.verilog.codegen`.
+        self._engine = engine
         self.max_time = max_time
         self.max_steps = max_steps
         self.now = 0
@@ -233,6 +251,11 @@ class Simulator:
                     return
                 suspension = _Suspension(process, entries)
                 for entry in entries:
+                    if entry.signals is not None:
+                        # Compiled entry: waiter registration precomputed.
+                        for signal in entry.signals:
+                            signal.waiters.append((suspension, entry))
+                        continue
                     if entry.memory_signal is not None:
                         entry.memory_signal.waiters.append((suspension, entry))
                         continue
@@ -331,7 +354,10 @@ class Simulator:
     def _sense_fires(self, entry: _SenseEntry, force: bool = False) -> bool:
         if entry.memory_signal is not None:
             return entry.edge is None  # any write to the memory fires
-        new = eval_expr(entry.expr, entry.scope, self)
+        if entry.compiled is not None:
+            new = entry.compiled(self)
+        else:
+            new = eval_expr(entry.expr, entry.scope, self)
         old = entry.last
         entry.last = new
         if force:
@@ -346,6 +372,12 @@ class Simulator:
     # ------------------------------------------------------------------
     def _make_process(self, spec: ProcessSpec) -> _Process:
         key = (spec.scope.path, spec.kind, spec.line)
+        if self._engine is not None:
+            factory = self._engine.factory_for(spec)
+            if factory is not None:
+                return _Process(
+                    f"{spec.kind}@{spec.line}", factory(self), key=key
+                )
         if spec.kind == "assign":
             return _Process(
                 f"assign@{spec.line}", self._run_continuous_assign(spec),
@@ -732,13 +764,21 @@ class Simulator:
         return "x" if number is None else str(number)
 
 
+#: Module-level rendering hook shared with the compiled engine
+#: (:mod:`repro.verilog.codegen`) so ``$display`` conversions have one
+#: source of truth.
+render_value = Simulator._render
+
+
 def simulate(
     design: Design,
     max_time: int = 1_000_000,
     max_steps: int = 2_000_000,
     profiler=None,
+    engine=None,
 ) -> SimResult:
     """Convenience wrapper: build a Simulator and run it."""
     return Simulator(
-        design, max_time=max_time, max_steps=max_steps, profiler=profiler
+        design, max_time=max_time, max_steps=max_steps, profiler=profiler,
+        engine=engine,
     ).run()
